@@ -1,0 +1,103 @@
+"""Ablation — just-in-time predicate specialization (§VI).
+
+The paper: "Just-in-time code generation ... enables specializing the code
+paths".  This benchmark measures the interpreted expression tree against
+the generated straight-line kernel across batch counts, exposing the
+classic JIT trade-off: a fixed compile cost amortized per batch.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import ResultTable, stopwatch
+
+import numpy as np
+import pytest
+
+from repro.hardware.jit import compile_predicate
+from repro.relational.expressions import col
+from repro.storage.table import Table
+from repro.utils.rng import make_rng
+
+N_ROWS = 4_096
+BATCHES = [1, 16, 256]
+
+PREDICATE = ((col("price") > 50.0) & (col("qty") < 3)) | \
+    (col("brand") == "acme")
+
+
+def make_batch(seed: int = 3) -> Table:
+    rng = make_rng(seed)
+    return Table.from_dict({
+        "price": rng.uniform(0, 100, N_ROWS).tolist(),
+        "qty": [int(x) for x in rng.integers(1, 10, N_ROWS)],
+        "brand": [["acme", "globex", "initech"][int(i)]
+                  for i in rng.integers(0, 3, N_ROWS)],
+    })
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return make_batch()
+
+
+@pytest.mark.benchmark(group="jit")
+def test_interpreted_predicate(benchmark, batch):
+    mask = benchmark(PREDICATE.evaluate, batch)
+    assert mask.dtype == bool
+
+
+@pytest.mark.benchmark(group="jit")
+def test_compiled_predicate(benchmark, batch):
+    kernel = compile_predicate(PREDICATE)
+    mask = benchmark(kernel, batch)
+    assert mask.dtype == bool
+
+
+def test_jit_shape(batch, capsys):
+    kernel = compile_predicate(PREDICATE)
+    assert np.array_equal(kernel(batch), PREDICATE.evaluate(batch))
+
+    table = ResultTable(
+        f"JIT specialization — {N_ROWS}-row batches",
+        ["batches", "interpreted [s]", "compiled+compile [s]", "gain"])
+    for batches in BATCHES:
+        with stopwatch() as interpreted:
+            for _ in range(batches):
+                PREDICATE.evaluate(batch)
+        with stopwatch() as compiled:
+            fresh = compile_predicate(PREDICATE)
+            for _ in range(batches):
+                fresh(batch)
+        table.add(batches, interpreted.seconds, compiled.seconds,
+                  f"{interpreted.seconds / compiled.seconds:.2f}x")
+    with capsys.disabled():
+        table.show()
+    # at high batch counts the compiled kernel must not lose
+    with stopwatch() as interpreted:
+        for _ in range(256):
+            PREDICATE.evaluate(batch)
+    fresh = compile_predicate(PREDICATE)
+    with stopwatch() as compiled:
+        for _ in range(256):
+            fresh(batch)
+    assert compiled.seconds <= interpreted.seconds * 1.1
+
+
+def main() -> None:
+    from contextlib import nullcontext
+
+    class _Cap:
+        def disabled(self):
+            return nullcontext()
+
+    test_jit_shape(make_batch(), _Cap())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Ablation — contribution of each optimizer stage (DESIGN.md §4).
+
+Runs the Figure-2 motivating query with optimizer stages toggled one at a
+time (all-off, +rules, +pruning, +join order, +DIP, +physical selection)
+and reports actual execution time and the optimizer's own cost estimate.
+The rewrite rules (pushdowns) should carry most of the win, with DIP
+adding a further reduction — mirroring Figure 4's claim that logical
+optimizations dominate.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import RETAIL_SIZES, ResultTable, stopwatch
+
+import pytest
+
+from repro.core import ContextRichEngine
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.workloads.retail import RetailWorkload
+
+QUERY = """
+SELECT p.name, p.price, d.image_id, d.label
+FROM products AS p
+SEMANTIC JOIN kb.category AS k
+    ON p.ptype ~ k.subject USING MODEL 'wiki-ft-100' THRESHOLD 0.9
+SEMANTIC JOIN images.detections AS d
+    ON p.ptype ~ d.label USING MODEL 'wiki-ft-100' THRESHOLD 0.8
+WHERE p.price > 20 AND k.object = 'clothes'
+  AND d.date_taken > DATE '2022-06-01'
+"""
+
+STAGES = [
+    ("no optimization", OptimizerConfig(
+        enable_rules=False, enable_prune=False, enable_join_order=False,
+        enable_dip=False, enable_physical=False)),
+    ("+ rewrite rules", OptimizerConfig(
+        enable_rules=True, enable_prune=False, enable_join_order=False,
+        enable_dip=False, enable_physical=False)),
+    ("+ column pruning", OptimizerConfig(
+        enable_rules=True, enable_prune=True, enable_join_order=False,
+        enable_dip=False, enable_physical=False)),
+    ("+ join ordering", OptimizerConfig(
+        enable_rules=True, enable_prune=True, enable_join_order=True,
+        enable_dip=False, enable_physical=False)),
+    ("+ data-induced predicates", OptimizerConfig(
+        enable_rules=True, enable_prune=True, enable_join_order=True,
+        enable_dip=True, enable_physical=False)),
+    ("+ physical selection (full)", OptimizerConfig()),
+]
+
+
+def build_engine() -> ContextRichEngine:
+    engine = ContextRichEngine(seed=7)
+    engine.load_retail_workload(RetailWorkload(seed=7, **RETAIL_SIZES))
+    return engine
+
+
+_ENGINE: ContextRichEngine | None = None
+
+
+def get_engine() -> ContextRichEngine:
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = build_engine()
+    return _ENGINE
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return get_engine()
+
+
+def run_stage(engine: ContextRichEngine | None, config: OptimizerConfig):
+    # a fresh engine per stage: session embedding caches must be equally
+    # cold across stages for the comparison to be fair
+    engine = build_engine() if engine is None else engine
+    plan = engine.sql_plan(QUERY)
+    optimizer = Optimizer(engine.catalog, engine.models, config=config,
+                          execution_context=engine.context)
+    optimized = optimizer.optimize(plan)
+    with stopwatch() as clock:
+        result = engine.execute(optimized, optimize=False)
+    return {
+        "seconds": clock.seconds,
+        "rows": result.num_rows,
+        "estimated_cost": optimizer.last_report.estimated_cost,
+        "rules": sum(optimizer.last_report.rules_applied.values()),
+        "dip": optimizer.last_report.dip_applied,
+    }
+
+
+@pytest.mark.benchmark(group="optimizer-ablation")
+@pytest.mark.parametrize("stage_name,config", STAGES,
+                         ids=[name for name, _ in STAGES])
+def test_stage_latency(benchmark, engine, stage_name, config):
+    plan = engine.sql_plan(QUERY)
+    optimizer = Optimizer(engine.catalog, engine.models, config=config,
+                          execution_context=engine.context)
+    optimized = optimizer.optimize(plan)
+    result = benchmark.pedantic(
+        engine.execute, args=(optimized,), kwargs={"optimize": False},
+        rounds=2, iterations=1, warmup_rounds=1)
+    assert result.num_rows >= 0
+
+
+def test_ablation_shape(capsys):
+    results = {name: run_stage(None, config) for name, config in STAGES}
+    with capsys.disabled():
+        print_table(results)
+    rows = {metrics["rows"] for metrics in results.values()}
+    assert len(rows) == 1, "every stage must return identical results"
+    baseline = results["no optimization"]["seconds"]
+    full = results["+ physical selection (full)"]["seconds"]
+    assert full < baseline
+    rules_only = results["+ rewrite rules"]["seconds"]
+    assert rules_only < baseline  # pushdowns carry a real win on their own
+
+
+def print_table(results: dict) -> None:
+    table = ResultTable(
+        "Optimizer stage ablation — Figure-2 query "
+        f"({RETAIL_SIZES['n_products']} products)",
+        ["stages enabled", "exec time [s]", "est. cost", "rules fired",
+         "DIP", "rows"])
+    baseline = results["no optimization"]["seconds"]
+    for name, metrics in results.items():
+        table.add(name, metrics["seconds"], metrics["estimated_cost"],
+                  metrics["rules"], metrics["dip"], metrics["rows"])
+    table.show()
+    full = results["+ physical selection (full)"]["seconds"]
+    print(f"end-to-end optimizer win: {baseline / full:.1f}x")
+
+
+def main() -> None:
+    results = {name: run_stage(None, config) for name, config in STAGES}
+    print_table(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Ablation — low-precision (int8) similarity (§VI half-precision point).
+
+Quantifies the trade the paper asks engines to consider: int8 embedding
+matrices are 4x smaller (cheaper to ship to accelerators — see the
+transfer planner) at a bounded similarity error.  Reports memory, join
+agreement vs exact float32, and kernel runtimes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import SCALE, ResultTable, stopwatch
+
+import numpy as np
+import pytest
+
+from repro.embeddings.pretrained import build_pretrained_model
+from repro.semantic.cache import EmbeddingCache
+from repro.semantic.join import join_blocked, join_quantized_reranked
+from repro.vector.quantization import quantize_rows, quantized_similarity
+from repro.workloads.wiki_strings import WikiStringWorkload
+
+THRESHOLD = 0.9
+N = {"small": 2_000, "medium": 8_000, "paper": 20_000}.get(SCALE, 2_000)
+
+
+class QuantSetup:
+    def __init__(self):
+        model = build_pretrained_model(seed=7)
+        cache = EmbeddingCache(model)
+        workload = WikiStringWorkload(n=N, seed=37, concept_fraction=0.6)
+        left, right = workload.pair()
+        self.left = cache.matrix(list(left.column("text")))
+        self.right = cache.matrix(list(right.column("text")))
+
+
+_SETUP: QuantSetup | None = None
+
+
+def get_setup() -> QuantSetup:
+    global _SETUP
+    if _SETUP is None:
+        _SETUP = QuantSetup()
+    return _SETUP
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return get_setup()
+
+
+@pytest.mark.benchmark(group="quantization")
+def test_float32_join(benchmark, setup):
+    result = benchmark.pedantic(join_blocked, args=(setup.left, setup.right,
+                                                    THRESHOLD),
+                                rounds=3, iterations=1)
+    assert result[0].shape == result[1].shape
+
+
+@pytest.mark.benchmark(group="quantization")
+def test_int8_join(benchmark, setup):
+    result = benchmark.pedantic(join_quantized_reranked,
+                                args=(setup.left, setup.right, THRESHOLD),
+                                rounds=3, iterations=1)
+    assert result[0].shape == result[1].shape
+
+
+def test_quantization_shape(setup, capsys):
+    exact = join_blocked(setup.left, setup.right, THRESHOLD)
+    exact_pairs = set(zip(exact[0].tolist(), exact[1].tolist()))
+    quantized = join_quantized_reranked(setup.left, setup.right, THRESHOLD)
+    quantized_pairs = set(zip(quantized[0].tolist(),
+                              quantized[1].tolist()))
+
+    ql = quantize_rows(setup.left, assume_normalized=True)
+    qr = quantize_rows(setup.right, assume_normalized=True)
+    error = np.abs(quantized_similarity(ql, qr)
+                   - setup.left @ setup.right.T).max()
+
+    with stopwatch() as float_clock:
+        join_blocked(setup.left, setup.right, THRESHOLD)
+    with stopwatch() as int_clock:
+        join_quantized_reranked(setup.left, setup.right, THRESHOLD)
+
+    table = ResultTable(
+        f"int8 quantization ({N}x{N} similarity join, threshold "
+        f"{THRESHOLD})",
+        ["variant", "matrix bytes", "join pairs", "time [s]",
+         "max sim error"])
+    table.add("float32 exact", setup.left.nbytes + setup.right.nbytes,
+              len(exact_pairs), float_clock.seconds, 0.0)
+    table.add("int8 + re-rank", ql.nbytes + qr.nbytes,
+              len(quantized_pairs), int_clock.seconds, float(error))
+    with capsys.disabled():
+        table.show()
+
+    # exactness preserved by the re-rank (guard band covers the error)
+    assert quantized_pairs == exact_pairs
+    # 4x memory saving
+    assert (ql.nbytes + qr.nbytes) < \
+        (setup.left.nbytes + setup.right.nbytes) / 3.5
+    # quantization error stays within the guard band
+    assert error < 0.02
+
+
+def main() -> None:
+    from contextlib import nullcontext
+
+    class _Cap:
+        def disabled(self):
+            return nullcontext()
+
+    test_quantization_shape(get_setup(), _Cap())
+
+
+if __name__ == "__main__":
+    main()

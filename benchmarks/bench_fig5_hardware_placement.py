@@ -1,0 +1,224 @@
+"""Figure 5 — optimizing for heterogeneous hardware.
+
+The figure sketches CPUs, GPUs, a TPU, NVMe, and InfiniBand and asks "how
+to provision these resources correctly".  This benchmark answers with the
+placement optimizer + execution simulator (analytical device models,
+DESIGN.md §2) on an **inference-heavy** context-rich query: semantic
+matching over free-text customer reviews (every row distinct, so no
+dedup relief) with an encoder-class model — the §VI scenario where
+"complex models can have many millions of parameters" and shipping model
+state / choosing devices actually matters.  The paper's own reference
+points: BERT-class encoders (ref [22]) and TPU inference (ref [25]).
+
+Two sweeps:
+
+1. topology x placement policy -> simulated makespan (the headline),
+2. model-cost sensitivity: from fastText-class to encoder-class
+   per-token cost, showing the crossover where accelerators start paying
+   for their startup + model-shipping overhead.
+
+Expected shape: the cost-based hybrid is never worse than any static
+policy; accelerators win only past the model-cost crossover; all-on-
+accelerator loses to hybrid (relational work is bad on TPU-like devices).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import SCALE, ResultTable
+
+import pytest
+
+from repro.embeddings.registry import default_registry
+from repro.hardware.placement import PlacementOptimizer
+from repro.hardware.simulator import ExecutionSimulator
+from repro.hardware.topology import standard_topologies
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel, CostParams
+from repro.relational.expressions import AggExpr, AggFunc, col
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    ScanNode,
+    SemanticJoinNode,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.workloads.wiki_strings import WikiStringWorkload
+
+REVIEWS_N = {"small": 20_000, "medium": 50_000,
+             "paper": 200_000}.get(SCALE, 20_000)
+
+#: Encoder-class per-token inference cost (fastText-class is 200; a
+#: transformer encoder is ~2-4 orders of magnitude heavier per token).
+ENCODER_TOKEN_COST = 20_000.0
+
+
+class Fig5Setup:
+    def __init__(self):
+        reviews = WikiStringWorkload(
+            n=REVIEWS_N, seed=29, unique_texts=True,
+            concept_fraction=0.4).side("left")
+        labels = Table.from_dict({
+            "label": ["shoes", "jacket", "trousers", "dress", "shirt",
+                      "dog", "cat", "car", "fruit", "sofa"],
+            "category": ["clothes"] * 5 + ["animal"] * 2 + ["vehicle",
+                                                            "food",
+                                                            "furniture"],
+        })
+        self.catalog = Catalog()
+        self.catalog.register("reviews", reviews)
+        self.catalog.register("labels", labels)
+        self.plan = self._build_plan()
+        estimator = CardinalityEstimator(self.catalog, default_registry())
+        self.cost_model = CostModel(
+            estimator, CostParams(embed_token=ENCODER_TOKEN_COST))
+        self.topologies = standard_topologies()
+
+    def _build_plan(self):
+        reviews = ScanNode("reviews", self.catalog.get("reviews").schema,
+                           qualifier="r")
+        labels = ScanNode("labels", self.catalog.get("labels").schema,
+                          qualifier="l")
+        filtered = FilterNode(reviews, col("r.views") >= 500_000)
+        join = SemanticJoinNode(filtered, labels, "r.text", "l.label",
+                                "wiki-ft-100", 0.7)
+        return AggregateNode(join, ["l.category"],
+                             [AggExpr(AggFunc.COUNT, None, "mentions")])
+
+
+_SETUP: Fig5Setup | None = None
+
+
+def get_setup() -> Fig5Setup:
+    global _SETUP
+    if _SETUP is None:
+        _SETUP = Fig5Setup()
+    return _SETUP
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return get_setup()
+
+
+def simulate_policies(setup: Fig5Setup,
+                      cost_model: CostModel | None = None
+                      ) -> dict[tuple[str, str], float]:
+    """(topology, policy) -> simulated makespan seconds."""
+    cost_model = cost_model or setup.cost_model
+    results: dict[tuple[str, str], float] = {}
+    for topo_name, topology in setup.topologies.items():
+        optimizer = PlacementOptimizer(topology, cost_model)
+        simulator = ExecutionSimulator(topology, cost_model)
+        policies = {"all-cpu": optimizer.place_all_on(setup.plan, "cpu0")}
+        accelerators = [d.name for d in topology.compute_devices
+                        if d.kind.value in ("gpu", "tpu")]
+        for accelerator in accelerators:
+            policies[f"all-{accelerator}"] = optimizer.place_all_on(
+                setup.plan, accelerator)
+            policies[f"model-ops-on-{accelerator}"] = \
+                optimizer.place_model_ops_on(setup.plan, accelerator)
+        policies["cost-based hybrid"] = optimizer.place(setup.plan)
+        for policy_name, placement in policies.items():
+            result = simulator.simulate(setup.plan, placement)
+            results[(topo_name, policy_name)] = result.makespan
+    return results
+
+
+def sensitivity_sweep(setup: Fig5Setup) -> list[tuple[float, float, float]]:
+    """(embed_token_cost, cpu-only, best-hybrid) across model weights."""
+    rows = []
+    for token_cost in (200.0, 2_000.0, 20_000.0, 200_000.0):
+        cost_model = CostModel(setup.cost_model.estimator,
+                               CostParams(embed_token=token_cost))
+        topology = setup.topologies["cpu+2gpu+tpu"]
+        optimizer = PlacementOptimizer(topology, cost_model)
+        simulator = ExecutionSimulator(topology, cost_model)
+        cpu_only = simulator.simulate(
+            setup.plan, optimizer.place_all_on(setup.plan, "cpu0")).makespan
+        hybrid = simulator.simulate(
+            setup.plan, optimizer.place(setup.plan)).makespan
+        rows.append((token_cost, cpu_only, hybrid))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_placement_optimizer_latency(benchmark, setup):
+    topology = setup.topologies["cpu+2gpu+tpu"]
+    optimizer = PlacementOptimizer(topology, setup.cost_model)
+    placement = benchmark(optimizer.place, setup.plan)
+    assert placement.assignment
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_simulator_latency(benchmark, setup):
+    topology = setup.topologies["cpu+2gpu+tpu"]
+    optimizer = PlacementOptimizer(topology, setup.cost_model)
+    simulator = ExecutionSimulator(topology, setup.cost_model)
+    placement = optimizer.place(setup.plan)
+    result = benchmark(simulator.simulate, setup.plan, placement)
+    assert result.makespan > 0
+
+
+def test_fig5_shape_holds(setup, capsys):
+    results = simulate_policies(setup)
+    sweep = sensitivity_sweep(setup)
+    with capsys.disabled():
+        print_figure(results, setup)
+        print_sweep(sweep)
+    # hybrid never loses to a static policy on the same topology
+    for topo_name in setup.topologies:
+        hybrid = results[(topo_name, "cost-based hybrid")]
+        for (topo, policy), makespan in results.items():
+            if topo == topo_name:
+                assert hybrid <= makespan * 1.001, (topo, policy)
+    # accelerators pay off for the encoder-class model
+    assert results[("cpu+2gpu+tpu", "cost-based hybrid")] < \
+        results[("cpu-only", "all-cpu")] * 0.9
+    # but NOT at fastText-class cost (the crossover exists)
+    light_cpu, light_hybrid = sweep[0][1], sweep[0][2]
+    heavy_cpu, heavy_hybrid = sweep[-1][1], sweep[-1][2]
+    assert light_hybrid >= light_cpu * 0.5   # no real win when light
+    assert heavy_hybrid < heavy_cpu * 0.5    # clear win when heavy
+
+
+def print_figure(results: dict, setup: Fig5Setup) -> None:
+    table = ResultTable(
+        f"Figure 5 — simulated makespan, inference-heavy semantic query "
+        f"({REVIEWS_N:,} free-text reviews, encoder-class model)",
+        ["topology", "policy", "simulated makespan [s]", "vs all-cpu"])
+    for topo_name in setup.topologies:
+        base = results[(topo_name, "all-cpu")]
+        for (topo, policy), makespan in results.items():
+            if topo == topo_name:
+                table.add(topo_name, policy, makespan,
+                          f"{base / makespan:.2f}x")
+    table.show()
+
+
+def print_sweep(sweep) -> None:
+    table = ResultTable(
+        "Model-weight sensitivity (topology cpu+2gpu+tpu): accelerator "
+        "crossover",
+        ["per-token model cost", "cpu-only [s]", "cost-based hybrid [s]",
+         "hybrid gain"])
+    for token_cost, cpu_only, hybrid in sweep:
+        table.add(f"{token_cost:,.0f}", cpu_only, hybrid,
+                  f"{cpu_only / hybrid:.2f}x")
+    table.show()
+
+
+def main() -> None:
+    setup = get_setup()
+    print_figure(simulate_policies(setup), setup)
+    print_sweep(sensitivity_sweep(setup))
+
+
+if __name__ == "__main__":
+    main()

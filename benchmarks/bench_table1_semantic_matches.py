@@ -1,0 +1,109 @@
+"""Table I — context-rich text labels that models may output.
+
+Regenerates the paper's table: for each category, the semantic matches the
+representation model produces (top-k cosine over the label vocabulary),
+and measures match quality against the thesaurus ground truth plus the
+latency of the vocabulary-restricted top-k search.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import ResultTable
+
+import pytest
+
+from repro.embeddings.pretrained import build_pretrained_model
+from repro.embeddings.thesaurus import TABLE_I, default_thesaurus
+
+K = 4
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_pretrained_model(seed=7)
+
+
+@pytest.fixture(scope="module")
+def thesaurus():
+    return default_thesaurus()
+
+
+def generate_table(model, thesaurus) -> dict[str, list[str]]:
+    """category -> top-K semantic matches over all thesaurus forms."""
+    candidates = thesaurus.all_forms()
+    return {
+        category: [w for w, _ in model.most_similar(category, k=K,
+                                                    candidates=candidates)]
+        for category in TABLE_I
+    }
+
+
+def match_quality(matches: dict[str, list[str]], thesaurus):
+    """Precision of matches against synonym/hyponym ground truth."""
+    correct = 0
+    total = 0
+    for category, words in matches.items():
+        allowed = thesaurus.synonyms_of(category)
+        concept = thesaurus.concept_of(category)
+        if concept is not None and concept.is_hypernym:
+            allowed |= thesaurus.hyponym_forms(concept.name)
+        else:
+            parent = thesaurus.parent_of(concept.name) if concept else None
+            if parent is not None:
+                allowed |= {f for f in parent.forms}
+        total += len(words)
+        correct += sum(1 for w in words if w in allowed)
+    return correct / total if total else 0.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_topk_latency(benchmark, model, thesaurus):
+    candidates = thesaurus.all_forms()
+    result = benchmark(model.most_similar, "clothes", K, candidates)
+    assert len(result) == K
+
+
+def test_table1_regenerated(model, thesaurus, capsys):
+    matches = generate_table(model, thesaurus)
+    precision = match_quality(matches, thesaurus)
+    with capsys.disabled():
+        print_table(matches, precision)
+    # every leaf category must recover >= 3 of the paper's 4 matches
+    for category in ("dog", "cat", "shoes", "jacket"):
+        overlap = set(matches[category]) & set(TABLE_I[category])
+        assert len(overlap) >= 3, (category, matches[category])
+    # hypernym categories must return hyponym forms
+    for category in ("animal", "clothes"):
+        hyponyms = thesaurus.hyponym_forms(category)
+        own = thesaurus.synonyms_of(category)
+        assert set(matches[category]) <= hyponyms | own
+    assert precision >= 0.9
+
+
+def print_table(matches: dict[str, list[str]], precision: float) -> None:
+    table = ResultTable(
+        "Table I — semantic matches per category (top-4, synthetic "
+        "pretrained model)",
+        ["category", "semantic matches (model output)", "paper's examples"])
+    for category, words in matches.items():
+        table.add(category, ", ".join(words),
+                  ", ".join(TABLE_I[category]))
+    table.show()
+    print(f"ground-truth precision of all matches: {precision:.3f}")
+
+
+def main() -> None:
+    model = build_pretrained_model(seed=7)
+    thesaurus = default_thesaurus()
+    matches = generate_table(model, thesaurus)
+    print_table(matches, match_quality(matches, thesaurus))
+
+
+if __name__ == "__main__":
+    main()

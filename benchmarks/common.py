@@ -1,0 +1,116 @@
+"""Shared benchmark configuration and reporting helpers.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+- ``small`` (default): sizes that keep the whole suite in a couple of
+  minutes, including the deliberately brutal naive rungs,
+- ``paper``: the paper's sizes (2 x 10k strings for Figure 4).  The naive
+  no-pushdown rung at paper scale is O(10^8) interpreted-Python pair
+  comparisons; expect the same "thousands of seconds" bar the paper shows.
+
+Every benchmark prints the table/series it regenerates, so ``pytest
+benchmarks/ --benchmark-only -s`` (or running a file directly) reproduces
+the paper's numbers-shaped output.
+"""
+
+from __future__ import annotations
+
+import os
+
+# BLAS threading must be pinned before NumPy initializes (see conftest).
+for _var in ("OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS", "OMP_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: Figure 4 array sizes per scale (per side).
+FIG4_N = {"small": 600, "medium": 2_000, "paper": 10_000}[SCALE] \
+    if SCALE in ("small", "medium", "paper") else int(SCALE)
+
+#: Retail workload sizing for Figure 2 / Figure 5.
+RETAIL_SIZES = {
+    "small": dict(n_products=300, n_users=100, n_transactions=1_000,
+                  n_images=150),
+    "medium": dict(n_products=1_000, n_users=300, n_transactions=5_000,
+                   n_images=500),
+    "paper": dict(n_products=5_000, n_users=1_000, n_transactions=20_000,
+                  n_images=2_000),
+}.get(SCALE, dict(n_products=300, n_users=100, n_transactions=1_000,
+                  n_images=150))
+
+#: Figure 3 dirty-label counts.
+FIG3_N = {"small": 400, "medium": 1_500, "paper": 5_000}.get(SCALE, 400)
+
+
+@dataclass
+class ResultTable:
+    """Collects and pretty-prints benchmark rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        formatted_rows = []
+        for row in self.rows:
+            formatted = [_format(value) for value in row]
+            widths = [max(w, len(f)) for w, f in zip(widths, formatted)]
+            formatted_rows.append(formatted)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        ruler = "-" * len(header)
+        lines = [self.title, ruler, header, ruler]
+        for formatted in formatted_rows:
+            lines.append("  ".join(f.ljust(w)
+                                   for f, w in zip(formatted, widths)))
+        lines.append(ruler)
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+@contextmanager
+def stopwatch():
+    """Context manager measuring elapsed wall time (``.seconds``)."""
+
+    class _Clock:
+        seconds = 0.0
+
+    clock = _Clock()
+    start = time.perf_counter()
+    try:
+        yield clock
+    finally:
+        clock.seconds = time.perf_counter() - start
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run a function exactly once under pytest-benchmark.
+
+    Used for the deliberately slow rungs where statistical repetition
+    would multiply minutes into hours.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Pins BLAS to one thread (must happen before NumPy loads): the Figure-4
+ladder separates "SIMD" (vectorized single-core kernel) from "scale-up"
+(explicit block parallelism), which a silently multi-threaded BLAS would
+conflate.
+"""
+
+import os
+
+for _var in ("OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS", "OMP_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")

@@ -1,0 +1,76 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Usage:
+    python benchmarks/run_all.py [--scale small|medium|paper]
+
+Prints, in order: Table I, Figure 4 (two-series ladder), Figure 2
+(motivating query), Figure 3 (consolidation), Figure 5 (hardware
+placement), and the ablations (optimizer stages, index access paths,
+quantization, JIT).  See EXPERIMENTS.md for the shape claims each section
+verifies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=None,
+                        choices=["small", "medium", "paper"],
+                        help="workload scale (default: REPRO_BENCH_SCALE "
+                             "or 'small')")
+    arguments = parser.parse_args()
+    if arguments.scale:
+        os.environ["REPRO_BENCH_SCALE"] = arguments.scale
+
+    # scale must be set before the bench modules read it at import time
+    from benchmarks import (
+        bench_ablation_index_access,
+        bench_ablation_jit,
+        bench_ablation_optimizer,
+        bench_ablation_quantization,
+        bench_fig2_motivating_query,
+        bench_fig3_consolidation,
+        bench_fig4_optimization_ladder,
+        bench_fig5_hardware_placement,
+        bench_table1_semantic_matches,
+    )
+
+    sections = [
+        ("Table I — semantic matches", bench_table1_semantic_matches),
+        ("Figure 4 — optimization ladder",
+         bench_fig4_optimization_ladder),
+        ("Figure 2 — motivating query", bench_fig2_motivating_query),
+        ("Figure 3 — consolidation", bench_fig3_consolidation),
+        ("Figure 5 — hardware placement",
+         bench_fig5_hardware_placement),
+        ("Ablation — optimizer stages", bench_ablation_optimizer),
+        ("Ablation — index access paths", bench_ablation_index_access),
+        ("Ablation — int8 quantization", bench_ablation_quantization),
+        ("Ablation — JIT specialization", bench_ablation_jit),
+    ]
+    total_start = time.perf_counter()
+    for title, module in sections:
+        banner = f"  {title}  "
+        print()
+        print("=" * len(banner))
+        print(banner)
+        print("=" * len(banner))
+        started = time.perf_counter()
+        module.main()
+        print(f"[section took {time.perf_counter() - started:.1f}s]")
+    print(f"\nall experiments regenerated in "
+          f"{time.perf_counter() - total_start:.1f}s "
+          f"(scale={os.environ.get('REPRO_BENCH_SCALE', 'small')})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Semantic GroupBy over system logs: on-the-fly event clustering.
+
+The same incident surfaces under many phrasings ("connection timed out",
+"timeout waiting for connection", ...).  Semantic GroupBy clusters them
+without a rule base — and the example shows the paper's model-
+specialization point: the general model approximates the grouping, the
+log-domain model (``log-model``) recovers it exactly.
+
+Run:  python examples/log_clustering.py
+"""
+
+from repro.core import ContextRichEngine
+
+
+def main() -> None:
+    engine = ContextRichEngine(seed=7)
+    engine.load_log_workload()  # registers 'logs' and the 'log-model'
+
+    print("raw log sample:")
+    sample = engine.sql("SELECT ts, level, message FROM logs LIMIT 5")
+    for row in sample.to_rows():
+        print(f"  {row['ts']}  {row['level']:5s}  {row['message']}")
+
+    # --- incident summary with the domain-specialized model -------------
+    print("\nincident summary (log-model, threshold 0.9):")
+    summary = engine.sql("""
+        SELECT cluster_rep, COUNT(*) AS occurrences
+        FROM logs
+        SEMANTIC GROUP BY message USING MODEL 'log-model' THRESHOLD 0.9
+        ORDER BY occurrences DESC
+    """)
+    for row in summary.to_rows():
+        print(f"  {row['occurrences']:4d}x  {row['cluster_rep']}")
+
+    # --- errors only, grouped, via the builder ---------------------------
+    from repro.relational.expressions import col
+
+    errors = (engine.table("logs")
+              .filter(col("level") == "ERROR")
+              .semantic_group_by("message", threshold=0.9,
+                                 model="log-model")
+              .aggregate(["cluster_rep"], n=("count", "*"))
+              .sort("-n")
+              .execute())
+    print(f"\nERROR-level incidents ({errors.num_rows} kinds):")
+    for row in errors.to_rows():
+        print(f"  {row['n']:4d}x  {row['cluster_rep']}")
+
+    # --- compare with the general-purpose model --------------------------
+    general = engine.sql("""
+        SELECT cluster_rep, COUNT(*) AS n FROM logs
+        SEMANTIC GROUP BY message THRESHOLD 0.55
+    """)
+    print(f"\ngeneral model finds {general.num_rows} clusters "
+          "(approximate); the specialized model finds exactly 4 — "
+          "the paper's model-specialization point (§III).")
+
+
+if __name__ == "__main__":
+    main()

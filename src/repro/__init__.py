@@ -1,0 +1,12 @@
+"""repro — a context-rich analytical engine.
+
+Reproduction of *Analytical Engines With Context-Rich Processing: Towards
+Efficient Next-Generation Analytics* (Sanca & Ailamaki, ICDE 2023).
+
+The top-level convenience import is :class:`repro.core.ContextRichEngine`;
+subsystems live in dedicated subpackages (see DESIGN.md for the map).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

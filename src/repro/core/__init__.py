@@ -1,0 +1,5 @@
+"""The paper's primary contribution, assembled: a context-rich engine."""
+
+from repro.core.engine import ContextRichEngine
+
+__all__ = ["ContextRichEngine"]

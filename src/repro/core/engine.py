@@ -1,0 +1,61 @@
+"""ContextRichEngine: the top-level public API.
+
+A :class:`~repro.engine.session.Session` plus convenience constructors for
+the paper's workloads, so the quickstart is three lines::
+
+    from repro.core import ContextRichEngine
+
+    engine = ContextRichEngine()
+    engine.load_retail_workload()
+    engine.sql("SELECT ... SEMANTIC JOIN ...")
+"""
+
+from __future__ import annotations
+
+from repro.engine.session import Session
+from repro.optimizer.optimizer import OptimizerConfig
+from repro.polystore.image_store import ObjectDetectionModel
+from repro.workloads.logs import LogWorkload
+from repro.workloads.retail import RetailWorkload
+
+
+class ContextRichEngine(Session):
+    """The next-generation analytical engine of the paper, in one object.
+
+    Everything a :class:`Session` does — table/source/model registration,
+    SQL with semantic operators, the builder API, holistic optimization,
+    profiling — plus workload loaders used by the examples and benchmarks.
+    """
+
+    def __init__(self, seed: int = 7,
+                 optimizer_config: OptimizerConfig | None = None,
+                 **session_kwargs):
+        super().__init__(seed=seed, optimizer_config=optimizer_config,
+                         **session_kwargs)
+        self.seed = seed
+
+    def load_retail_workload(self, workload: RetailWorkload | None = None,
+                             detection_model: ObjectDetectionModel | None = None,
+                             ) -> RetailWorkload:
+        """Register the Figure-2 retail ecosystem (RDBMS + KB + images)."""
+        workload = workload or RetailWorkload(seed=self.seed)
+        workload.register_into(self.catalog,
+                               detection_model=detection_model)
+        return workload
+
+    def load_log_workload(self, workload: LogWorkload | None = None,
+                          table_name: str = "logs",
+                          register_model: bool = True) -> LogWorkload:
+        """Register the log-analysis workload.
+
+        Also registers ``log-model``, a representation model specialized
+        for the log-event domain (paper §III: adapt large-scale models to
+        specific tasks).
+        """
+        workload = workload or LogWorkload(seed=self.seed)
+        self.catalog.register(table_name, workload.generate(), replace=True)
+        if register_model and "log-model" not in self.models:
+            from repro.workloads.logs import build_log_model
+
+            self.models.register(build_log_model(seed=self.seed))
+        return workload

@@ -1,0 +1,40 @@
+"""Representation models for context-rich processing (paper §III).
+
+The paper assumes a fastText-like representation model: every string maps to
+a point in a latent vector space where cosine similarity captures *context*
+similarity — synonyms, hypernyms, alternative spellings, and misspellings.
+
+This package provides that substrate, built from scratch:
+
+- :class:`~repro.embeddings.model.EmbeddingModel` — word vectors plus hashed
+  character n-gram (subword) vectors, fastText-style, so out-of-vocabulary
+  misspellings land near their intended word.
+- :func:`~repro.embeddings.pretrained.build_pretrained_model` — a
+  deterministic synthetic substitute for "fastText trained on Wikipedia"
+  (documented in DESIGN.md), anchored on a concept
+  :class:`~repro.embeddings.thesaurus.Thesaurus`.
+- :class:`~repro.embeddings.trainer.SkipGramTrainer` — a real skip-gram
+  negative-sampling trainer (pure NumPy) demonstrating the full training
+  path on generated corpora.
+- :class:`~repro.embeddings.registry.ModelRegistry` — named models, so
+  queries can say ``USING MODEL 'wiki-ft-100'``.
+"""
+
+from repro.embeddings.model import EmbeddingModel
+from repro.embeddings.pretrained import build_pretrained_model
+from repro.embeddings.registry import ModelRegistry
+from repro.embeddings.thesaurus import Concept, Thesaurus, default_thesaurus
+from repro.embeddings.trainer import SkipGramTrainer, TrainConfig
+from repro.embeddings.corpus import CorpusGenerator
+
+__all__ = [
+    "EmbeddingModel",
+    "build_pretrained_model",
+    "ModelRegistry",
+    "Concept",
+    "Thesaurus",
+    "default_thesaurus",
+    "SkipGramTrainer",
+    "TrainConfig",
+    "CorpusGenerator",
+]

@@ -1,0 +1,236 @@
+"""The embedding model: word vectors + hashed subword vectors (fastText-like).
+
+A model is immutable once built.  It exposes a tiny, engine-facing API:
+``embed`` / ``embed_batch`` map strings into the latent space, and
+``most_similar`` answers vocabulary-restricted nearest-neighbour queries
+(used to regenerate the paper's Table I).
+
+The model also counts how many tokens it embedded (``tokens_embedded``),
+which the optimizer's cost model and the Figure-4 prefetch experiment use
+to attribute model-inference work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.embeddings.subword import (
+    DEFAULT_BUCKETS,
+    DEFAULT_MAX_N,
+    DEFAULT_MIN_N,
+    fnv1a,
+    subword_ids,
+)
+from repro.utils.rng import make_rng
+from repro.utils.text import normalize_token
+
+
+def fit_bucket_vectors(
+    vocab: dict[str, int],
+    word_vectors: np.ndarray,
+    buckets: int,
+    min_n: int = DEFAULT_MIN_N,
+    max_n: int = DEFAULT_MAX_N,
+) -> np.ndarray:
+    """Derive subword bucket vectors from finished word vectors.
+
+    Each bucket receives the mean of the vectors of every vocabulary word
+    containing an n-gram hashing into it.  A word's mean-of-grams then
+    reconstructs (approximately) its own vector, and an out-of-vocabulary
+    misspelling — sharing most n-grams with the intended word — lands close
+    to it.  This mirrors how fastText's trained subword vectors behave
+    without requiring subword-level training.
+    """
+    dim = word_vectors.shape[1]
+    sums = np.zeros((buckets, dim), dtype=np.float64)
+    counts = np.zeros(buckets, dtype=np.int64)
+    for word, index in vocab.items():
+        ids = subword_ids(word, buckets, min_n, max_n)
+        if ids.size == 0:
+            continue
+        np.add.at(sums, ids, word_vectors[index])
+        np.add.at(counts, ids, 1)
+    nonzero = counts > 0
+    sums[nonzero] /= counts[nonzero, None]
+    return sums.astype(np.float32)
+
+
+@dataclass
+class EmbeddingModel:
+    """fastText-style embedding model.
+
+    Parameters
+    ----------
+    name:
+        Registry name (referenced by queries as ``USING MODEL name``).
+    vocab:
+        word -> row index into ``word_vectors``.  Multi-word phrases are
+        legal vocabulary entries (``"golden retriever"``).
+    word_vectors:
+        ``(V, dim)`` float32 matrix.
+    bucket_vectors:
+        ``(buckets, dim)`` float32 matrix of hashed subword vectors.
+    subword_weight:
+        Mixing weight of the subword mean for *in-vocabulary* words
+        (out-of-vocabulary words always use subwords alone).
+    """
+
+    name: str
+    vocab: dict[str, int]
+    word_vectors: np.ndarray
+    bucket_vectors: np.ndarray
+    min_n: int = DEFAULT_MIN_N
+    max_n: int = DEFAULT_MAX_N
+    subword_weight: float = 0.3
+    tokens_embedded: int = field(default=0, repr=False)
+    _vocab_matrix: np.ndarray | None = field(default=None, repr=False)
+    _vocab_words: list[str] | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.word_vectors.ndim != 2:
+            raise ModelError("word_vectors must be a (V, dim) matrix")
+        if len(self.vocab) != self.word_vectors.shape[0]:
+            raise ModelError(
+                f"vocab size {len(self.vocab)} != word_vectors rows "
+                f"{self.word_vectors.shape[0]}"
+            )
+        if self.bucket_vectors.shape[1] != self.dim:
+            raise ModelError("bucket_vectors dim mismatch")
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the latent space."""
+        return int(self.word_vectors.shape[1])
+
+    @property
+    def buckets(self) -> int:
+        return int(self.bucket_vectors.shape[0])
+
+    def __contains__(self, word: str) -> bool:
+        return normalize_token(word) in self.vocab
+
+    def __len__(self) -> int:
+        return len(self.vocab)
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one string into a unit vector of shape ``(dim,)``."""
+        self.tokens_embedded += 1
+        vector = self._raw_vector(normalize_token(text))
+        return _unit(vector)
+
+    def embed_batch(self, texts) -> np.ndarray:
+        """Embed a sequence of strings into a ``(n, dim)`` float32 matrix.
+
+        Duplicate strings are embedded once (the batch API is the model's
+        "prefetch-friendly" entry point; per-pair ``embed`` calls are the
+        slow path the paper's Figure 4 starts from).
+        """
+        unique: dict[str, np.ndarray] = {}
+        rows = np.empty((len(texts), self.dim), dtype=np.float32)
+        for position, text in enumerate(texts):
+            token = normalize_token(text)
+            vector = unique.get(token)
+            if vector is None:
+                vector = _unit(self._raw_vector(token))
+                unique[token] = vector
+            rows[position] = vector
+        self.tokens_embedded += len(unique)
+        return rows
+
+    def similarity(self, text_a: str, text_b: str) -> float:
+        """Cosine similarity of two strings in latent space."""
+        return float(np.dot(self.embed(text_a), self.embed(text_b)))
+
+    # ------------------------------------------------------------------
+    # Vocabulary-restricted nearest neighbours (Table I)
+    # ------------------------------------------------------------------
+    def most_similar(
+        self,
+        query: str,
+        k: int = 10,
+        candidates: list[str] | None = None,
+        exclude_self: bool = True,
+    ) -> list[tuple[str, float]]:
+        """Top-``k`` most cosine-similar words.
+
+        Searches the model vocabulary, or ``candidates`` when given.
+        ``exclude_self`` drops an exact (normalized) match of the query
+        string itself, as is conventional for word-similarity listings.
+        """
+        query_token = normalize_token(query)
+        query_vector = self.embed(query_token)
+        if candidates is None:
+            words = self._vocabulary_words()
+            matrix = self._vocabulary_matrix()
+        else:
+            words = [normalize_token(c) for c in candidates]
+            matrix = self.embed_batch(words)
+        scores = matrix @ query_vector
+        order = np.argsort(-scores)
+        results: list[tuple[str, float]] = []
+        for index in order:
+            word = words[int(index)]
+            if exclude_self and word == query_token:
+                continue
+            results.append((word, float(scores[int(index)])))
+            if len(results) == k:
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _raw_vector(self, token: str) -> np.ndarray:
+        index = self.vocab.get(token)
+        if index is not None:
+            vector = self.word_vectors[index].astype(np.float32)
+            if self.subword_weight > 0.0:
+                ids = subword_ids(token, self.buckets, self.min_n, self.max_n)
+                if ids.size:
+                    subword_mean = self.bucket_vectors[ids].mean(axis=0)
+                    vector = ((1.0 - self.subword_weight) * vector
+                              + self.subword_weight * subword_mean)
+            return vector
+        parts = token.split()
+        if len(parts) > 1:
+            return np.mean([self._raw_vector(part) for part in parts], axis=0)
+        ids = subword_ids(token, self.buckets, self.min_n, self.max_n)
+        if ids.size:
+            vector = self.bucket_vectors[ids].mean(axis=0)
+            if float(np.abs(vector).max(initial=0.0)) > 0.0:
+                return vector
+        return self._fallback_vector(token)
+
+    def _fallback_vector(self, token: str) -> np.ndarray:
+        """Deterministic pseudo-random unit vector for fully unknown input."""
+        rng = make_rng(fnv1a(token) % (2**63 - 1))
+        vector = rng.standard_normal(self.dim).astype(np.float32)
+        return vector
+
+    def _vocabulary_words(self) -> list[str]:
+        if self._vocab_words is None:
+            self._vocab_words = [None] * len(self.vocab)  # type: ignore[list-item]
+            for word, index in self.vocab.items():
+                self._vocab_words[index] = word
+        return self._vocab_words
+
+    def _vocabulary_matrix(self) -> np.ndarray:
+        if self._vocab_matrix is None:
+            words = self._vocabulary_words()
+            self._vocab_matrix = self.embed_batch(words)
+        return self._vocab_matrix
+
+
+def _unit(vector: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(vector))
+    if norm == 0.0:
+        result = np.zeros_like(vector, dtype=np.float32)
+        result[0] = 1.0
+        return result
+    return (vector / norm).astype(np.float32)

@@ -1,0 +1,76 @@
+"""Embedding model persistence: save/load to a single ``.npz`` file.
+
+Pretrained models are session-independent artifacts ("obtaining
+high-quality models ... as a commodity resource", §III); persistence lets
+a pipeline build one once and ship it, exactly like distributing fastText
+``.bin`` files.  Vocabulary order, vectors, subword buckets, and every
+hyper-parameter round-trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.embeddings.model import EmbeddingModel
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: EmbeddingModel, path: str | Path) -> Path:
+    """Serialize ``model`` to ``path`` (``.npz``)."""
+    path = Path(path)
+    vocab_words = [None] * len(model.vocab)
+    for word, index in model.vocab.items():
+        vocab_words[index] = word
+    if any(word is None for word in vocab_words):
+        raise ModelError("model vocabulary has gaps; cannot serialize")
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "name": model.name,
+        "min_n": model.min_n,
+        "max_n": model.max_n,
+        "subword_weight": model.subword_weight,
+    }
+    np.savez_compressed(
+        path,
+        word_vectors=model.word_vectors,
+        bucket_vectors=model.bucket_vectors,
+        vocab=np.asarray(vocab_words, dtype=object),
+        metadata=np.asarray([json.dumps(metadata)], dtype=object),
+    )
+    # np.savez appends .npz when missing; normalize the returned path
+    return path if path.suffix == ".npz" else path.with_name(
+        path.name + ".npz")
+
+
+def load_model(path: str | Path) -> EmbeddingModel:
+    """Load a model serialized by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"no model file at {path}")
+    with np.load(path, allow_pickle=True) as archive:
+        try:
+            metadata = json.loads(str(archive["metadata"][0]))
+            vocab_words = archive["vocab"].tolist()
+            word_vectors = archive["word_vectors"]
+            bucket_vectors = archive["bucket_vectors"]
+        except KeyError as exc:
+            raise ModelError(f"{path} is not a repro model file") from exc
+    if metadata.get("format_version") != _FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported model format {metadata.get('format_version')!r}"
+        )
+    vocab = {word: index for index, word in enumerate(vocab_words)}
+    return EmbeddingModel(
+        name=metadata["name"],
+        vocab=vocab,
+        word_vectors=word_vectors.astype(np.float32),
+        bucket_vectors=bucket_vectors.astype(np.float32),
+        min_n=int(metadata["min_n"]),
+        max_n=int(metadata["max_n"]),
+        subword_weight=float(metadata["subword_weight"]),
+    )

@@ -1,0 +1,133 @@
+"""Deterministic synthetic "pretrained" embedding model.
+
+Substitutes for *fastText trained on Wikipedia/Common Crawl* (paper §III-V),
+which we cannot download.  The substitution is documented in DESIGN.md; the
+key property the engine consumes is the *geometry*:
+
+- surface forms of the same concept (synonyms, alternative spellings):
+  cosine ~ ``1 / (1 + form_noise^2)``  (~0.94 at the default 0.25),
+- a leaf form vs its hypernym's forms: cosine ~ ``parent_affinity`` scaled
+  by the same noise factor (~0.75 at the default 0.8),
+- forms of sibling concepts: cosine ~ ``parent_affinity^2`` scaled (~0.60),
+- unrelated concepts: near-orthogonal (high dimension, random anchors).
+
+So a 0.9 cosine threshold isolates synonyms, ~0.7 reaches hypernyms, and
+~0.55 pulls in siblings — a controllable dial for every experiment.
+Misspellings work through the fitted subword buckets
+(:func:`repro.embeddings.model.fit_bucket_vectors`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.model import EmbeddingModel, fit_bucket_vectors
+from repro.embeddings.subword import DEFAULT_BUCKETS, DEFAULT_MAX_N, DEFAULT_MIN_N
+from repro.embeddings.thesaurus import Thesaurus, default_thesaurus
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.text import normalize_token
+
+#: Small list of frequent "filler" words so the model's vocabulary is not
+#: exclusively thesaurus terms (workload strings mix both).
+FILLER_WORDS = (
+    "the of and to in is was for on that by this with from at as it are "
+    "be or an were which have has had not but his her they you we she he "
+    "their its one two new first last year day time people way world life "
+    "work part place case week company system program question government "
+    "number night point home water room mother area money story fact month "
+    "lot right study book eye job word business issue side kind head house "
+    "service friend father power hour game line end member law car city "
+    "community name president team minute idea body information back parent "
+    "face others level office door health person art war history party "
+    "result change morning reason research girl guy moment air teacher force "
+    "education foot boy age policy process music market sense nation plan "
+    "college interest death experience effect use class control care field "
+    "development role effort rate heart drug show leader light voice wife "
+    "whole police mind finally pull return free military price report less "
+    "according decision explain son hope even develop view relationship town "
+    "road arm true federal break better difference thus instead economy"
+).split()
+
+
+def build_pretrained_model(
+    thesaurus: Thesaurus | None = None,
+    dim: int = 100,
+    seed: int = 7,
+    buckets: int = DEFAULT_BUCKETS,
+    parent_affinity: float = 0.8,
+    form_noise: float = 0.25,
+    extra_vocab: list[str] | None = None,
+    name: str = "wiki-ft-100",
+    subword_weight: float = 0.3,
+) -> EmbeddingModel:
+    """Build the synthetic pretrained model.
+
+    Parameters mirror the geometry knobs described in the module docstring.
+    ``extra_vocab`` adds caller-specific words (random unit vectors); the
+    built-in filler list is always included.
+    """
+    thesaurus = thesaurus or default_thesaurus()
+    thesaurus.validate()
+
+    vocab: dict[str, int] = {}
+    vectors: list[np.ndarray] = []
+
+    def add_word(word: str, vector: np.ndarray) -> None:
+        token = normalize_token(word)
+        if token in vocab:
+            return
+        vocab[token] = len(vectors)
+        vectors.append(vector.astype(np.float32))
+
+    # 1. Unit directions per concept, hypernyms first (children mix them in).
+    parent_dirs: dict[str, np.ndarray] = {}
+    for concept in thesaurus.hypernyms:
+        rng = make_rng(derive_seed(seed, "hyper", concept.name))
+        parent_dirs[concept.name] = _unit(rng.standard_normal(dim))
+
+    anchors: dict[str, np.ndarray] = {}
+    for concept in thesaurus:
+        if concept.is_hypernym:
+            anchors[concept.name] = parent_dirs[concept.name]
+            continue
+        rng = make_rng(derive_seed(seed, "leaf", concept.name))
+        own_dir = _unit(rng.standard_normal(dim))
+        parent = thesaurus.parent_of(concept.name)
+        if parent is None:
+            anchors[concept.name] = own_dir
+        else:
+            mix = (parent_affinity * parent_dirs[parent.name]
+                   + np.sqrt(1.0 - parent_affinity**2) * own_dir)
+            anchors[concept.name] = _unit(mix)
+
+    # 2. Surface-form vectors: anchor + bounded per-form noise.
+    for concept in thesaurus:
+        anchor = anchors[concept.name]
+        for form in concept.forms:
+            rng = make_rng(derive_seed(seed, "form", concept.name, form))
+            noise = rng.standard_normal(dim)
+            noise = noise / np.linalg.norm(noise) * form_noise
+            add_word(form, _unit(anchor + noise))
+
+    # 3. Filler and caller-provided vocabulary: independent random units.
+    for word in list(FILLER_WORDS) + list(extra_vocab or ()):
+        rng = make_rng(derive_seed(seed, "filler", normalize_token(word)))
+        add_word(word, _unit(rng.standard_normal(dim)))
+
+    word_vectors = np.vstack(vectors).astype(np.float32)
+    bucket_vectors = fit_bucket_vectors(
+        vocab, word_vectors, buckets, DEFAULT_MIN_N, DEFAULT_MAX_N
+    )
+    return EmbeddingModel(
+        name=name,
+        vocab=vocab,
+        word_vectors=word_vectors,
+        bucket_vectors=bucket_vectors,
+        min_n=DEFAULT_MIN_N,
+        max_n=DEFAULT_MAX_N,
+        subword_weight=subword_weight,
+    )
+
+
+def _unit(vector: np.ndarray) -> np.ndarray:
+    return vector / np.linalg.norm(vector)

@@ -1,0 +1,53 @@
+"""Named model registry: queries reference models as ``USING MODEL 'name'``."""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.embeddings.model import EmbeddingModel
+
+
+class ModelRegistry:
+    """Holds the representation models available to a session."""
+
+    def __init__(self):
+        self._models: dict[str, EmbeddingModel] = {}
+
+    def register(self, model: EmbeddingModel, name: str | None = None,
+                 replace: bool = False) -> str:
+        """Register ``model`` under ``name`` (default: the model's name)."""
+        key = name or model.name
+        if key in self._models and not replace:
+            raise ModelError(f"model {key!r} already registered")
+        self._models[key] = model
+        return key
+
+    def get(self, name: str) -> EmbeddingModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            known = ", ".join(sorted(self._models)) or "<none>"
+            raise ModelError(
+                f"unknown model {name!r}; registered models: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+
+def default_registry(seed: int = 7) -> ModelRegistry:
+    """Registry preloaded with the synthetic pretrained model.
+
+    Imported lazily to avoid a module-level build cost for users who bring
+    their own models.
+    """
+    from repro.embeddings.pretrained import build_pretrained_model
+
+    registry = ModelRegistry()
+    registry.register(build_pretrained_model(seed=seed))
+    return registry

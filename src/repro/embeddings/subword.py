@@ -1,0 +1,66 @@
+"""Hashed character n-gram (subword) machinery, as in fastText.
+
+fastText represents a word as the sum of its word vector and the vectors of
+its character n-grams, each n-gram hashed into a fixed number of buckets.
+The hash must be deterministic across processes, so we use FNV-1a rather
+than Python's randomized ``hash()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.text import ngrams
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: fastText defaults: n-grams of length 3..5.
+DEFAULT_MIN_N = 3
+DEFAULT_MAX_N = 5
+#: Number of hash buckets for subword vectors (prime, to spread collisions).
+DEFAULT_BUCKETS = 20011
+
+
+def fnv1a(text: str) -> int:
+    """64-bit FNV-1a hash of ``text`` (deterministic across runs)."""
+    value = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def subword_ids(
+    word: str,
+    buckets: int = DEFAULT_BUCKETS,
+    min_n: int = DEFAULT_MIN_N,
+    max_n: int = DEFAULT_MAX_N,
+) -> np.ndarray:
+    """Bucket ids of the character n-grams of ``word``.
+
+    Returns an ``int64`` array (possibly empty for very short words).
+    Multi-word phrases hash each word's grams independently, mirroring how
+    fastText treats tokens.
+    """
+    ids: list[int] = []
+    for part in word.split():
+        for gram in ngrams(part, min_n, max_n):
+            ids.append(fnv1a(gram) % buckets)
+    return np.asarray(ids, dtype=np.int64)
+
+
+def shared_gram_fraction(word_a: str, word_b: str, min_n: int = DEFAULT_MIN_N,
+                         max_n: int = DEFAULT_MAX_N) -> float:
+    """Jaccard overlap of the n-gram sets of two words.
+
+    Used by tests to check that misspellings genuinely share most subwords
+    with their source word, which is what makes OOV embedding work.
+    """
+    grams_a = set(ngrams(word_a, min_n, max_n))
+    grams_b = set(ngrams(word_b, min_n, max_n))
+    if not grams_a and not grams_b:
+        return 1.0
+    union = grams_a | grams_b
+    return len(grams_a & grams_b) / len(union)

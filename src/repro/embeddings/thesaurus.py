@@ -1,0 +1,204 @@
+"""Concept thesaurus: the semantic ground truth for the whole reproduction.
+
+The paper's Table I shows categories and the "semantic matches" a
+representation model may output (``dog -> dog, canine, golden retriever,
+puppy``; ``clothes -> boots, parka, windbreaker, coat`` ...).  The thesaurus
+encodes exactly that structure — leaf concepts with synonym surface forms,
+plus hypernym concepts over them — and doubles as:
+
+- the anchor set for the synthetic pretrained embedding model,
+- the vocabulary of every synthetic workload (retail products, knowledge
+  base labels, image object labels),
+- ground truth for match/consolidation quality metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.utils.text import normalize_token
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A concept with its surface forms.
+
+    ``children`` is non-empty for hypernyms (``animal`` over ``dog``/``cat``).
+    The first surface form is the canonical name.
+    """
+
+    name: str
+    forms: tuple[str, ...]
+    children: tuple[str, ...] = ()
+
+    @property
+    def canonical(self) -> str:
+        return self.forms[0]
+
+    @property
+    def is_hypernym(self) -> bool:
+        return bool(self.children)
+
+
+@dataclass
+class Thesaurus:
+    """A set of concepts with a (single-level) hypernym hierarchy."""
+
+    concepts: dict[str, Concept] = field(default_factory=dict)
+
+    def add(self, concept: Concept) -> None:
+        if concept.name in self.concepts:
+            raise ModelError(f"duplicate concept {concept.name!r}")
+        self.concepts[concept.name] = concept
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.concepts
+
+    def __getitem__(self, name: str) -> Concept:
+        try:
+            return self.concepts[name]
+        except KeyError:
+            raise ModelError(f"unknown concept {name!r}") from None
+
+    def __iter__(self):
+        return iter(self.concepts.values())
+
+    def __len__(self) -> int:
+        return len(self.concepts)
+
+    @property
+    def leaves(self) -> list[Concept]:
+        return [c for c in self if not c.is_hypernym]
+
+    @property
+    def hypernyms(self) -> list[Concept]:
+        return [c for c in self if c.is_hypernym]
+
+    def validate(self) -> None:
+        """Check referential integrity of the hierarchy."""
+        for concept in self.hypernyms:
+            for child in concept.children:
+                if child not in self.concepts:
+                    raise ModelError(
+                        f"hypernym {concept.name!r} references unknown "
+                        f"child {child!r}"
+                    )
+                if self.concepts[child].is_hypernym:
+                    raise ModelError(
+                        f"hierarchy must be single-level: {concept.name!r} "
+                        f"-> {child!r} is hypernym-over-hypernym"
+                    )
+
+    def concept_of(self, form: str) -> Concept | None:
+        """The concept owning surface form ``form`` (None if unknown)."""
+        return self._form_index().get(normalize_token(form))
+
+    def all_forms(self) -> list[str]:
+        """Every surface form in the thesaurus (deduplicated, ordered)."""
+        seen: dict[str, None] = {}
+        for concept in self:
+            for form in concept.forms:
+                seen.setdefault(normalize_token(form), None)
+        return list(seen)
+
+    def synonyms_of(self, form: str) -> set[str]:
+        """Other surface forms of the same concept (empty set if unknown)."""
+        concept = self.concept_of(form)
+        if concept is None:
+            return set()
+        normalized = normalize_token(form)
+        return {normalize_token(f) for f in concept.forms} - {normalized}
+
+    def hyponym_forms(self, hypernym_name: str) -> set[str]:
+        """All surface forms below a hypernym (its children's forms)."""
+        concept = self[hypernym_name]
+        forms: set[str] = set()
+        for child in concept.children:
+            forms.update(normalize_token(f) for f in self[child].forms)
+        return forms
+
+    def parent_of(self, concept_name: str) -> Concept | None:
+        """The hypernym over ``concept_name`` (None for roots/hypernyms)."""
+        for concept in self.hypernyms:
+            if concept_name in concept.children:
+                return concept
+        return None
+
+    def _form_index(self) -> dict[str, Concept]:
+        index: dict[str, Concept] = {}
+        for concept in self:
+            for form in concept.forms:
+                index.setdefault(normalize_token(form), concept)
+        return index
+
+
+def default_thesaurus() -> Thesaurus:
+    """The thesaurus used throughout the reproduction.
+
+    Includes every category/match of the paper's Table I verbatim, extended
+    with more concepts so workloads have realistic breadth.
+    """
+    thesaurus = Thesaurus()
+    add = thesaurus.add
+
+    # --- Table I concepts (verbatim forms) -------------------------------
+    add(Concept("dog", ("dog", "canine", "golden retriever", "puppy", "hound")))
+    add(Concept("cat", ("cat", "maine coon", "feline", "kitten", "tabby")))
+    add(Concept("bird", ("bird", "parrot", "sparrow", "avian", "finch")))
+    add(Concept("animal", ("animal",), children=("dog", "cat", "bird")))
+
+    add(Concept("shoes", ("shoes", "boots", "sneakers", "oxfords", "lace-ups",
+                          "trainers")))
+    add(Concept("jacket", ("jacket", "blazer", "coat", "parka", "windbreaker",
+                           "anorak")))
+    add(Concept("shirt", ("shirt", "tee", "t-shirt", "blouse", "polo")))
+    add(Concept("trousers", ("trousers", "pants", "jeans", "slacks", "chinos")))
+    add(Concept("dress", ("dress", "gown", "frock", "sundress")))
+    add(Concept("clothes", ("clothes", "clothing", "apparel", "garment"),
+                children=("shoes", "jacket", "shirt", "trousers", "dress")))
+
+    # --- Additional domains for workload breadth -------------------------
+    add(Concept("phone", ("phone", "smartphone", "handset", "mobile phone",
+                          "cellphone")))
+    add(Concept("laptop", ("laptop", "notebook", "ultrabook", "macbook")))
+    add(Concept("camera", ("camera", "dslr", "camcorder", "mirrorless camera")))
+    add(Concept("electronics", ("electronics", "gadget", "device"),
+                children=("phone", "laptop", "camera")))
+
+    add(Concept("chair", ("chair", "armchair", "stool", "recliner")))
+    add(Concept("sofa", ("sofa", "couch", "settee", "loveseat")))
+    add(Concept("desk", ("desk", "writing table", "workbench", "bureau")))
+    add(Concept("furniture", ("furniture", "furnishing"),
+                children=("chair", "sofa", "desk")))
+
+    add(Concept("fruit", ("fruit", "apple", "banana", "pear", "mango")))
+    add(Concept("vegetable", ("vegetable", "carrot", "spinach", "zucchini",
+                              "broccoli")))
+    add(Concept("food", ("food", "groceries", "produce"),
+                children=("fruit", "vegetable")))
+
+    add(Concept("car", ("car", "automobile", "sedan", "hatchback", "suv")))
+    add(Concept("bicycle", ("bicycle", "bike", "roadbike", "tandem")))
+    add(Concept("vehicle", ("vehicle", "transport"),
+                children=("car", "bicycle")))
+
+    add(Concept("watch", ("watch", "wristwatch", "chronograph", "timepiece")))
+    add(Concept("bag", ("bag", "handbag", "backpack", "tote", "satchel")))
+    add(Concept("hat", ("hat", "cap", "beanie", "fedora")))
+    add(Concept("accessories", ("accessories", "accessory"),
+                children=("watch", "bag", "hat")))
+
+    thesaurus.validate()
+    return thesaurus
+
+
+#: The paper's Table I, verbatim: category -> expected semantic matches.
+TABLE_I = {
+    "dog": ["dog", "canine", "golden retriever", "puppy"],
+    "cat": ["cat", "maine coon", "feline", "kitten"],
+    "animal": ["cat", "dog", "golden retriever", "feline"],
+    "shoes": ["boots", "sneakers", "oxfords", "lace-ups"],
+    "jacket": ["blazer", "coat", "parka", "windbreaker"],
+    "clothes": ["boots", "parka", "windbreaker", "coat"],
+}

@@ -1,0 +1,15 @@
+"""Engine facade: sessions, the query builder, SQL, EXPLAIN, profiling."""
+
+from repro.engine.builder import QueryBuilder
+from repro.engine.explain import explain_plan
+from repro.engine.profiler import OperatorProfile, QueryProfile
+from repro.engine.session import DEFAULT_MODEL_NAME, Session
+
+__all__ = [
+    "QueryBuilder",
+    "explain_plan",
+    "OperatorProfile",
+    "QueryProfile",
+    "DEFAULT_MODEL_NAME",
+    "Session",
+]

@@ -1,0 +1,172 @@
+"""Dataframe-style query builder over the logical plan IR.
+
+The paper (§IV, ref [24]) argues Pandas-like interfaces should compile to
+the same optimizable representation as SQL — this builder does exactly
+that: every method returns a new builder wrapping a larger logical plan,
+and ``execute`` hands it to the session's optimizer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.relational.expressions import AggExpr, AggFunc, ColumnRef, Expr
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    JoinType,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    SemanticFilterNode,
+    SemanticGroupByNode,
+    SemanticJoinNode,
+    SortNode,
+)
+from repro.storage.table import Table
+
+_AGG_NAMES = {
+    "count": AggFunc.COUNT,
+    "sum": AggFunc.SUM,
+    "min": AggFunc.MIN,
+    "max": AggFunc.MAX,
+    "avg": AggFunc.AVG,
+    "count_distinct": AggFunc.COUNT_DISTINCT,
+}
+
+
+class QueryBuilder:
+    """Immutable fluent wrapper around a logical plan."""
+
+    def __init__(self, session, plan: LogicalPlan):
+        self._session = session
+        self._plan = plan
+
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> LogicalPlan:
+        """The current (unoptimized) logical plan."""
+        return self._plan
+
+    @property
+    def schema(self):
+        return self._plan.schema
+
+    def _wrap(self, plan: LogicalPlan) -> "QueryBuilder":
+        return QueryBuilder(self._session, plan)
+
+    # ------------------------------------------------------------------
+    # Relational operators
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Expr) -> "QueryBuilder":
+        """Keep rows satisfying ``predicate`` (use ``col``/``lit``)."""
+        return self._wrap(FilterNode(self._plan, predicate))
+
+    def select(self, *items) -> "QueryBuilder":
+        """Project columns; items are names or ``(expr, alias)`` pairs."""
+        exprs: list[tuple[Expr, str]] = []
+        for item in items:
+            if isinstance(item, str):
+                exprs.append((ColumnRef(item), item))
+            elif isinstance(item, tuple) and len(item) == 2:
+                expr, alias = item
+                exprs.append((expr, alias))
+            else:
+                raise PlanError(f"cannot select {item!r}")
+        return self._wrap(ProjectNode(self._plan, exprs))
+
+    def join(self, other: "QueryBuilder", on: tuple[str, str] | list[tuple[str, str]],
+             how: str = "inner") -> "QueryBuilder":
+        """Equi-join with another builder; ``on`` is (left, right) key(s)."""
+        pairs = [on] if isinstance(on, tuple) else list(on)
+        left_keys = [p[0] for p in pairs]
+        right_keys = [p[1] for p in pairs]
+        join_type = JoinType(how)
+        return self._wrap(JoinNode(self._plan, other._plan, join_type,
+                                   left_keys, right_keys))
+
+    def cross_join(self, other: "QueryBuilder",
+                   predicate: Expr | None = None) -> "QueryBuilder":
+        return self._wrap(JoinNode(self._plan, other._plan, JoinType.CROSS,
+                                   extra_predicate=predicate))
+
+    def aggregate(self, group_by: list[str],
+                  **aggregates) -> "QueryBuilder":
+        """Group and aggregate: ``aggregate(['k'], n=('count', '*'))``."""
+        agg_exprs = []
+        for alias, (func_name, column) in aggregates.items():
+            func = _AGG_NAMES[func_name]
+            operand = None if column == "*" else ColumnRef(column)
+            agg_exprs.append(AggExpr(func, operand, alias))
+        return self._wrap(AggregateNode(self._plan, group_by, agg_exprs))
+
+    def sort(self, *keys) -> "QueryBuilder":
+        """Sort by column names; prefix with ``-`` for descending."""
+        pairs = []
+        for key in keys:
+            if key.startswith("-"):
+                pairs.append((key[1:], False))
+            else:
+                pairs.append((key, True))
+        return self._wrap(SortNode(self._plan, pairs))
+
+    def limit(self, count: int) -> "QueryBuilder":
+        return self._wrap(LimitNode(self._plan, count))
+
+    # ------------------------------------------------------------------
+    # Semantic operators (paper §IV)
+    # ------------------------------------------------------------------
+    def semantic_filter(self, column: str, probe: str,
+                        threshold: float = 0.9, model: str | None = None,
+                        score_alias: str | None = None,
+                        mode: str = "value") -> "QueryBuilder":
+        """Semantic Select: keep rows context-similar to ``probe``.
+
+        ``mode="contains"`` matches any *token* of free text against the
+        probe instead of embedding the whole cell.
+        """
+        return self._wrap(SemanticFilterNode(
+            self._plan, column, probe,
+            model or self._session.default_model_name, threshold,
+            score_alias, mode=mode))
+
+    def semantic_join(self, other: "QueryBuilder", left_on: str,
+                      right_on: str, threshold: float = 0.9,
+                      model: str | None = None,
+                      score_alias: str = "similarity",
+                      top_k: int | None = None) -> "QueryBuilder":
+        """Semantic Join on key context similarity.
+
+        ``top_k`` switches to best-k-matches-per-key semantics (scores
+        still floored at ``threshold``).
+        """
+        return self._wrap(SemanticJoinNode(
+            self._plan, other._plan, left_on, right_on,
+            model or self._session.default_model_name, threshold,
+            score_alias, top_k=top_k))
+
+    def semantic_group_by(self, column: str, threshold: float = 0.8,
+                          model: str | None = None,
+                          cluster_alias: str = "cluster_id",
+                          representative_alias: str = "cluster_rep",
+                          ) -> "QueryBuilder":
+        """Semantic GroupBy: on-the-fly clustering of ``column``."""
+        return self._wrap(SemanticGroupByNode(
+            self._plan, column,
+            model or self._session.default_model_name, threshold,
+            cluster_alias, representative_alias))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, optimize: bool = True) -> Table:
+        return self._session.execute(self._plan, optimize=optimize)
+
+    def to_rows(self, optimize: bool = True) -> list[dict]:
+        return self.execute(optimize=optimize).to_rows()
+
+    def count(self) -> int:
+        return self.execute().num_rows
+
+    def explain(self, optimize: bool = True) -> str:
+        return self._session.explain(self._plan, optimize=optimize)

@@ -1,0 +1,30 @@
+"""EXPLAIN: annotated plan rendering with estimates and costs."""
+
+from __future__ import annotations
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.relational.logical import LogicalPlan
+
+
+def explain_plan(plan: LogicalPlan,
+                 estimator: CardinalityEstimator | None = None,
+                 cost_model: CostModel | None = None) -> str:
+    """Human-readable plan with per-node row/cost estimates."""
+    lines: list[str] = []
+
+    def visit(node: LogicalPlan, indent: int) -> None:
+        annotation = ""
+        if estimator is not None:
+            rows = estimator.estimate(node)
+            annotation += f"  [rows~{rows:,.0f}"
+            if cost_model is not None:
+                cost = cost_model.node_cost(node)
+                annotation += f", cost~{cost.total:,.0f}"
+            annotation += "]"
+        lines.append("  " * indent + node.label() + annotation)
+        for child in node.children:
+            visit(child, indent + 1)
+
+    visit(plan, 0)
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Execution profiling: per-operator metrics collected after a run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.physical import PhysicalOperator
+
+
+@dataclass
+class OperatorProfile:
+    label: str
+    depth: int
+    rows_out: int
+    seconds: float
+
+
+@dataclass
+class QueryProfile:
+    """What one query execution did."""
+
+    operators: list[OperatorProfile] = field(default_factory=list)
+    total_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    tokens_embedded: int = 0
+
+    @classmethod
+    def from_tree(cls, root: PhysicalOperator,
+                  total_seconds: float,
+                  embedding_caches: dict | None = None) -> "QueryProfile":
+        profile = cls(total_seconds=total_seconds)
+
+        def visit(op: PhysicalOperator, depth: int) -> None:
+            profile.operators.append(OperatorProfile(
+                op.label(), depth, op.rows_out, op.elapsed))
+            for child in op.children:
+                visit(child, depth + 1)
+
+        visit(root, 0)
+        for cache in (embedding_caches or {}).values():
+            profile.cache_hits += cache.hits
+            profile.cache_misses += cache.misses
+            profile.tokens_embedded += cache.model.tokens_embedded
+        return profile
+
+    def pretty(self) -> str:
+        lines = [f"total: {self.total_seconds * 1e3:.2f} ms  "
+                 f"(cache {self.cache_hits} hits / "
+                 f"{self.cache_misses} misses)"]
+        for op in self.operators:
+            lines.append(f"{'  ' * op.depth}{op.label}  "
+                         f"rows={op.rows_out}  "
+                         f"{op.seconds * 1e3:.2f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""The engine session: catalog + models + optimizer + executor in one place.
+
+A session is what the paper's "single declarative framework" looks like to
+a user: register tables/sources/models once, then issue SQL or builder
+queries; the session optimizes, executes, and profiles them.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.embeddings.model import EmbeddingModel
+from repro.embeddings.registry import ModelRegistry
+from repro.engine.explain import explain_plan
+from repro.engine.profiler import QueryProfile
+from repro.engine.sql.binder import Binder
+from repro.engine.sql.parser import parse_sql
+from repro.errors import CatalogError
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.polystore.federation import Federation
+from repro.polystore.source import DataSource
+from repro.relational.logical import LogicalPlan, ScanNode
+from repro.relational.physical import (
+    DEFAULT_BATCH_SIZE,
+    ExecutionContext,
+    build_physical,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+DEFAULT_MODEL_NAME = "wiki-ft-100"
+
+
+class Session:
+    """A query session over registered tables, sources, and models."""
+
+    def __init__(self, seed: int = 7, load_default_model: bool = True,
+                 optimizer_config: OptimizerConfig | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 parallelism: int = 4):
+        self.catalog = Catalog()
+        self.models = ModelRegistry()
+        self.federation = Federation(self.catalog)
+        self.context = ExecutionContext(
+            catalog=self.catalog, models=self.models, batch_size=batch_size,
+            parallelism=parallelism)
+        self.optimizer_config = optimizer_config or OptimizerConfig()
+        self.default_model_name = DEFAULT_MODEL_NAME
+        self.last_profile: QueryProfile | None = None
+        if load_default_model:
+            from repro.embeddings.pretrained import build_pretrained_model
+
+            self.models.register(build_pretrained_model(seed=seed))
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Table,
+                       replace: bool = False) -> None:
+        """Register a materialized table under ``name``."""
+        self.catalog.register(name, table, replace=replace)
+
+    def register_source(self, source: DataSource) -> list[str]:
+        """Federate a polystore source; returns the registered table names."""
+        self.federation.add_source(source)
+        return self.federation.registered_tables(source.name)
+
+    def register_model(self, model: EmbeddingModel,
+                       default: bool = False) -> None:
+        """Register an embedding model (optionally as the session default)."""
+        self.models.register(model)
+        if default:
+            self.default_model_name = model.name
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def table(self, name: str, alias: str | None = None):
+        """Start a builder query from a registered table."""
+        from repro.engine.builder import QueryBuilder
+
+        if name not in self.catalog:
+            raise CatalogError(
+                f"unknown table {name!r}; registered: {self.catalog.names()}"
+            )
+        scan = ScanNode(name, self.catalog.get(name).schema, qualifier=alias)
+        return QueryBuilder(self, scan)
+
+    def sql(self, text: str, optimize: bool = True) -> Table:
+        """Parse, bind, optimize, and execute a SQL query."""
+        return self.execute(self.sql_plan(text), optimize=optimize)
+
+    def sql_plan(self, text: str) -> LogicalPlan:
+        """Parse and bind a SQL query to an (unoptimized) logical plan."""
+        statement = parse_sql(text)
+        binder = Binder(self.catalog, self.default_model_name)
+        return binder.bind(statement)
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        optimizer = Optimizer(self.catalog, self.models,
+                              config=self.optimizer_config,
+                              execution_context=self.context)
+        return optimizer.optimize(plan)
+
+    def execute(self, plan: LogicalPlan, optimize: bool = True) -> Table:
+        """Run a logical plan; stores a :class:`QueryProfile`."""
+        if optimize:
+            plan = self.optimize(plan)
+        started = time.perf_counter()
+        root = build_physical(plan, self.context)
+        result = root.execute()
+        elapsed = time.perf_counter() - started
+        self.last_profile = QueryProfile.from_tree(
+            root, elapsed, self.context.embedding_cache)
+        return result
+
+    def explain(self, query: str | LogicalPlan,
+                optimize: bool = True) -> str:
+        """EXPLAIN a SQL string or a logical plan."""
+        plan = self.sql_plan(query) if isinstance(query, str) else query
+        optimizer = Optimizer(self.catalog, self.models,
+                              config=self.optimizer_config,
+                              execution_context=self.context)
+        if optimize:
+            plan = optimizer.optimize(plan)
+        return explain_plan(plan, optimizer.estimator, optimizer.cost_model)
+
+    def explain_analyze(self, query: str | LogicalPlan,
+                        optimize: bool = True) -> str:
+        """EXPLAIN ANALYZE: run the query and show estimated vs actual
+        rows and wall time per operator.
+
+        The estimated/actual gap is the cardinality feedback the paper's
+        adaptive execution (§VI) acts on — here surfaced for the user.
+        """
+        plan = self.sql_plan(query) if isinstance(query, str) else query
+        optimizer = Optimizer(self.catalog, self.models,
+                              config=self.optimizer_config,
+                              execution_context=self.context)
+        if optimize:
+            plan = optimizer.optimize(plan)
+
+        root = build_physical(plan, self.context)
+        started = time.perf_counter()
+        root.execute()
+        elapsed = time.perf_counter() - started
+
+        lines = [f"EXPLAIN ANALYZE  (total {elapsed * 1e3:.2f} ms)"]
+
+        def visit(logical: LogicalPlan, physical, indent: int) -> None:
+            estimated = optimizer.estimator.estimate(logical)
+            actual = physical.rows_out
+            drift = ""
+            if estimated > 0 and actual > 0:
+                ratio = max(estimated / actual, actual / estimated)
+                if ratio >= 4.0:
+                    drift = f"  <-- estimate off {ratio:.0f}x"
+            lines.append(
+                "  " * indent
+                + f"{logical.label()}  [est~{estimated:,.0f} rows, "
+                  f"actual {actual:,} rows, "
+                  f"{physical.elapsed * 1e3:.2f} ms]{drift}")
+            for logical_child, physical_child in zip(logical.children,
+                                                     physical.children):
+                visit(logical_child, physical_child, indent + 1)
+
+        visit(plan, root, 1)
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""The SQL dialect with semantic-operator extensions (paper §IV).
+
+The paper proposes three operator extensions; the dialect surfaces them
+as::
+
+    SELECT p.name, k.object AS category
+    FROM products AS p
+    SEMANTIC JOIN kb.category AS k
+        ON p.ptype ~ k.subject USING MODEL 'wiki-ft-100' THRESHOLD 0.9
+    WHERE p.price > 20
+      AND p.ptype ~ 'clothes' USING MODEL 'wiki-ft-100' THRESHOLD 0.7
+
+    SELECT cluster_rep, COUNT(*) AS n
+    FROM logs
+    SEMANTIC GROUP BY message THRESHOLD 0.8
+
+"SQL may not be the best or the only way to represent such query plans"
+(§IV) — the dataframe-style :class:`~repro.engine.builder.QueryBuilder`
+compiles to the same plan IR.
+"""
+
+from repro.engine.sql.lexer import Lexer, Token, TokenType
+from repro.engine.sql.parser import Parser, parse_sql
+from repro.engine.sql.binder import Binder
+
+__all__ = ["Lexer", "Token", "TokenType", "Parser", "parse_sql", "Binder"]

@@ -1,0 +1,140 @@
+"""Abstract syntax tree for the SQL dialect (parser output, binder input)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --- expressions -------------------------------------------------------
+class SqlExpr:
+    """Base class for parsed scalar/boolean expressions."""
+
+
+@dataclass(frozen=True)
+class ColumnName(SqlExpr):
+    parts: tuple[str, ...]  # ("p", "price") for p.price
+
+    @property
+    def dotted(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass(frozen=True)
+class NumberLit(SqlExpr):
+    value: float
+    is_integer: bool
+
+
+@dataclass(frozen=True)
+class StringLit(SqlExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class DateLit(SqlExpr):
+    iso: str
+
+
+@dataclass(frozen=True)
+class BoolOp(SqlExpr):
+    op: str  # "and" | "or"
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class NotOp(SqlExpr):
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class Comparison(SqlExpr):
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class BinaryArith(SqlExpr):
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class InListExpr(SqlExpr):
+    operand: SqlExpr
+    values: tuple[SqlExpr, ...]
+
+
+@dataclass(frozen=True)
+class FuncCall(SqlExpr):
+    name: str
+    args: tuple[SqlExpr, ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class SemanticPredicate(SqlExpr):
+    """``column ~ 'probe' [USING MODEL 'name'] [THRESHOLD x]``.
+
+    The ``~*`` operator sets ``mode="contains"`` (any token of free text
+    matches the probe) instead of embedding the whole cell.
+    """
+
+    column: ColumnName
+    probe: str
+    model: str | None
+    threshold: float
+    mode: str = "value"
+
+
+# --- statement structure ----------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    expr: SqlExpr
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    kind: str  # "inner" | "left" | "cross" | "semantic"
+    table: TableRef
+    # equi joins: key equalities; semantic join: single ~ pair
+    left_keys: tuple[ColumnName, ...] = ()
+    right_keys: tuple[ColumnName, ...] = ()
+    model: str | None = None
+    threshold: float = 0.9
+    top_k: int | None = None  # SEMANTIC JOIN ... TOP k
+
+
+@dataclass(frozen=True)
+class SemanticGroupBy:
+    column: ColumnName
+    model: str | None
+    threshold: float
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: ColumnName
+    ascending: bool
+
+
+@dataclass
+class SelectStatement:
+    items: list[SelectItem]          # empty list means SELECT *
+    base: TableRef | None = None
+    joins: list[JoinClause] = field(default_factory=list)
+    where: SqlExpr | None = None
+    group_by: list[ColumnName] = field(default_factory=list)
+    semantic_group_by: SemanticGroupBy | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None

@@ -1,0 +1,129 @@
+"""Tokenizer for the SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select", "from", "where", "and", "or", "not", "as", "join", "semantic",
+    "on", "using", "model", "threshold", "group", "by", "order", "limit",
+    "in", "desc", "asc", "date", "distinct", "union", "all", "left", "inner",
+    "cross", "between", "like", "top",
+}
+
+AGGREGATE_NAMES = {"count", "sum", "min", "max", "avg"}
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.text == word
+
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "~*", "~")
+_PUNCT = "(),.*+-/"
+
+
+class Lexer:
+    """Hand-written tokenizer (positions preserved for error messages)."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            token = self._next()
+            out.append(token)
+            if token.type == TokenType.EOF:
+                return out
+
+    # ------------------------------------------------------------------
+    def _next(self) -> Token:
+        self._skip_whitespace()
+        if self.position >= len(self.text):
+            return Token(TokenType.EOF, "", self.position)
+        start = self.position
+        char = self.text[self.position]
+        if char == "'":
+            return self._string(start)
+        if char.isdigit() or (char == "." and self._peek_digit()):
+            return self._number(start)
+        if char.isalpha() or char == "_":
+            return self._word(start)
+        for operator in _OPERATORS:
+            if self.text.startswith(operator, self.position):
+                self.position += len(operator)
+                text = "!=" if operator == "<>" else operator
+                return Token(TokenType.OPERATOR, text, start)
+        if char in _PUNCT:
+            self.position += 1
+            return Token(TokenType.PUNCT, char, start)
+        raise ParseError(f"unexpected character {char!r}", start)
+
+    def _skip_whitespace(self) -> None:
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char.isspace():
+                self.position += 1
+            elif self.text.startswith("--", self.position):
+                newline = self.text.find("\n", self.position)
+                self.position = len(self.text) if newline < 0 else newline
+            else:
+                return
+
+    def _string(self, start: int) -> Token:
+        self.position += 1
+        chunks: list[str] = []
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char == "'":
+                if self.text.startswith("''", self.position):
+                    chunks.append("'")
+                    self.position += 2
+                    continue
+                self.position += 1
+                return Token(TokenType.STRING, "".join(chunks), start)
+            chunks.append(char)
+            self.position += 1
+        raise ParseError("unterminated string literal", start)
+
+    def _number(self, start: int) -> Token:
+        while self.position < len(self.text) and (
+                self.text[self.position].isdigit()
+                or self.text[self.position] == "."):
+            self.position += 1
+        return Token(TokenType.NUMBER, self.text[start:self.position], start)
+
+    def _word(self, start: int) -> Token:
+        while self.position < len(self.text) and (
+                self.text[self.position].isalnum()
+                or self.text[self.position] == "_"):
+            self.position += 1
+        text = self.text[start:self.position]
+        lowered = text.lower()
+        if lowered in KEYWORDS:
+            return Token(TokenType.KEYWORD, lowered, start)
+        return Token(TokenType.IDENT, text, start)
+
+    def _peek_digit(self) -> bool:
+        return (self.position + 1 < len(self.text)
+                and self.text[self.position + 1].isdigit())

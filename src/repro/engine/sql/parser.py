@@ -1,0 +1,425 @@
+"""Recursive-descent parser for the SQL dialect."""
+
+from __future__ import annotations
+
+from repro.engine.sql import ast
+from repro.engine.sql.lexer import AGGREGATE_NAMES, Lexer, Token, TokenType
+from repro.errors import ParseError
+
+DEFAULT_THRESHOLD = 0.9
+
+
+def parse_sql(text: str) -> ast.SelectStatement:
+    """Parse one SELECT statement."""
+    return Parser(text).parse()
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = Lexer(text).tokens()
+        self.position = 0
+
+    # -- token plumbing --------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.type != TokenType.EOF:
+            self.position += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise ParseError(
+                f"expected {word.upper()}, found {self.current.text!r}",
+                self.current.position)
+        return self._advance()
+
+    def _expect_punct(self, char: str) -> Token:
+        if not (self.current.type == TokenType.PUNCT
+                and self.current.text == char):
+            raise ParseError(f"expected {char!r}, found "
+                             f"{self.current.text!r}", self.current.position)
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_punct(self, char: str) -> bool:
+        if self.current.type == TokenType.PUNCT and self.current.text == char:
+            self._advance()
+            return True
+        return False
+
+    def _accept_operator(self, text: str) -> bool:
+        if (self.current.type == TokenType.OPERATOR
+                and self.current.text == text):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> ast.SelectStatement:
+        statement = self._select_statement()
+        if self.current.type != TokenType.EOF:
+            raise ParseError(f"unexpected trailing input "
+                             f"{self.current.text!r}", self.current.position)
+        return statement
+
+    def _select_statement(self) -> ast.SelectStatement:
+        self._expect_keyword("select")
+        items = self._select_items()
+        statement = ast.SelectStatement(items=items)
+        if self._accept_keyword("from"):
+            statement.base = self._table_ref()
+            statement.joins = self._joins()
+        if self._accept_keyword("where"):
+            statement.where = self._expression()
+        self._group_by(statement)
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            statement.order_by = self._order_items()
+        if self._accept_keyword("limit"):
+            statement.limit = self._integer()
+        return statement
+
+    def _select_items(self) -> list[ast.SelectItem]:
+        if self._accept_punct("*"):
+            return []
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> ast.SelectItem:
+        expr = self._expression()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._identifier()
+        elif self.current.type == TokenType.IDENT:
+            alias = self._identifier()
+        return ast.SelectItem(expr, alias)
+
+    def _table_ref(self) -> ast.TableRef:
+        name = self._dotted_name()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._identifier()
+        elif self.current.type == TokenType.IDENT:
+            alias = self._identifier()
+        return ast.TableRef(name, alias)
+
+    def _joins(self) -> list[ast.JoinClause]:
+        joins: list[ast.JoinClause] = []
+        while True:
+            if self._accept_keyword("semantic"):
+                if self.current.is_keyword("join"):
+                    self._advance()
+                    joins.append(self._semantic_join())
+                    continue
+                # SEMANTIC GROUP BY handled by caller: rewind
+                self.position -= 1
+                break
+            kind = None
+            if self._accept_keyword("inner"):
+                kind = "inner"
+                self._expect_keyword("join")
+            elif self._accept_keyword("left"):
+                kind = "left"
+                self._expect_keyword("join")
+            elif self._accept_keyword("cross"):
+                kind = "cross"
+                self._expect_keyword("join")
+            elif self._accept_keyword("join"):
+                kind = "inner"
+            if kind is None:
+                break
+            table = self._table_ref()
+            left_keys: list[ast.ColumnName] = []
+            right_keys: list[ast.ColumnName] = []
+            if kind != "cross":
+                self._expect_keyword("on")
+                left_keys, right_keys = self._equi_condition()
+            joins.append(ast.JoinClause(kind, table,
+                                        tuple(left_keys),
+                                        tuple(right_keys)))
+        return joins
+
+    def _semantic_join(self) -> ast.JoinClause:
+        table = self._table_ref()
+        self._expect_keyword("on")
+        left = self._column_name()
+        if not self._accept_operator("~"):
+            raise ParseError("semantic join condition must use '~'",
+                             self.current.position)
+        right = self._column_name()
+        model, threshold = self._model_threshold()
+        top_k = None
+        if self._accept_keyword("top"):
+            top_k = self._integer()
+        return ast.JoinClause("semantic", table, (left,), (right,),
+                              model=model, threshold=threshold,
+                              top_k=top_k)
+
+    def _equi_condition(self) -> tuple[list[ast.ColumnName],
+                                       list[ast.ColumnName]]:
+        left_keys = []
+        right_keys = []
+        while True:
+            left = self._column_name()
+            if not self._accept_operator("="):
+                raise ParseError("join condition must be equality",
+                                 self.current.position)
+            right = self._column_name()
+            left_keys.append(left)
+            right_keys.append(right)
+            if not self._accept_keyword("and"):
+                return left_keys, right_keys
+
+    def _group_by(self, statement: ast.SelectStatement) -> None:
+        if self._accept_keyword("semantic"):
+            self._expect_keyword("group")
+            self._expect_keyword("by")
+            column = self._column_name()
+            model, threshold = self._model_threshold()
+            statement.semantic_group_by = ast.SemanticGroupBy(
+                column, model, threshold)
+            return
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            statement.group_by = [self._column_name()]
+            while self._accept_punct(","):
+                statement.group_by.append(self._column_name())
+
+    def _model_threshold(self) -> tuple[str | None, float]:
+        model = None
+        threshold = DEFAULT_THRESHOLD
+        while True:
+            if self._accept_keyword("using"):
+                self._expect_keyword("model")
+                model = self._string_value()
+            elif self._accept_keyword("threshold"):
+                if self.current.type == TokenType.OPERATOR and \
+                        self.current.text in (">=", "="):
+                    self._advance()
+                threshold = self._number_value()
+            else:
+                return model, threshold
+
+    def _order_items(self) -> list[ast.OrderItem]:
+        items = [self._order_item()]
+        while self._accept_punct(","):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> ast.OrderItem:
+        column = self._column_name()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        elif self._accept_keyword("asc"):
+            ascending = True
+        return ast.OrderItem(column, ascending)
+
+    # -- expressions -------------------------------------------------------
+    def _expression(self) -> ast.SqlExpr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.SqlExpr:
+        left = self._and_expr()
+        while self._accept_keyword("or"):
+            left = ast.BoolOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.SqlExpr:
+        left = self._not_expr()
+        while self._accept_keyword("and"):
+            left = ast.BoolOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.SqlExpr:
+        if self._accept_keyword("not"):
+            return ast.NotOp(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.SqlExpr:
+        left = self._additive()
+        if self.current.type == TokenType.OPERATOR and \
+                self.current.text in ("~", "~*"):
+            mode = "contains" if self.current.text == "~*" else "value"
+            self._advance()
+            if not isinstance(left, ast.ColumnName):
+                raise ParseError("semantic predicate needs a column on the "
+                                 "left of '~'", self.current.position)
+            if self.current.type != TokenType.STRING:
+                raise ParseError("semantic predicate needs a string probe",
+                                 self.current.position)
+            probe = self._advance().text
+            model, threshold = self._model_threshold()
+            return ast.SemanticPredicate(left, probe, model, threshold,
+                                         mode)
+        if self.current.type == TokenType.OPERATOR and self.current.text in (
+                "=", "!=", "<", "<=", ">", ">="):
+            op = self._advance().text
+            right = self._additive()
+            return ast.Comparison(op, left, right)
+        if self._accept_keyword("in"):
+            self._expect_punct("(")
+            values = [self._literal()]
+            while self._accept_punct(","):
+                values.append(self._literal())
+            self._expect_punct(")")
+            return ast.InListExpr(left, tuple(values))
+        if self._accept_keyword("between"):
+            low = self._additive()
+            self._expect_keyword("and")
+            high = self._additive()
+            return ast.BoolOp("and",
+                              ast.Comparison(">=", left, low),
+                              ast.Comparison("<=", left, high))
+        return left
+
+    def _additive(self) -> ast.SqlExpr:
+        left = self._multiplicative()
+        while (self.current.type == TokenType.PUNCT
+               and self.current.text in "+-"):
+            op = self._advance().text
+            left = ast.BinaryArith(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> ast.SqlExpr:
+        left = self._primary()
+        while True:
+            if self.current.type == TokenType.PUNCT and \
+                    self.current.text == "*":
+                # '*' is also SELECT-star / COUNT(*); here it is arithmetic
+                self._advance()
+                left = ast.BinaryArith("*", left, self._primary())
+            elif self.current.type == TokenType.PUNCT and \
+                    self.current.text == "/":
+                self._advance()
+                left = ast.BinaryArith("/", left, self._primary())
+            else:
+                return left
+
+    def _primary(self) -> ast.SqlExpr:
+        token = self.current
+        if token.type == TokenType.PUNCT and token.text == "-":
+            self._advance()
+            operand = self._primary()
+            if isinstance(operand, ast.NumberLit):
+                return ast.NumberLit(-operand.value, operand.is_integer)
+            return ast.BinaryArith("-", ast.NumberLit(0.0, True), operand)
+        if token.type == TokenType.PUNCT and token.text == "(":
+            self._advance()
+            inner = self._expression()
+            self._expect_punct(")")
+            return inner
+        if token.type == TokenType.NUMBER:
+            return self._literal()
+        if token.type == TokenType.STRING:
+            return self._literal()
+        if token.is_keyword("date"):
+            return self._literal()
+        if token.type == TokenType.IDENT:
+            lowered = token.text.lower()
+            if lowered in AGGREGATE_NAMES and self._peek_is_open_paren():
+                return self._aggregate_call(lowered)
+            if self._peek_is_open_paren():
+                return self._function_call(token.text.lower())
+            return self._column_name()
+        raise ParseError(f"unexpected token {token.text!r}", token.position)
+
+    def _aggregate_call(self, name: str) -> ast.FuncCall:
+        self._advance()  # function name
+        self._expect_punct("(")
+        if self._accept_punct("*"):
+            self._expect_punct(")")
+            return ast.FuncCall(name, (), star=True)
+        distinct = self._accept_keyword("distinct")
+        arg = self._expression()
+        self._expect_punct(")")
+        return ast.FuncCall(name, (arg,), distinct=distinct)
+
+    def _function_call(self, name: str) -> ast.FuncCall:
+        self._advance()
+        self._expect_punct("(")
+        args = []
+        if not self._accept_punct(")"):
+            args.append(self._expression())
+            while self._accept_punct(","):
+                args.append(self._expression())
+            self._expect_punct(")")
+        return ast.FuncCall(name, tuple(args))
+
+    def _peek_is_open_paren(self) -> bool:
+        nxt = self.tokens[self.position + 1]
+        return nxt.type == TokenType.PUNCT and nxt.text == "("
+
+    # -- terminals ----------------------------------------------------------
+    def _literal(self) -> ast.SqlExpr:
+        token = self.current
+        if token.type == TokenType.NUMBER:
+            self._advance()
+            is_integer = "." not in token.text
+            return ast.NumberLit(float(token.text), is_integer)
+        if token.type == TokenType.STRING:
+            self._advance()
+            return ast.StringLit(token.text)
+        if token.is_keyword("date"):
+            self._advance()
+            if self.current.type != TokenType.STRING:
+                raise ParseError("DATE must be followed by an ISO string",
+                                 self.current.position)
+            return ast.DateLit(self._advance().text)
+        raise ParseError(f"expected literal, found {token.text!r}",
+                         token.position)
+
+    def _column_name(self) -> ast.ColumnName:
+        parts = [self._identifier()]
+        while self._accept_punct("."):
+            parts.append(self._identifier())
+        return ast.ColumnName(tuple(parts))
+
+    def _dotted_name(self) -> str:
+        parts = [self._identifier()]
+        while self._accept_punct("."):
+            parts.append(self._identifier())
+        return ".".join(parts)
+
+    def _identifier(self) -> str:
+        token = self.current
+        if token.type != TokenType.IDENT:
+            raise ParseError(f"expected identifier, found {token.text!r}",
+                             token.position)
+        self._advance()
+        return token.text
+
+    def _integer(self) -> int:
+        token = self.current
+        if token.type != TokenType.NUMBER or "." in token.text:
+            raise ParseError(f"expected integer, found {token.text!r}",
+                             token.position)
+        self._advance()
+        return int(token.text)
+
+    def _number_value(self) -> float:
+        token = self.current
+        if token.type != TokenType.NUMBER:
+            raise ParseError(f"expected number, found {token.text!r}",
+                             token.position)
+        self._advance()
+        return float(token.text)
+
+    def _string_value(self) -> str:
+        token = self.current
+        if token.type != TokenType.STRING:
+            raise ParseError(f"expected string, found {token.text!r}",
+                             token.position)
+        self._advance()
+        return token.text

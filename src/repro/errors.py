@@ -1,0 +1,68 @@
+"""Exception hierarchy for the context-rich analytical engine.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operation violates a schema contract."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup failed (unknown table, duplicate registration...)."""
+
+
+class ExpressionError(ReproError):
+    """An expression is ill-typed or references an unknown column."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is structurally invalid."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a valid plan."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed at run time."""
+
+
+class ModelError(ReproError):
+    """An embedding or inference model is missing or misused."""
+
+
+class IndexError_(ReproError):
+    """A vector index is misconfigured or queried before being built."""
+
+
+class ParseError(ReproError):
+    """The SQL dialect parser rejected the input text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(ReproError):
+    """Name resolution of a parsed query failed."""
+
+
+class IntegrationError(ReproError):
+    """Online data integration / consolidation failed."""
+
+
+class HardwareError(ReproError):
+    """Hardware topology or placement is invalid."""
+
+
+class SourceError(ReproError):
+    """A polystore data source failed or was misused."""

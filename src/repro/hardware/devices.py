@@ -1,0 +1,136 @@
+"""Device and interconnect profiles (analytical models).
+
+Throughputs are in abstract cost-units/second matched to the optimizer's
+:class:`~repro.optimizer.cost.CostParams` units; ratios between devices
+follow public figures (GPU ~ 20-50x CPU on dense model math, TPU higher
+still on inference but poor at general relational work, NPU efficient but
+small).  The numbers matter only through the *decisions* they induce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareError
+
+
+class DeviceKind(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+    TPU = "tpu"
+    NPU = "npu"
+    STORAGE = "storage"
+
+
+@dataclass(frozen=True)
+class Device:
+    """A compute (or storage) device.
+
+    ``relational_speed`` / ``model_speed`` convert the cost model's cpu /
+    model cost units into seconds; ``startup_seconds`` is paid once per
+    query per device used; ``memory_bytes`` bounds operator state.
+    """
+
+    name: str
+    kind: DeviceKind
+    relational_speed: float
+    model_speed: float
+    memory_bytes: int
+    startup_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.relational_speed <= 0 and self.model_speed <= 0:
+            raise HardwareError(f"device {self.name} can execute nothing")
+
+    def execution_seconds(self, cpu_cost: float, model_cost: float) -> float:
+        """Seconds to execute a (cpu, model) cost pair on this device."""
+        seconds = 0.0
+        if cpu_cost > 0:
+            if self.relational_speed <= 0:
+                return float("inf")
+            seconds += cpu_cost / self.relational_speed
+        if model_cost > 0:
+            if self.model_speed <= 0:
+                return float("inf")
+            seconds += model_cost / self.model_speed
+        return seconds
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bidirectional interconnect between two devices."""
+
+    a: str
+    b: str
+    bandwidth_bytes_per_s: float
+    latency_seconds: float = 10e-6
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        return self.latency_seconds + n_bytes / self.bandwidth_bytes_per_s
+
+    def endpoints(self) -> frozenset:
+        return frozenset((self.a, self.b))
+
+
+# ----------------------------------------------------------------------
+# Profiles (factory functions so each topology owns distinct instances)
+# ----------------------------------------------------------------------
+_GB = 1024**3
+
+
+def xeon_cpu(name: str = "cpu0") -> Device:
+    """2-socket server CPU: baseline for both compute classes."""
+    return Device(name, DeviceKind.CPU, relational_speed=2.0e8,
+                  model_speed=2.0e8, memory_bytes=384 * _GB,
+                  startup_seconds=0.0)
+
+
+def a100_gpu(name: str = "gpu0") -> Device:
+    """Datacenter GPU: ~25x on model math, ~4x on scans/joins, has
+    kernel-launch/runtime startup."""
+    return Device(name, DeviceKind.GPU, relational_speed=8.0e8,
+                  model_speed=5.0e9, memory_bytes=80 * _GB,
+                  startup_seconds=0.30)
+
+
+def tpu_v4(name: str = "tpu0") -> Device:
+    """Inference accelerator: enormous model throughput, weak at general
+    relational processing (ref [26] shows it is possible, not efficient)."""
+    return Device(name, DeviceKind.TPU, relational_speed=1.0e8,
+                  model_speed=2.0e10, memory_bytes=32 * _GB,
+                  startup_seconds=0.80)
+
+
+def mobile_npu(name: str = "npu0") -> Device:
+    """Phone-class neural engine: efficient but small and host-bound."""
+    return Device(name, DeviceKind.NPU, relational_speed=2.0e7,
+                  model_speed=6.0e8, memory_bytes=8 * _GB,
+                  startup_seconds=0.05)
+
+
+def nvme(name: str = "nvme0") -> Device:
+    """NVMe storage endpoint (source of scans in the simulator)."""
+    return Device(name, DeviceKind.STORAGE, relational_speed=1.0e7,
+                  model_speed=0.0, memory_bytes=4096 * _GB)
+
+
+def pcie3(a: str, b: str) -> Link:
+    return Link(a, b, bandwidth_bytes_per_s=12.0e9, latency_seconds=5e-6)
+
+
+def pcie4(a: str, b: str) -> Link:
+    return Link(a, b, bandwidth_bytes_per_s=24.0e9, latency_seconds=5e-6)
+
+
+def nvlink(a: str, b: str) -> Link:
+    return Link(a, b, bandwidth_bytes_per_s=250.0e9, latency_seconds=2e-6)
+
+
+def infiniband(a: str, b: str) -> Link:
+    return Link(a, b, bandwidth_bytes_per_s=12.5e9, latency_seconds=1.5e-6)
+
+
+def ethernet_10g(a: str, b: str) -> Link:
+    """Commodity 10 GbE — slow enough that compression can pay (§VI)."""
+    return Link(a, b, bandwidth_bytes_per_s=1.2e9, latency_seconds=50e-6)

@@ -1,0 +1,106 @@
+"""Hardware topology: devices connected by links (Figure 5 layouts)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import HardwareError
+from repro.hardware.devices import (
+    Device,
+    DeviceKind,
+    Link,
+    a100_gpu,
+    infiniband,
+    nvlink,
+    pcie3,
+    pcie4,
+    tpu_v4,
+    xeon_cpu,
+)
+
+
+class HardwareTopology:
+    """A set of devices and interconnects with path-based transfer costs."""
+
+    def __init__(self, devices: list[Device], links: list[Link],
+                 host: str | None = None):
+        self.devices = {device.name: device for device in devices}
+        if len(self.devices) != len(devices):
+            raise HardwareError("duplicate device names")
+        self.links: dict[frozenset, Link] = {}
+        self._graph = nx.Graph()
+        for device in devices:
+            self._graph.add_node(device.name)
+        for link in links:
+            if link.a not in self.devices or link.b not in self.devices:
+                raise HardwareError(
+                    f"link {link.a}<->{link.b} references unknown device"
+                )
+            self.links[link.endpoints()] = link
+            self._graph.add_edge(link.a, link.b,
+                                 seconds_per_byte=1.0 /
+                                 link.bandwidth_bytes_per_s)
+        self.host = host or devices[0].name
+        if self.host not in self.devices:
+            raise HardwareError(f"unknown host {self.host!r}")
+        if not nx.is_connected(self._graph):
+            raise HardwareError("topology is not connected")
+
+    @property
+    def compute_devices(self) -> list[Device]:
+        return [d for d in self.devices.values()
+                if d.kind != DeviceKind.STORAGE]
+
+    def device(self, name: str) -> Device:
+        try:
+            return self.devices[name]
+        except KeyError:
+            raise HardwareError(f"unknown device {name!r}") from None
+
+    def transfer_seconds(self, source: str, destination: str,
+                         n_bytes: float) -> float:
+        """Time to move ``n_bytes`` along the cheapest path."""
+        if source == destination:
+            return 0.0
+        try:
+            path = nx.shortest_path(self._graph, source, destination,
+                                    weight="seconds_per_byte")
+        except nx.NetworkXNoPath:
+            return float("inf")
+        total = 0.0
+        for hop_a, hop_b in zip(path, path[1:]):
+            link = self.links[frozenset((hop_a, hop_b))]
+            total += link.transfer_seconds(n_bytes)
+        return total
+
+    def __repr__(self) -> str:
+        return (f"HardwareTopology(devices={sorted(self.devices)}, "
+                f"links={len(self.links)}, host={self.host!r})")
+
+
+def standard_topologies() -> dict[str, HardwareTopology]:
+    """The three Figure-5 layouts the placement benchmark sweeps."""
+    cpu_only = HardwareTopology([xeon_cpu("cpu0")], [], host="cpu0")
+
+    cpu = xeon_cpu("cpu0")
+    gpu = a100_gpu("gpu0")
+    cpu_gpu = HardwareTopology([cpu, gpu], [pcie4("cpu0", "gpu0")],
+                               host="cpu0")
+
+    cpu2 = xeon_cpu("cpu1")
+    gpu0 = a100_gpu("gpu0")
+    gpu1 = a100_gpu("gpu1")
+    tpu = tpu_v4("tpu0")
+    full = HardwareTopology(
+        [xeon_cpu("cpu0"), cpu2, gpu0, gpu1, tpu],
+        [
+            infiniband("cpu0", "cpu1"),
+            pcie4("cpu0", "gpu0"),
+            pcie4("cpu1", "gpu1"),
+            nvlink("gpu0", "gpu1"),
+            pcie3("cpu0", "tpu0"),
+        ],
+        host="cpu0",
+    )
+    return {"cpu-only": cpu_only, "cpu+gpu": cpu_gpu,
+            "cpu+2gpu+tpu": full}

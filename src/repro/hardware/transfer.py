@@ -1,0 +1,114 @@
+"""Data-movement planning: compress-before-shipping decisions (§VI).
+
+"Obvious questions such as data compression before sending the data over
+the interconnect for processing come to mind" — the planner answers them
+with arithmetic: for each available codec, total time =
+compress + transfer(compressed bytes) + decompress; pick the minimum.
+Fast links (NVLink) make compression pointless; slow links (PCIe 3,
+InfiniBand across nodes) favour it for large payloads — a crossover the
+tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.topology import HardwareTopology
+
+
+@dataclass(frozen=True)
+class CompressionCodec:
+    """An analytical codec model.
+
+    ``setup_seconds`` is the fixed per-transfer cost (context/dictionary
+    initialization, pipeline spin-up) that makes the compress-or-not
+    decision size-dependent: tiny payloads never amortize it.
+    """
+
+    name: str
+    ratio: float                      # compressed = bytes / ratio
+    compress_bytes_per_s: float
+    decompress_bytes_per_s: float
+    setup_seconds: float = 0.0
+
+    def compress_seconds(self, n_bytes: float) -> float:
+        return self.setup_seconds + n_bytes / self.compress_bytes_per_s
+
+    def decompress_seconds(self, n_bytes: float) -> float:
+        return n_bytes / self.decompress_bytes_per_s
+
+
+#: No-op codec: raw transfer.
+RAW = CompressionCodec("raw", ratio=1.0, compress_bytes_per_s=float("inf"),
+                       decompress_bytes_per_s=float("inf"))
+#: LZ4-class: light ratio, very fast (multi-core figures).
+LZ4_CLASS = CompressionCodec("lz4-class", ratio=2.2,
+                             compress_bytes_per_s=5.0e9,
+                             decompress_bytes_per_s=8.0e9,
+                             setup_seconds=2e-3)
+#: Zstd-class: better ratio, slower.
+ZSTD_CLASS = CompressionCodec("zstd-class", ratio=3.4,
+                              compress_bytes_per_s=1.5e9,
+                              decompress_bytes_per_s=4.0e9,
+                              setup_seconds=8e-3)
+
+DEFAULT_CODECS = (RAW, LZ4_CLASS, ZSTD_CLASS)
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """Chosen codec and the resulting end-to-end transfer time."""
+
+    source: str
+    destination: str
+    n_bytes: float
+    codec: CompressionCodec
+    seconds: float
+
+    @property
+    def compressed(self) -> bool:
+        return self.codec.name != "raw"
+
+
+class TransferPlanner:
+    """Chooses per-transfer compression over a hardware topology."""
+
+    def __init__(self, topology: HardwareTopology,
+                 codecs: tuple[CompressionCodec, ...] = DEFAULT_CODECS):
+        self.topology = topology
+        self.codecs = codecs
+
+    def plan(self, source: str, destination: str,
+             n_bytes: float) -> TransferPlan:
+        """Cheapest (codec, time) for moving ``n_bytes``."""
+        best: TransferPlan | None = None
+        for codec in self.codecs:
+            wire_bytes = n_bytes / codec.ratio
+            seconds = (codec.compress_seconds(n_bytes)
+                       + self.topology.transfer_seconds(source, destination,
+                                                        wire_bytes)
+                       + codec.decompress_seconds(wire_bytes))
+            if best is None or seconds < best.seconds:
+                best = TransferPlan(source, destination, n_bytes, codec,
+                                    seconds)
+        assert best is not None
+        return best
+
+    def crossover_bytes(self, source: str, destination: str,
+                        low: float = 1.0, high: float = 1e12) -> float:
+        """Approximate payload size where compression starts winning.
+
+        Binary search on the raw-vs-best-codec decision; returns ``high``
+        when compression never wins on this link (e.g. NVLink).
+        """
+        if self.plan(source, destination, high).codec.name == "raw":
+            return high
+        if self.plan(source, destination, low).compressed:
+            return low
+        for _ in range(64):
+            middle = (low + high) / 2.0
+            if self.plan(source, destination, middle).compressed:
+                high = middle
+            else:
+                low = middle
+        return high

@@ -1,0 +1,37 @@
+"""Online data integration (paper §IV, Figure 3).
+
+"The data cannot be fully cleaned and unified ... ahead of time" — so
+cleaning happens *at query time*:
+
+- :class:`~repro.integration.consolidation.ResultConsolidator` —
+  automated, on-the-fly result consolidation: cluster context-equivalent
+  values and rewrite them to a canonical representative (Figure 3's
+  "embeddings + distance matching = auto-consolidation").
+- :class:`~repro.integration.entity_resolution.EntityResolver` —
+  embedding-based record matching and union-find deduplication.
+- :mod:`~repro.integration.fd_repair` — query-driven repair of functional
+  dependency violations (ref [12]) with semantic conflict resolution.
+"""
+
+from repro.integration.consolidation import (
+    ConsolidationReport,
+    ResultConsolidator,
+    pairwise_f1,
+)
+from repro.integration.entity_resolution import EntityResolver, MatchedPair
+from repro.integration.fd_repair import (
+    FunctionalDependency,
+    RepairReport,
+    repair_fd_violations,
+)
+
+__all__ = [
+    "ConsolidationReport",
+    "ResultConsolidator",
+    "pairwise_f1",
+    "EntityResolver",
+    "MatchedPair",
+    "FunctionalDependency",
+    "RepairReport",
+    "repair_fd_violations",
+]

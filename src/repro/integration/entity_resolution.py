@@ -1,0 +1,85 @@
+"""Embedding-based entity resolution and deduplication.
+
+Matching uses the blocked semantic-join kernel; deduplication closes the
+match relation transitively with union-find (two records describing the
+same entity through a chain of synonyms end up together even when their
+direct similarity dips below the threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.semantic.cache import EmbeddingCache
+from repro.semantic.join import join_blocked
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class MatchedPair:
+    left_row: int
+    right_row: int
+    score: float
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self.parent[max(root_a, root_b)] = min(root_a, root_b)
+
+
+class EntityResolver:
+    """Matches and deduplicates records by a string key's context."""
+
+    def __init__(self, cache: EmbeddingCache, threshold: float = 0.9):
+        self.cache = cache
+        self.threshold = threshold
+
+    def match(self, left: Table, right: Table, left_column: str,
+              right_column: str) -> list[MatchedPair]:
+        """All cross-table row pairs whose keys are context-similar."""
+        left_values = [v if v is not None else "" for v in
+                       left.column(left_column)]
+        right_values = [v if v is not None else "" for v in
+                        right.column(right_column)]
+        if not left_values or not right_values:
+            return []
+        left_matrix = self.cache.matrix(left_values)
+        right_matrix = self.cache.matrix(right_values)
+        li, ri, scores = join_blocked(left_matrix, right_matrix,
+                                      self.threshold)
+        return [MatchedPair(int(a), int(b), float(s))
+                for a, b, s in zip(li, ri, scores)]
+
+    def deduplicate(self, table: Table, column: str) -> np.ndarray:
+        """Entity id per row: transitive closure of the match relation."""
+        values = [v if v is not None else "" for v in table.column(column)]
+        if not values:
+            return np.empty(0, dtype=np.int64)
+        matrix = self.cache.matrix(values)
+        li, ri, _ = join_blocked(matrix, matrix, self.threshold)
+        union_find = _UnionFind(len(values))
+        for a, b in zip(li, ri):
+            if int(a) != int(b):
+                union_find.union(int(a), int(b))
+        roots = [union_find.find(i) for i in range(len(values))]
+        # compact ids in first-appearance order
+        remap: dict[int, int] = {}
+        ids = np.empty(len(values), dtype=np.int64)
+        for i, root in enumerate(roots):
+            if root not in remap:
+                remap[root] = len(remap)
+            ids[i] = remap[root]
+        return ids

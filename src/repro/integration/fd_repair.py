@@ -1,0 +1,124 @@
+"""Query-driven repair of functional dependency violations (ref [12]).
+
+``FunctionalDependency(["product_id"], "category")`` says rows agreeing on
+``product_id`` must agree on ``category``.  Violating groups are repaired
+online — optionally only for the rows a query actually touches — by
+majority vote, with an embedding-based twist: when the conflicting values
+are context-equivalent (synonyms), the repair consolidates them instead of
+treating the group as genuinely inconsistent, which is exactly the
+paper's "context-rich online data cleaning task".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import IntegrationError
+from repro.semantic.cache import EmbeddingCache
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """lhs columns functionally determine the rhs column."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(self.lhs)}}} -> {self.rhs}"
+
+
+@dataclass
+class RepairReport:
+    """What the repair pass did."""
+
+    fd: FunctionalDependency
+    groups_checked: int = 0
+    violating_groups: int = 0
+    semantic_consolidations: int = 0
+    majority_repairs: int = 0
+    rows_changed: int = 0
+    changes: list[tuple[object, str, str]] = field(default_factory=list)
+
+
+def repair_fd_violations(
+    table: Table,
+    fd: FunctionalDependency,
+    cache: EmbeddingCache | None = None,
+    semantic_threshold: float = 0.9,
+    scope_mask: np.ndarray | None = None,
+) -> tuple[Table, RepairReport]:
+    """Repair ``fd`` violations in ``table``; returns (table, report).
+
+    ``scope_mask`` restricts repair to the rows a query touches (the
+    query-driven part); other rows pass through unmodified.  Within a
+    violating group the repair prefers semantic consolidation (conflicting
+    values that are synonyms collapse to the most frequent form) and falls
+    back to majority vote.
+    """
+    if not fd.lhs:
+        raise IntegrationError("functional dependency needs lhs columns")
+    n = table.num_rows
+    in_scope = (np.ones(n, dtype=bool) if scope_mask is None
+                else np.asarray(scope_mask, dtype=bool))
+    if in_scope.shape[0] != n:
+        raise IntegrationError("scope mask length mismatch")
+
+    lhs_arrays = [table.column(c) for c in fd.lhs]
+    rhs_name = table.schema.names[table.schema.index_of(fd.rhs)]
+    rhs = np.array(table.column(rhs_name), dtype=object, copy=True)
+
+    groups: dict[tuple, list[int]] = {}
+    for row in range(n):
+        if not in_scope[row]:
+            continue
+        key = tuple(arr[row] for arr in lhs_arrays)
+        groups.setdefault(key, []).append(row)
+
+    report = RepairReport(fd=fd)
+    for key, rows in groups.items():
+        report.groups_checked += 1
+        values = [rhs[r] for r in rows if rhs[r] is not None]
+        distinct = sorted(set(values))
+        if len(distinct) <= 1:
+            continue
+        report.violating_groups += 1
+        replacement = _choose_repair(distinct, values, cache,
+                                     semantic_threshold, report)
+        for row in rows:
+            if rhs[row] is not None and rhs[row] != replacement:
+                report.changes.append((key, str(rhs[row]), replacement))
+                rhs[row] = replacement
+                report.rows_changed += 1
+
+    columns = dict(table.columns)
+    columns[rhs_name] = rhs
+    return Table(table.schema, columns), report
+
+
+def _choose_repair(distinct: list[str], values: list[str],
+                   cache: EmbeddingCache | None, threshold: float,
+                   report: RepairReport) -> str:
+    frequency = Counter(values)
+    if cache is not None and _all_context_equivalent(distinct, cache,
+                                                     threshold):
+        report.semantic_consolidations += 1
+    else:
+        report.majority_repairs += 1
+    # Most frequent value wins; ties break lexicographically (determinism).
+    best = sorted(frequency.items(), key=lambda kv: (-kv[1], kv[0]))
+    return best[0][0]
+
+
+def _all_context_equivalent(distinct: list[str], cache: EmbeddingCache,
+                            threshold: float) -> bool:
+    matrix = cache.matrix(distinct)
+    similarity = matrix @ matrix.T
+    off_diagonal = similarity[~np.eye(len(distinct), dtype=bool)]
+    if off_diagonal.size == 0:
+        return True
+    return bool(off_diagonal.min() >= threshold)

@@ -1,0 +1,99 @@
+"""Data-induced predicates (paper §IV, ref [23] Orr et al.).
+
+At optimization time, when a join's build side is estimated to be small,
+execute it, collect the distinct join-key values, and push a derived
+predicate into the probe side:
+
+- equi joins get an ``IN``-list filter,
+- **semantic joins** get a :class:`SemanticSemiFilterNode` — keep probe
+  rows whose key is context-similar to *any* build-side key.  This is the
+  paper's "with semantic operators, more complex optimization techniques
+  that work for relational data, such as data-induced predicates, can be
+  evaluated and applied in the query plans."
+
+The derived predicate is a pure reduction; the original join still runs,
+so results are unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.relational.expressions import ColumnRef, InList
+from repro.relational.logical import (
+    FilterNode,
+    JoinNode,
+    JoinType,
+    LogicalPlan,
+    SemanticJoinNode,
+    SemanticSemiFilterNode,
+)
+from repro.relational.physical import ExecutionContext, execute_plan
+from repro.optimizer.cardinality import CardinalityEstimator
+
+
+class DataInducedPredicates:
+    """Optimization pass deriving probe-side predicates from build sides."""
+
+    name = "data_induced_predicates"
+
+    def __init__(self, estimator: CardinalityEstimator,
+                 context: ExecutionContext, row_limit: int = 64,
+                 min_probe_build_ratio: float = 4.0):
+        self.estimator = estimator
+        self.context = context
+        self.row_limit = row_limit
+        self.min_probe_build_ratio = min_probe_build_ratio
+        self.applied = 0
+
+    def run(self, plan: LogicalPlan) -> LogicalPlan:
+        children = tuple(self.run(child) for child in plan.children)
+        if children != plan.children:
+            plan = plan.with_children(children)
+        if isinstance(plan, JoinNode):
+            return self._try_equi_join(plan)
+        if isinstance(plan, SemanticJoinNode):
+            return self._try_semantic_join(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _worthwhile(self, plan: LogicalPlan, build: LogicalPlan,
+                    probe: LogicalPlan) -> bool:
+        if plan.hints.get("dip"):
+            return False
+        build_rows = self.estimator.estimate(build)
+        probe_rows = self.estimator.estimate(probe)
+        return (build_rows <= self.row_limit
+                and probe_rows >= self.min_probe_build_ratio * build_rows)
+
+    def _try_equi_join(self, plan: JoinNode) -> LogicalPlan:
+        if (plan.join_type != JoinType.INNER or len(plan.left_keys) != 1
+                or not self._worthwhile(plan, plan.right, plan.left)):
+            return plan
+        build = execute_plan(plan.right, self.context)
+        if build.num_rows == 0 or build.num_rows > self.row_limit:
+            return plan
+        values = sorted({v for v in build.column(plan.right_keys[0])
+                         if v is not None})
+        reduced_left = FilterNode(
+            plan.left, InList(ColumnRef(plan.left_keys[0]), list(values)))
+        rewritten = plan.with_children((reduced_left, plan.right))
+        rewritten.hints["dip"] = True
+        self.applied += 1
+        return rewritten
+
+    def _try_semantic_join(self, plan: SemanticJoinNode) -> LogicalPlan:
+        if not self._worthwhile(plan, plan.right, plan.left):
+            return plan
+        build = execute_plan(plan.right, self.context)
+        if build.num_rows == 0 or build.num_rows > self.row_limit:
+            return plan
+        probes = sorted({v for v in build.column(plan.right_column)
+                         if v is not None})
+        if not probes:
+            return plan
+        reduced_left = SemanticSemiFilterNode(
+            plan.left, plan.left_column, list(probes), plan.model_name,
+            plan.threshold)
+        rewritten = plan.with_children((reduced_left, plan.right))
+        rewritten.hints["dip"] = True
+        self.applied += 1
+        return rewritten

@@ -1,0 +1,159 @@
+"""Join ordering: dynamic programming over commutative inner-join trees.
+
+Contiguous trees of inner equi-joins are flattened into a relation set
+plus a predicate set, then re-assembled bottom-up (DPsize): the cheapest
+plan for every relation subset is memoized, preferring connected joins
+over cross products.  Falls back to a greedy heuristic beyond
+``dp_relation_limit`` relations.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import OptimizerError
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.relational.logical import JoinNode, JoinType, LogicalPlan
+
+#: A flattened equi-join predicate: (left_key, right_key).
+JoinPredicate = tuple[str, str]
+
+
+class JoinOrderOptimizer:
+    """Reorders inner equi-join trees by estimated cost."""
+
+    name = "join_order"
+
+    def __init__(self, estimator: CardinalityEstimator, cost_model: CostModel,
+                 dp_relation_limit: int = 10):
+        self.estimator = estimator
+        self.cost_model = cost_model
+        self.dp_relation_limit = dp_relation_limit
+        self.reordered = 0
+
+    def run(self, plan: LogicalPlan) -> LogicalPlan:
+        if _is_reorderable_join(plan):
+            relations, predicates = _flatten(plan)
+            relations = [self.run(r) for r in relations]
+            if len(relations) > 2:
+                ordered = self._order(relations, predicates)
+                if ordered is not None:
+                    self.reordered += 1
+                    return ordered
+            return self._rebuild_left_deep(relations, predicates)
+        children = tuple(self.run(child) for child in plan.children)
+        if children != plan.children:
+            plan = plan.with_children(children)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _order(self, relations: list[LogicalPlan],
+               predicates: list[JoinPredicate]) -> LogicalPlan | None:
+        if len(relations) > self.dp_relation_limit:
+            return self._greedy(relations, predicates)
+        return self._dp(relations, predicates)
+
+    def _dp(self, relations: list[LogicalPlan],
+            predicates: list[JoinPredicate]) -> LogicalPlan | None:
+        n = len(relations)
+        best: dict[frozenset, tuple[float, LogicalPlan]] = {}
+        for index, relation in enumerate(relations):
+            best[frozenset([index])] = (
+                self.cost_model.cost(relation).total, relation)
+        for size in range(2, n + 1):
+            for subset in combinations(range(n), size):
+                subset_key = frozenset(subset)
+                candidates: list[tuple[float, LogicalPlan]] = []
+                cross_candidates: list[tuple[float, LogicalPlan]] = []
+                for split_size in range(1, size):
+                    for left_part in combinations(subset, split_size):
+                        if subset[0] not in left_part:
+                            continue  # canonical split avoids duplicates
+                        left_key = frozenset(left_part)
+                        right_key = subset_key - left_key
+                        if left_key not in best or right_key not in best:
+                            continue
+                        left_plan = best[left_key][1]
+                        right_plan = best[right_key][1]
+                        join = _join_with_predicates(left_plan, right_plan,
+                                                     predicates)
+                        bucket = (candidates if join.left_keys
+                                  else cross_candidates)
+                        bucket.append((self.cost_model.cost(join).total,
+                                       join))
+                pool = candidates or cross_candidates
+                if not pool:
+                    return None
+                best[subset_key] = min(pool, key=lambda item: item[0])
+        return best[frozenset(range(n))][1]
+
+    def _greedy(self, relations: list[LogicalPlan],
+                predicates: list[JoinPredicate]) -> LogicalPlan:
+        remaining = list(relations)
+        remaining.sort(key=lambda r: self.estimator.estimate(r))
+        current = remaining.pop(0)
+        while remaining:
+            scored = []
+            for index, relation in enumerate(remaining):
+                join = _join_with_predicates(current, relation, predicates)
+                connected = bool(join.left_keys)
+                scored.append((not connected,
+                               self.cost_model.cost(join).total, index, join))
+            scored.sort(key=lambda item: (item[0], item[1]))
+            _, _, index, join = scored[0]
+            current = join
+            remaining.pop(index)
+        return current
+
+    def _rebuild_left_deep(self, relations: list[LogicalPlan],
+                           predicates: list[JoinPredicate]) -> LogicalPlan:
+        if not relations:
+            raise OptimizerError("empty relation list")
+        current = relations[0]
+        for relation in relations[1:]:
+            current = _join_with_predicates(current, relation, predicates)
+        return current
+
+
+def _is_reorderable_join(plan: LogicalPlan) -> bool:
+    return (isinstance(plan, JoinNode)
+            and plan.join_type == JoinType.INNER
+            and bool(plan.left_keys)
+            and plan.extra_predicate is None)
+
+
+def _flatten(plan: LogicalPlan) -> tuple[list[LogicalPlan],
+                                         list[JoinPredicate]]:
+    if _is_reorderable_join(plan):
+        assert isinstance(plan, JoinNode)
+        left_rel, left_pred = _flatten(plan.left)
+        right_rel, right_pred = _flatten(plan.right)
+        own = list(zip(plan.left_keys, plan.right_keys))
+        return left_rel + right_rel, left_pred + right_pred + own
+    return [plan], []
+
+
+def _resolves(schema, name: str) -> bool:
+    try:
+        schema.index_of(name)
+        return True
+    except Exception:
+        return False
+
+
+def _join_with_predicates(left: LogicalPlan, right: LogicalPlan,
+                          predicates: list[JoinPredicate]) -> JoinNode:
+    """Join two subplans using every applicable flattened predicate."""
+    left_keys: list[str] = []
+    right_keys: list[str] = []
+    for key_a, key_b in predicates:
+        if _resolves(left.schema, key_a) and _resolves(right.schema, key_b):
+            left_keys.append(key_a)
+            right_keys.append(key_b)
+        elif _resolves(left.schema, key_b) and _resolves(right.schema, key_a):
+            left_keys.append(key_b)
+            right_keys.append(key_a)
+    if left_keys:
+        return JoinNode(left, right, JoinType.INNER, left_keys, right_keys)
+    return JoinNode(left, right, JoinType.CROSS)

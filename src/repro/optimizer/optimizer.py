@@ -1,0 +1,101 @@
+"""The optimizer facade: rules -> pruning -> join order -> DIP -> physical.
+
+Every stage is individually toggleable through :class:`OptimizerConfig`,
+which is what the rule-ablation benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel, CostParams
+from repro.optimizer.dip import DataInducedPredicates
+from repro.optimizer.join_order import JoinOrderOptimizer
+from repro.optimizer.physical_selection import PhysicalSelector
+from repro.optimizer.rules import (
+    DEFAULT_RULES,
+    PruneColumns,
+    RewriteRule,
+    RuleContext,
+    rewrite_fixpoint,
+)
+from repro.relational.logical import LogicalPlan
+from repro.relational.physical import ExecutionContext
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class OptimizerConfig:
+    """Stage toggles and knobs."""
+
+    enable_rules: bool = True
+    enable_prune: bool = True
+    enable_join_order: bool = True
+    enable_dip: bool = True
+    enable_physical: bool = True
+    dip_row_limit: int = 64
+    sample_size: int = 64
+    rules: list[RewriteRule] | None = None
+    cost_params: CostParams = field(default_factory=CostParams)
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did (consumed by EXPLAIN and the benchmarks)."""
+
+    rules_applied: dict[str, int] = field(default_factory=dict)
+    joins_reordered: int = 0
+    dip_applied: int = 0
+    physical_decisions: list[tuple[str, str]] = field(default_factory=list)
+    estimated_cost: float = 0.0
+
+
+class Optimizer:
+    """Holistic optimizer over relational + semantic plans."""
+
+    def __init__(self, catalog: Catalog, models=None,
+                 config: OptimizerConfig | None = None,
+                 execution_context: ExecutionContext | None = None):
+        self.config = config or OptimizerConfig()
+        self.estimator = CardinalityEstimator(
+            catalog, models, sample_size=self.config.sample_size)
+        self.cost_model = CostModel(self.estimator, self.config.cost_params)
+        self.execution_context = execution_context
+        self.last_report = OptimizationReport()
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        """Return an optimized, physically-annotated plan."""
+        report = OptimizationReport()
+        config = self.config
+        rule_ctx = RuleContext(estimator=self.estimator,
+                               cost_model=self.cost_model)
+
+        if config.enable_rules:
+            plan = rewrite_fixpoint(plan, config.rules or DEFAULT_RULES,
+                                    rule_ctx)
+        if config.enable_prune:
+            plan = PruneColumns().run(plan)
+        if config.enable_join_order:
+            reorder = JoinOrderOptimizer(self.estimator, self.cost_model)
+            plan = reorder.run(plan)
+            report.joins_reordered = reorder.reordered
+        if config.enable_dip and self.execution_context is not None:
+            dip = DataInducedPredicates(self.estimator,
+                                        self.execution_context,
+                                        row_limit=config.dip_row_limit)
+            plan = dip.run(plan)
+            report.dip_applied = dip.applied
+            if dip.applied and config.enable_rules:
+                # derived predicates may enable further pushdowns
+                plan = rewrite_fixpoint(plan, config.rules or DEFAULT_RULES,
+                                        rule_ctx)
+        if config.enable_physical:
+            selector = PhysicalSelector(self.cost_model)
+            plan = selector.run(plan)
+            report.physical_decisions = selector.decisions
+
+        report.rules_applied = dict(rule_ctx.applied)
+        report.estimated_cost = self.cost_model.cost(plan).total
+        self.last_report = report
+        return plan

@@ -1,0 +1,83 @@
+"""Operator traits exposed to the optimizer and the hardware planner.
+
+Paper §IV: "we need to express some properties of context-rich analysis
+operators ... include high-level cost information, such as the effect on
+the input/output cardinality"; §V: "encapsulate such operators in a
+UDF-like manner while exposing details such as compute requirements,
+amenability to parallelizing the input, and memory and data transfer
+requirements to the optimizer component."
+
+``traits_of`` maps every plan node to an :class:`OperatorTraits` record the
+cost model and the device-placement optimizer consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    ScanNode,
+    SemanticFilterNode,
+    SemanticGroupByNode,
+    SemanticJoinNode,
+    SortNode,
+    UnionNode,
+)
+
+
+@dataclass(frozen=True)
+class OperatorTraits:
+    """Optimizer-visible characteristics of an operator."""
+
+    #: "relational" or "model" — model operators can run on accelerators.
+    compute_class: str
+    #: Relative arithmetic intensity (flops per input row, abstract units).
+    compute_intensity: float
+    #: Whether the operator's input can be partitioned across workers.
+    parallel_amenable: bool
+    #: Whether the operator must materialize its input (pipeline breaker).
+    pipeline_breaker: bool
+    #: Bytes of model state that must ship to the executing device.
+    model_state_bytes: int
+    #: True when output cardinality can exceed input cardinality.
+    expanding: bool
+
+
+_RELATIONAL_CHEAP = OperatorTraits(
+    compute_class="relational", compute_intensity=1.0,
+    parallel_amenable=True, pipeline_breaker=False, model_state_bytes=0,
+    expanding=False,
+)
+
+#: Approximate serialized size of the synthetic pretrained model
+#: (vocab + subword buckets at dim=100, float32).
+_EMBEDDING_MODEL_BYTES = 8_000_000
+
+
+def traits_of(node: LogicalPlan) -> OperatorTraits:
+    """Traits record for one plan node."""
+    if isinstance(node, (ScanNode, FilterNode, ProjectNode, LimitNode,
+                         UnionNode)):
+        return _RELATIONAL_CHEAP
+    if isinstance(node, SortNode):
+        return OperatorTraits("relational", 4.0, True, True, 0, False)
+    if isinstance(node, AggregateNode):
+        return OperatorTraits("relational", 3.0, True, True, 0, False)
+    if isinstance(node, JoinNode):
+        return OperatorTraits("relational", 5.0, True, True, 0, True)
+    if isinstance(node, SemanticFilterNode):
+        return OperatorTraits("model", 120.0, True, False,
+                              _EMBEDDING_MODEL_BYTES, False)
+    if isinstance(node, SemanticJoinNode):
+        return OperatorTraits("model", 400.0, True, True,
+                              _EMBEDDING_MODEL_BYTES, True)
+    if isinstance(node, SemanticGroupByNode):
+        return OperatorTraits("model", 250.0, True, True,
+                              _EMBEDDING_MODEL_BYTES, False)
+    return _RELATIONAL_CHEAP

@@ -1,0 +1,476 @@
+"""Rule-based logical rewrites.
+
+Each rule is a local transformation tried at every node; the engine runs
+the rule set bottom-up to fixpoint.  The rules encode the "decades of
+database community research" the paper wants applied to context-rich
+plans: filter pushdown through (semantic) joins, predicate reordering
+around expensive model operators, projection pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.expressions import (
+    And,
+    Arith,
+    ColumnRef,
+    Compare,
+    Expr,
+    Func,
+    InList,
+    Literal,
+    Not,
+    Or,
+    combine_conjuncts,
+    split_conjuncts,
+)
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    JoinType,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    ScanNode,
+    SemanticFilterNode,
+    SemanticGroupByNode,
+    SemanticJoinNode,
+    SemanticSemiFilterNode,
+    SortNode,
+    UnionNode,
+)
+from repro.storage.schema import Schema
+
+
+@dataclass
+class RuleContext:
+    """Shared services available to rules."""
+
+    estimator: object | None = None   # CardinalityEstimator
+    cost_model: object | None = None  # CostModel
+    applied: dict[str, int] = field(default_factory=dict)
+
+    def record(self, rule_name: str) -> None:
+        self.applied[rule_name] = self.applied.get(rule_name, 0) + 1
+
+
+class RewriteRule:
+    """Base rewrite rule: return a replacement node, or None."""
+
+    name = "rewrite"
+
+    def apply(self, node: LogicalPlan,
+              ctx: RuleContext) -> LogicalPlan | None:
+        raise NotImplementedError
+
+
+def _resolves_in(columns: set[str], schema: Schema) -> bool:
+    """True when every referenced column can be resolved in ``schema``."""
+    for name in columns:
+        try:
+            schema.index_of(name)
+        except Exception:
+            return False
+    return True
+
+
+class MergeFilters(RewriteRule):
+    """``Filter(Filter(x, p2), p1) -> Filter(x, p1 AND p2)``."""
+
+    name = "merge_filters"
+
+    def apply(self, node, ctx):
+        if isinstance(node, FilterNode) and isinstance(node.child, FilterNode):
+            merged = And(node.predicate, node.child.predicate)
+            return FilterNode(node.child.child, merged)
+        return None
+
+
+class PushFilterThroughProject(RewriteRule):
+    """Move a filter below a projection, substituting aliases."""
+
+    name = "push_filter_through_project"
+
+    def apply(self, node, ctx):
+        if not (isinstance(node, FilterNode)
+                and isinstance(node.child, ProjectNode)):
+            return None
+        project = node.child
+        mapping = {alias: expr for expr, alias in project.exprs}
+        try:
+            rewritten = substitute(node.predicate, mapping)
+        except KeyError:
+            return None
+        if not _resolves_in(rewritten.columns(), project.child.schema):
+            return None
+        return ProjectNode(FilterNode(project.child, rewritten),
+                           project.exprs)
+
+
+class PushFilterIntoJoin(RewriteRule):
+    """Split a conjunctive filter above a join and push single-side parts."""
+
+    name = "push_filter_into_join"
+
+    def apply(self, node, ctx):
+        if not (isinstance(node, FilterNode)
+                and isinstance(node.child, JoinNode)):
+            return None
+        join = node.child
+        if join.join_type not in (JoinType.INNER, JoinType.CROSS):
+            return None
+        left_parts, right_parts, residual = _split_by_side(
+            node.predicate, join.left.schema, join.right.schema)
+        if not left_parts and not right_parts:
+            return None
+        left = join.left
+        right = join.right
+        if left_parts:
+            left = FilterNode(left, combine_conjuncts(left_parts))
+        if right_parts:
+            right = FilterNode(right, combine_conjuncts(right_parts))
+        new_join = join.with_children((left, right))
+        if residual:
+            return FilterNode(new_join, combine_conjuncts(residual))
+        return new_join
+
+
+class PushFilterThroughSemanticJoin(RewriteRule):
+    """The Figure-4 headline rule: single-side predicates sink below a
+    semantic join (matching is per-pair, so this is semantics-preserving)."""
+
+    name = "push_filter_through_semantic_join"
+
+    def apply(self, node, ctx):
+        if not (isinstance(node, FilterNode)
+                and isinstance(node.child, SemanticJoinNode)):
+            return None
+        join = node.child
+        referenced_score = any(
+            join.score_alias in part.columns()
+            for part in split_conjuncts(node.predicate)
+        )
+        left_parts, right_parts, residual = _split_by_side(
+            node.predicate, join.left.schema, join.right.schema)
+        if referenced_score or (not left_parts and not right_parts):
+            return None
+        left = join.left
+        right = join.right
+        if left_parts:
+            left = FilterNode(left, combine_conjuncts(left_parts))
+        if right_parts:
+            right = FilterNode(right, combine_conjuncts(right_parts))
+        new_join = join.with_children((left, right))
+        if residual:
+            return FilterNode(new_join, combine_conjuncts(residual))
+        return new_join
+
+
+class PushFilterBelowSemanticFilter(RewriteRule):
+    """Run cheap relational filters before expensive model filters."""
+
+    name = "push_filter_below_semantic_filter"
+
+    def apply(self, node, ctx):
+        if not (isinstance(node, FilterNode) and isinstance(
+                node.child, (SemanticFilterNode, SemanticSemiFilterNode))):
+            return None
+        semantic = node.child
+        score_alias = getattr(semantic, "score_alias", None)
+        if score_alias and score_alias in node.predicate.columns():
+            return None
+        pushed = FilterNode(semantic.child, node.predicate)
+        return semantic.with_children((pushed,))
+
+
+class PushFilterThroughAggregate(RewriteRule):
+    """Push group-key-only predicates below an aggregate."""
+
+    name = "push_filter_through_aggregate"
+
+    def apply(self, node, ctx):
+        if not (isinstance(node, FilterNode)
+                and isinstance(node.child, AggregateNode)):
+            return None
+        aggregate = node.child
+        if not aggregate.group_keys:
+            return None
+        key_fields = set(aggregate.schema.names[:len(aggregate.group_keys)])
+        pushable, residual = [], []
+        for part in split_conjuncts(node.predicate):
+            if part.columns() <= key_fields:
+                pushable.append(part)
+            else:
+                residual.append(part)
+        if not pushable:
+            return None
+        pushed = FilterNode(aggregate.child, combine_conjuncts(pushable))
+        new_aggregate = aggregate.with_children((pushed,))
+        if residual:
+            return FilterNode(new_aggregate, combine_conjuncts(residual))
+        return new_aggregate
+
+
+class OrderFilterChain(RewriteRule):
+    """Cost-based ordering of adjacent semantic filters.
+
+    For ``SF_a(SF_b(x))``, runs the filter with the better
+    rank = cost / (1 - selectivity) first (classic predicate ordering).
+    """
+
+    name = "order_filter_chain"
+
+    def apply(self, node, ctx):
+        if not (isinstance(node, (SemanticFilterNode, SemanticSemiFilterNode))
+                and isinstance(node.children[0],
+                               (SemanticFilterNode, SemanticSemiFilterNode))):
+            return None
+        if ctx.estimator is None:
+            return None
+        inner = node.children[0]
+        outer_rank = self._rank(node, ctx)
+        inner_rank = self._rank(inner, ctx)
+        # Want the lower rank *below* (executed first). Swap when the outer
+        # operator should run first.
+        if outer_rank >= inner_rank:
+            return None
+        swapped_outer = node.with_children((inner.children[0],))
+        return inner.with_children((swapped_outer,))
+
+    @staticmethod
+    def _rank(node, ctx) -> float:
+        estimator = ctx.estimator
+        if isinstance(node, SemanticFilterNode):
+            selectivity = estimator.semantic_filter_selectivity(node)
+            cost = 1.0
+        else:
+            selectivity = min(1.0, 0.1 * len(node.probes))
+            cost = float(len(node.probes))
+        benefit = max(1.0 - selectivity, 1e-6)
+        return cost / benefit
+
+
+class RemoveTrivialProject(RewriteRule):
+    """Drop projections that re-emit the child schema unchanged."""
+
+    name = "remove_trivial_project"
+
+    def apply(self, node, ctx):
+        if not isinstance(node, ProjectNode):
+            return None
+        child_names = node.child.schema.names
+        if len(node.exprs) != len(child_names):
+            return None
+        for (expr, alias), name in zip(node.exprs, child_names):
+            if not (isinstance(expr, ColumnRef) and expr.name == name
+                    and alias == name):
+                return None
+        return node.child
+
+
+DEFAULT_RULES: list[RewriteRule] = [
+    MergeFilters(),
+    PushFilterThroughProject(),
+    PushFilterIntoJoin(),
+    PushFilterThroughSemanticJoin(),
+    PushFilterBelowSemanticFilter(),
+    PushFilterThroughAggregate(),
+    OrderFilterChain(),
+    RemoveTrivialProject(),
+]
+
+
+def rewrite_fixpoint(plan: LogicalPlan, rules: list[RewriteRule],
+                     ctx: RuleContext | None = None,
+                     max_passes: int = 10) -> LogicalPlan:
+    """Apply ``rules`` bottom-up repeatedly until no rule fires."""
+    ctx = ctx or RuleContext()
+    for _ in range(max_passes):
+        plan, changed = _rewrite_once(plan, rules, ctx)
+        if not changed:
+            break
+    return plan
+
+
+def _rewrite_once(plan: LogicalPlan, rules: list[RewriteRule],
+                  ctx: RuleContext) -> tuple[LogicalPlan, bool]:
+    changed = False
+    new_children = []
+    for child in plan.children:
+        new_child, child_changed = _rewrite_once(child, rules, ctx)
+        new_children.append(new_child)
+        changed = changed or child_changed
+    if changed:
+        plan = plan.with_children(tuple(new_children))
+    for rule in rules:
+        replacement = rule.apply(plan, ctx)
+        if replacement is not None:
+            ctx.record(rule.name)
+            return replacement, True
+    return plan, changed
+
+
+def _split_by_side(predicate: Expr, left_schema: Schema,
+                   right_schema: Schema):
+    """Partition conjuncts by which join input they reference."""
+    left_parts: list[Expr] = []
+    right_parts: list[Expr] = []
+    residual: list[Expr] = []
+    for part in split_conjuncts(predicate):
+        columns = part.columns()
+        if columns and _resolves_in(columns, left_schema):
+            left_parts.append(part)
+        elif columns and _resolves_in(columns, right_schema):
+            right_parts.append(part)
+        else:
+            residual.append(part)
+    return left_parts, right_parts, residual
+
+
+def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
+    """Replace column references per ``mapping`` (alias -> expression).
+
+    Raises ``KeyError`` when a referenced alias is missing from the
+    mapping, signalling the caller that the rewrite is not applicable.
+    """
+    if isinstance(expr, ColumnRef):
+        if expr.name in mapping:
+            return mapping[expr.name]
+        raise KeyError(expr.name)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, Compare):
+        return Compare(expr.op, substitute(expr.left, mapping),
+                       substitute(expr.right, mapping))
+    if isinstance(expr, And):
+        return And(substitute(expr.left, mapping),
+                   substitute(expr.right, mapping))
+    if isinstance(expr, Or):
+        return Or(substitute(expr.left, mapping),
+                  substitute(expr.right, mapping))
+    if isinstance(expr, Not):
+        return Not(substitute(expr.operand, mapping))
+    if isinstance(expr, Arith):
+        return Arith(expr.op, substitute(expr.left, mapping),
+                     substitute(expr.right, mapping))
+    if isinstance(expr, InList):
+        return InList(substitute(expr.operand, mapping), expr.values)
+    if isinstance(expr, Func):
+        return Func(expr.name,
+                    tuple(substitute(a, mapping) for a in expr.args))
+    raise KeyError(f"cannot substitute in {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Projection pruning (one-shot top-down pass, not a local rule)
+# ----------------------------------------------------------------------
+class PruneColumns:
+    """Insert projections above scans so only required columns flow up."""
+
+    name = "prune_columns"
+
+    def run(self, plan: LogicalPlan) -> LogicalPlan:
+        required = set(plan.schema.names)
+        return self._rewrite(plan, required)
+
+    def _rewrite(self, node: LogicalPlan, required: set[str]) -> LogicalPlan:
+        required = self._canonical(required, node.schema)
+        if isinstance(node, ScanNode):
+            names = [n for n in node.schema.names if n in required]
+            if len(names) == len(node.schema.names) or not names:
+                return node
+            return ProjectNode(node, [(ColumnRef(n), n) for n in names])
+        if isinstance(node, FilterNode):
+            child_required = required | self._canonical(
+                node.predicate.columns(), node.child.schema)
+            return node.with_children(
+                (self._rewrite(node.child, child_required),))
+        if isinstance(node, ProjectNode):
+            child_required: set[str] = set()
+            for expr, alias in node.exprs:
+                if alias in required:
+                    child_required |= expr.columns()
+            kept = [(e, a) for e, a in node.exprs if a in required]
+            if not kept:
+                kept = node.exprs
+                child_required = set()
+                for expr, _ in node.exprs:
+                    child_required |= expr.columns()
+            child = self._rewrite(node.child, self._canonical(
+                child_required, node.child.schema))
+            return ProjectNode(child, kept)
+        if isinstance(node, JoinNode):
+            return self._rewrite_join(node, required)
+        if isinstance(node, SemanticJoinNode):
+            left_schema = node.left.schema
+            right_schema = node.right.schema
+            left_required = {n for n in required if n in left_schema}
+            right_required = {n for n in required if n in right_schema}
+            left_required |= self._canonical({node.left_column}, left_schema)
+            right_required |= self._canonical({node.right_column},
+                                              right_schema)
+            return node.with_children((
+                self._rewrite(node.left, left_required),
+                self._rewrite(node.right, right_required),
+            ))
+        if isinstance(node, (SemanticFilterNode, SemanticSemiFilterNode)):
+            child_required = {n for n in required
+                              if n in node.child.schema}
+            child_required |= self._canonical({node.column},
+                                              node.child.schema)
+            return node.with_children(
+                (self._rewrite(node.child, child_required),))
+        if isinstance(node, SemanticGroupByNode):
+            child_required = {n for n in required if n in node.child.schema}
+            child_required |= self._canonical({node.column},
+                                              node.child.schema)
+            return node.with_children(
+                (self._rewrite(node.child, child_required),))
+        if isinstance(node, AggregateNode):
+            child_required = self._canonical(set(node.group_keys),
+                                             node.child.schema)
+            for agg in node.aggregates:
+                if agg.operand is not None:
+                    child_required |= self._canonical(
+                        agg.operand.columns(), node.child.schema)
+            return node.with_children(
+                (self._rewrite(node.child, child_required),))
+        if isinstance(node, SortNode):
+            child_required = required | self._canonical(
+                {k for k, _ in node.keys}, node.child.schema)
+            return node.with_children(
+                (self._rewrite(node.child, child_required),))
+        if isinstance(node, (LimitNode, UnionNode)):
+            children = tuple(self._rewrite(c, set(required))
+                             for c in node.children)
+            return node.with_children(children)
+        return node
+
+    def _rewrite_join(self, node: JoinNode, required: set[str]) -> JoinNode:
+        left_schema = node.left.schema
+        right_schema = node.right.schema
+        left_required = {n for n in required if n in left_schema}
+        right_required = {n for n in required if n in right_schema}
+        left_required |= self._canonical(set(node.left_keys), left_schema)
+        right_required |= self._canonical(set(node.right_keys), right_schema)
+        if node.extra_predicate is not None:
+            for name in node.extra_predicate.columns():
+                if name in left_schema:
+                    left_required.add(name)
+                elif name in right_schema:
+                    right_required.add(name)
+        left = self._rewrite(node.left, left_required)
+        right = self._rewrite(node.right, right_required)
+        return node.with_children((left, right))  # type: ignore[return-value]
+
+    @staticmethod
+    def _canonical(names: set[str], schema: Schema) -> set[str]:
+        out = set()
+        for name in names:
+            try:
+                out.add(schema.names[schema.index_of(name)])
+            except Exception:
+                out.add(name)
+        return out

@@ -1,0 +1,30 @@
+"""Polystore data sources (paper Figure 1 / §IV).
+
+The engine combines a traditional RDBMS source, a knowledge base curated
+on a *different* vocabulary, and an image store whose content is reachable
+only through model inference — the exact three-source setup of the
+motivating example (Figure 2).
+"""
+
+from repro.polystore.source import DataSource
+from repro.polystore.rdbms import RelationalSource
+from repro.polystore.knowledge_base import KnowledgeBase, Triple
+from repro.polystore.image_store import (
+    DetectedObject,
+    ImageStore,
+    ObjectDetectionModel,
+    SyntheticImage,
+)
+from repro.polystore.federation import Federation
+
+__all__ = [
+    "DataSource",
+    "RelationalSource",
+    "KnowledgeBase",
+    "Triple",
+    "DetectedObject",
+    "ImageStore",
+    "ObjectDetectionModel",
+    "SyntheticImage",
+    "Federation",
+]

@@ -1,0 +1,54 @@
+"""Federation: registering polystore sources into one catalog.
+
+The engine queries everything through the catalog; federation is the thin
+layer that materializes source views under qualified names
+(``source.table``), recording which catalog entries belong to which
+source.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SourceError
+from repro.polystore.source import DataSource
+from repro.storage.catalog import Catalog
+
+
+class Federation:
+    """Tracks sources and their catalog registrations."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.sources: dict[str, DataSource] = {}
+        self._registered: dict[str, list[str]] = {}
+
+    def add_source(self, source: DataSource, materialize: bool = True) -> None:
+        if source.name in self.sources:
+            raise SourceError(f"source {source.name!r} already federated")
+        self.sources[source.name] = source
+        self._registered[source.name] = []
+        if materialize:
+            self.materialize(source.name)
+
+    def materialize(self, source_name: str) -> list[str]:
+        """(Re)materialize every view of a source into the catalog."""
+        source = self.source(source_name)
+        names = []
+        for table_name in source.table_names():
+            qualified = source.qualified_name(table_name)
+            self.catalog.register(qualified, source.table(table_name),
+                                  replace=True)
+            names.append(qualified)
+        self._registered[source_name] = names
+        return names
+
+    def source(self, name: str) -> DataSource:
+        try:
+            return self.sources[name]
+        except KeyError:
+            raise SourceError(
+                f"unknown source {name!r}; federated: "
+                f"{sorted(self.sources)}"
+            ) from None
+
+    def registered_tables(self, source_name: str) -> list[str]:
+        return list(self._registered.get(source_name, []))

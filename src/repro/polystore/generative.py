@@ -1,0 +1,127 @@
+"""A generative model as a data source (paper §I/§III).
+
+"Models such as GPT-3 can also represent data sources, generating new
+data" — and "generative models can produce output and data on their own",
+which is exactly why online consolidation is unavoidable: generated text
+mentions concepts through arbitrary surface forms.
+
+:class:`GenerativeModelSource` simulates that: prompted with a concept, it
+emits template-composed sentences that mention the concept through random
+synonym forms (and, for hypernym prompts, hyponym forms), with per-sample
+latency accounting like the object detector.  Downstream, the emitted
+``mention`` column joins with clean data only through semantic operators
+— the generated rows carry ground truth so tests and benchmarks can score
+that integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.embeddings.pretrained import FILLER_WORDS
+from repro.embeddings.thesaurus import Thesaurus, default_thesaurus
+from repro.errors import SourceError
+from repro.polystore.source import DataSource
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+from repro.utils.rng import derive_seed, make_rng
+
+_SAMPLE_SCHEMA = Schema([
+    Field("sample_id", DataType.INT64),
+    Field("prompt", DataType.STRING),
+    Field("text", DataType.STRING),
+    Field("mention", DataType.STRING),
+    Field("true_concept", DataType.STRING),
+])
+
+_TEMPLATES = (
+    "the {adj} {mention} was {verb} near the {noun}",
+    "a {noun} review praised the {mention} as {adj}",
+    "customers {verb} the {mention} despite the {noun}",
+    "{adj} {mention} listed beside a {noun}",
+)
+
+_ADJECTIVES = ("new", "popular", "affordable", "premium", "classic",
+               "vintage")
+_VERBS = ("photographed", "returned", "recommended", "purchased",
+          "reviewed")
+
+
+@dataclass
+class GenerativeModelSource(DataSource):
+    """Simulated generative model exposed as a polystore source."""
+
+    thesaurus: Thesaurus = field(default_factory=default_thesaurus)
+    seed: int = 73
+    seconds_per_sample: float = 0.2
+    samples_generated: int = 0
+    simulated_seconds: float = 0.0
+
+    def __init__(self, name: str = "genmodel",
+                 thesaurus: Thesaurus | None = None, seed: int = 73,
+                 seconds_per_sample: float = 0.2):
+        super().__init__(name)
+        self.thesaurus = thesaurus or default_thesaurus()
+        self.seed = seed
+        self.seconds_per_sample = seconds_per_sample
+        self.samples_generated = 0
+        self.simulated_seconds = 0.0
+        self._materialized: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def generate(self, prompt: str, n_samples: int) -> Table:
+        """'Ask the model' for ``n_samples`` rows about ``prompt``.
+
+        ``prompt`` must resolve to a thesaurus concept (any surface form);
+        hypernym prompts draw mentions from hyponym concepts too — the
+        context-rich answering the paper warns needs consolidation.
+        """
+        concept = self.thesaurus.concept_of(prompt)
+        if concept is None:
+            raise SourceError(
+                f"generative source cannot ground prompt {prompt!r} "
+                "in its knowledge"
+            )
+        pool = [concept.name] if not concept.is_hypernym else \
+            list(concept.children)
+        rows = []
+        for _ in range(n_samples):
+            sample_id = self.samples_generated
+            rng = make_rng(derive_seed(self.seed, "sample", sample_id))
+            target = self.thesaurus[pool[int(rng.integers(len(pool)))]]
+            mention = target.forms[int(rng.integers(len(target.forms)))]
+            template = _TEMPLATES[int(rng.integers(len(_TEMPLATES)))]
+            text = template.format(
+                adj=_ADJECTIVES[int(rng.integers(len(_ADJECTIVES)))],
+                verb=_VERBS[int(rng.integers(len(_VERBS)))],
+                noun=FILLER_WORDS[int(rng.integers(len(FILLER_WORDS)))],
+                mention=mention,
+            )
+            rows.append({
+                "sample_id": sample_id,
+                "prompt": prompt,
+                "text": text,
+                "mention": mention,
+                "true_concept": target.name,
+            })
+            self.samples_generated += 1
+            self.simulated_seconds += self.seconds_per_sample
+        self._materialized.extend(rows)
+        return Table.from_rows(rows, _SAMPLE_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # DataSource interface: everything generated so far
+    # ------------------------------------------------------------------
+    def table_names(self) -> list[str]:
+        return ["samples"]
+
+    def table(self, table_name: str) -> Table:
+        if table_name != "samples":
+            raise SourceError(
+                f"generative source exposes only 'samples', "
+                f"not {table_name!r}"
+            )
+        if not self._materialized:
+            return Table.empty(_SAMPLE_SCHEMA)
+        return Table.from_rows(self._materialized, _SAMPLE_SCHEMA)

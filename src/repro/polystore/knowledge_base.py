@@ -1,0 +1,84 @@
+"""Knowledge base source: subject-predicate-object triples.
+
+The paper's motivating example supplements products with "a general
+knowledge base ... curated and collected on a different and broader
+dataset that does not precisely match the labels" — so KB labels are
+surface-form *variants* of RDBMS values, and joining them is precisely the
+semantic-join problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.polystore.source import DataSource
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+@dataclass(frozen=True)
+class Triple:
+    subject: str
+    predicate: str
+    obj: str
+
+
+_TRIPLE_SCHEMA = Schema([
+    Field("subject", DataType.STRING),
+    Field("predicate", DataType.STRING),
+    Field("object", DataType.STRING),
+])
+
+
+class KnowledgeBase(DataSource):
+    """In-memory triple store with pattern queries and a relational view."""
+
+    def __init__(self, name: str = "kb"):
+        super().__init__(name)
+        self._triples: list[Triple] = []
+        self._by_predicate: dict[str, list[Triple]] = {}
+
+    def add(self, subject: str, predicate: str, obj: str) -> None:
+        triple = Triple(subject, predicate, obj)
+        self._triples.append(triple)
+        self._by_predicate.setdefault(predicate, []).append(triple)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def query(self, subject: str | None = None, predicate: str | None = None,
+              obj: str | None = None) -> list[Triple]:
+        """Pattern match with None as wildcard."""
+        candidates = (self._by_predicate.get(predicate, [])
+                      if predicate is not None else self._triples)
+        return [
+            t for t in candidates
+            if (subject is None or t.subject == subject)
+            and (obj is None or t.obj == obj)
+        ]
+
+    def subjects_of(self, predicate: str, obj: str) -> list[str]:
+        """All subjects s with (s, predicate, obj)."""
+        return [t.subject for t in self.query(predicate=predicate, obj=obj)]
+
+    def table_names(self) -> list[str]:
+        return ["triples"] + sorted(
+            p for p in self._by_predicate
+        )
+
+    def table(self, table_name: str) -> Table:
+        """``triples`` = all rows; a predicate name = its 2-column view."""
+        if table_name == "triples":
+            rows = [{"subject": t.subject, "predicate": t.predicate,
+                     "object": t.obj} for t in self._triples]
+            if not rows:
+                return Table.empty(_TRIPLE_SCHEMA)
+            return Table.from_rows(rows, _TRIPLE_SCHEMA)
+        triples = self._by_predicate.get(table_name, [])
+        schema = Schema([Field("subject", DataType.STRING),
+                         Field("object", DataType.STRING)])
+        rows = [{"subject": t.subject, "object": t.obj} for t in triples]
+        if not rows:
+            return Table.empty(schema)
+        return Table.from_rows(rows, schema)

@@ -1,0 +1,35 @@
+"""The traditional RDBMS source: cleaned, golden, schema-ful tables."""
+
+from __future__ import annotations
+
+from repro.errors import SourceError
+from repro.polystore.source import DataSource
+from repro.storage.table import Table
+
+
+class RelationalSource(DataSource):
+    """A set of materialized relational tables."""
+
+    def __init__(self, name: str, tables: dict[str, Table] | None = None):
+        super().__init__(name)
+        self._tables: dict[str, Table] = dict(tables or {})
+
+    def add_table(self, table_name: str, table: Table,
+                  replace: bool = False) -> None:
+        if table_name in self._tables and not replace:
+            raise SourceError(
+                f"table {table_name!r} already exists in source {self.name!r}"
+            )
+        self._tables[table_name] = table
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def table(self, table_name: str) -> Table:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise SourceError(
+                f"source {self.name!r} has no table {table_name!r}; "
+                f"available: {self.table_names()}"
+            ) from None

@@ -1,0 +1,25 @@
+"""Common interface for polystore sources."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.storage.table import Table
+
+
+class DataSource(ABC):
+    """A named source that can expose one or more relational views."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def table_names(self) -> list[str]:
+        """Relational views this source can materialize."""
+
+    @abstractmethod
+    def table(self, table_name: str) -> Table:
+        """Materialize one view as a columnar table."""
+
+    def qualified_name(self, table_name: str) -> str:
+        return f"{self.name}.{table_name}"

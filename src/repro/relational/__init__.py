@@ -1,0 +1,75 @@
+"""Relational engine: expressions, logical plans, physical operators.
+
+The execution model is *vectorized volcano*: physical operators pull
+column-batch :class:`~repro.storage.table.Table` chunks from their
+children.  Semantic (model-assisted) operators in :mod:`repro.semantic`
+plug into exactly the same interfaces — that uniformity is the paper's
+central integration claim (§IV).
+"""
+
+from repro.relational.expressions import (
+    AggExpr,
+    AggFunc,
+    And,
+    Arith,
+    ColumnRef,
+    Compare,
+    Expr,
+    Func,
+    InList,
+    Literal,
+    Not,
+    Or,
+    col,
+    lit,
+    split_conjuncts,
+)
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    JoinType,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    ScanNode,
+    SemanticFilterNode,
+    SemanticGroupByNode,
+    SemanticJoinNode,
+    SortNode,
+    UnionNode,
+)
+from repro.relational.physical import PhysicalOperator, execute_plan
+
+__all__ = [
+    "AggExpr",
+    "AggFunc",
+    "And",
+    "Arith",
+    "ColumnRef",
+    "Compare",
+    "Expr",
+    "Func",
+    "InList",
+    "Literal",
+    "Not",
+    "Or",
+    "col",
+    "lit",
+    "split_conjuncts",
+    "AggregateNode",
+    "FilterNode",
+    "JoinNode",
+    "JoinType",
+    "LimitNode",
+    "LogicalPlan",
+    "ProjectNode",
+    "ScanNode",
+    "SemanticFilterNode",
+    "SemanticGroupByNode",
+    "SemanticJoinNode",
+    "SortNode",
+    "UnionNode",
+    "PhysicalOperator",
+    "execute_plan",
+]

@@ -1,0 +1,148 @@
+"""Sampling-based approximate query processing (paper §VI, ref [28]).
+
+"Fast sampling running on modern hardware [28] ... can come in handy":
+this module answers aggregate queries from a uniform row sample with
+CLT-based confidence intervals.  The engine already uses sampling for
+semantic selectivity estimation (:mod:`repro.optimizer.cardinality`);
+this is the user-facing counterpart — trade exactness for a bounded,
+quantified error at a fraction of the scan.
+
+Supported: COUNT, SUM, AVG (with scale-up estimators and normal-
+approximation intervals) over optional predicates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.relational.expressions import Expr
+from repro.storage.table import Table
+from repro.utils.rng import make_rng
+
+#: z-scores for the confidence levels we expose.
+_Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class ApproximateResult:
+    """A point estimate with its confidence interval."""
+
+    estimate: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    sample_rows: int
+    total_rows: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.ci_low <= value <= self.ci_high
+
+    def __str__(self) -> str:
+        return (f"{self.estimate:,.2f} ± {self.half_width:,.2f} "
+                f"({self.confidence:.0%} CI, "
+                f"{self.sample_rows}/{self.total_rows} rows sampled)")
+
+
+class ApproximateAggregator:
+    """Uniform-sampling approximate aggregates over a table."""
+
+    def __init__(self, table: Table, sample_fraction: float = 0.1,
+                 seed: int = 47):
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ExecutionError("sample_fraction must be in (0, 1]")
+        self.table = table
+        self.sample_fraction = sample_fraction
+        self.seed = seed
+        self._sample = self._draw_sample()
+
+    def _draw_sample(self) -> Table:
+        n = self.table.num_rows
+        sample_size = max(1, int(round(n * self.sample_fraction)))
+        if sample_size >= n:
+            return self.table
+        rng = make_rng(self.seed)
+        picks = np.sort(rng.choice(n, size=sample_size, replace=False))
+        return self.table.take(picks)
+
+    @property
+    def sample(self) -> Table:
+        return self._sample
+
+    # ------------------------------------------------------------------
+    def count(self, predicate: Expr | None = None,
+              confidence: float = 0.95) -> ApproximateResult:
+        """Approximate ``COUNT(*) [WHERE predicate]``."""
+        z = _z(confidence)
+        n = self.table.num_rows
+        m = self._sample.num_rows
+        if predicate is None:
+            return ApproximateResult(float(n), float(n), float(n),
+                                     confidence, m, n)
+        mask = predicate.evaluate(self._sample)
+        p_hat = float(mask.mean()) if m else 0.0
+        estimate = p_hat * n
+        # binomial proportion interval, scaled to the population
+        stderr = math.sqrt(max(p_hat * (1 - p_hat), 0.0) / max(m, 1)) * n
+        return ApproximateResult(estimate, max(estimate - z * stderr, 0.0),
+                                 min(estimate + z * stderr, float(n)),
+                                 confidence, m, n)
+
+    def sum(self, column: str, predicate: Expr | None = None,
+            confidence: float = 0.95) -> ApproximateResult:
+        """Approximate ``SUM(column) [WHERE predicate]``."""
+        z = _z(confidence)
+        n = self.table.num_rows
+        values = self._contributions(column, predicate)
+        m = values.shape[0]
+        mean = float(values.mean()) if m else 0.0
+        estimate = mean * n
+        stderr = (float(values.std(ddof=1)) / math.sqrt(m) * n
+                  if m > 1 else 0.0)
+        return ApproximateResult(estimate, estimate - z * stderr,
+                                 estimate + z * stderr, confidence, m, n)
+
+    def avg(self, column: str, predicate: Expr | None = None,
+            confidence: float = 0.95) -> ApproximateResult:
+        """Approximate ``AVG(column) [WHERE predicate]`` (over matching
+        rows)."""
+        z = _z(confidence)
+        n = self.table.num_rows
+        if predicate is None:
+            values = np.asarray(self._sample.column(column),
+                                dtype=np.float64)
+        else:
+            mask = predicate.evaluate(self._sample)
+            values = np.asarray(self._sample.column(column),
+                                dtype=np.float64)[mask]
+        m = values.shape[0]
+        if m == 0:
+            return ApproximateResult(0.0, 0.0, 0.0, confidence, 0, n)
+        mean = float(values.mean())
+        stderr = float(values.std(ddof=1)) / math.sqrt(m) if m > 1 else 0.0
+        return ApproximateResult(mean, mean - z * stderr, mean + z * stderr,
+                                 confidence, m, n)
+
+    def _contributions(self, column: str,
+                       predicate: Expr | None) -> np.ndarray:
+        """Per-sampled-row contribution to the SUM (0 for filtered rows)."""
+        values = np.asarray(self._sample.column(column), dtype=np.float64)
+        if predicate is not None:
+            mask = predicate.evaluate(self._sample)
+            values = np.where(mask, values, 0.0)
+        return values
+
+
+def _z(confidence: float) -> float:
+    if confidence not in _Z_SCORES:
+        raise ExecutionError(
+            f"supported confidence levels: {sorted(_Z_SCORES)}"
+        )
+    return _Z_SCORES[confidence]

@@ -1,0 +1,425 @@
+"""Expression trees evaluated vectorized over table batches.
+
+Expressions are immutable; ``evaluate`` maps a batch to a NumPy array and
+``columns`` reports referenced column names (the optimizer's pushdown rules
+depend on it).  The ``col``/``lit`` helpers plus operator overloading give
+the builder API a readable surface::
+
+    (col("price") > 20) & (col("type") == "clothes")
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExpressionError
+from repro.storage.table import Table
+from repro.storage.types import DataType, date_to_int
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of all columns referenced by this expression."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    # -- operator sugar -------------------------------------------------
+    def __eq__(self, other):  # type: ignore[override]
+        return Compare("=", self, _wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Compare("!=", self, _wrap(other))
+
+    def __lt__(self, other):
+        return Compare("<", self, _wrap(other))
+
+    def __le__(self, other):
+        return Compare("<=", self, _wrap(other))
+
+    def __gt__(self, other):
+        return Compare(">", self, _wrap(other))
+
+    def __ge__(self, other):
+        return Compare(">=", self, _wrap(other))
+
+    def __and__(self, other):
+        return And(self, _wrap(other))
+
+    def __or__(self, other):
+        return Or(self, _wrap(other))
+
+    def __invert__(self):
+        return Not(self)
+
+    def __add__(self, other):
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other):
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other):
+        return Arith("*", self, _wrap(other))
+
+    def __truediv__(self, other):
+        return Arith("/", self, _wrap(other))
+
+    def isin(self, values) -> "InList":
+        return InList(self, list(values))
+
+    def __hash__(self):
+        return hash(repr(self))
+
+    def same_as(self, other: "Expr") -> bool:
+        """Structural equality (``==`` is overloaded to build Compare)."""
+        return repr(self) == repr(other)
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class ColumnRef(Expr):
+    """Reference to a column by (possibly qualified) name."""
+
+    name: str
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        return batch.column(self.name)
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"col({self.name})"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Literal(Expr):
+    """A constant value."""
+
+    value: object
+
+    def __post_init__(self):
+        if isinstance(self.value, datetime.date):
+            object.__setattr__(self, "value", date_to_int(self.value))
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        n = batch.num_rows
+        if isinstance(self.value, str):
+            return np.asarray([self.value] * n, dtype=object)
+        return np.full(n, self.value)
+
+    def scalar(self):
+        return self.value
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_COMPARE_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Compare(Expr):
+    """Binary comparison producing a boolean mask."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _COMPARE_OPS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        left = self.left.evaluate(batch)
+        right = self.right.evaluate(batch)
+        result = _COMPARE_OPS[self.op](left, right)
+        return np.asarray(result, dtype=bool)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        return self.left.evaluate(batch) & self.right.evaluate(batch)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        return self.left.evaluate(batch) | self.right.evaluate(batch)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        return ~self.operand.evaluate(batch)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+_ARITH_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Arith(Expr):
+    """Binary arithmetic over numeric columns."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _ARITH_OPS:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        return _ARITH_OPS[self.op](self.left.evaluate(batch),
+                                   self.right.evaluate(batch))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class InList(Expr):
+    """Membership test against a literal list."""
+
+    operand: Expr
+    values: list
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        data = self.operand.evaluate(batch)
+        allowed = set(self.values)
+        return np.asarray([value in allowed for value in data], dtype=bool)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} IN {self.values!r})"
+
+
+def _scalar_year(days: float) -> int:
+    from repro.storage.types import int_to_date
+
+    return int_to_date(int(days)).year
+
+
+_FUNCTIONS = {
+    "lower": lambda args: np.asarray([s.lower() if isinstance(s, str) else s
+                                      for s in args[0]], dtype=object),
+    "upper": lambda args: np.asarray([s.upper() if isinstance(s, str) else s
+                                      for s in args[0]], dtype=object),
+    "length": lambda args: np.asarray([len(s) if isinstance(s, str) else 0
+                                       for s in args[0]], dtype=np.int64),
+    "abs": lambda args: np.abs(args[0]),
+    "year": lambda args: np.asarray([_scalar_year(d) for d in args[0]],
+                                    dtype=np.int64),
+}
+
+#: Static result types of the built-in functions ("abs" is input-typed and
+#: handled specially by dtype inference).
+FUNCTION_DTYPES = {
+    "lower": DataType.STRING,
+    "upper": DataType.STRING,
+    "length": DataType.INT64,
+    "year": DataType.INT64,
+}
+
+
+def register_function(name: str, batch_fn, result_dtype: DataType,
+                      replace: bool = False) -> None:
+    """Register a scalar function usable in expressions and SQL.
+
+    ``batch_fn`` receives a list of evaluated argument arrays and returns
+    one array — the UDF contract of :mod:`repro.relational.udf`, which is
+    the public entry point (it also carries optimizer cost annotations).
+    """
+    if name in _FUNCTIONS and not replace:
+        raise ExpressionError(f"function {name!r} already registered")
+    _FUNCTIONS[name] = batch_fn
+    FUNCTION_DTYPES[name] = result_dtype
+
+
+def unregister_function(name: str) -> None:
+    """Remove a registered function (built-ins included; use with care)."""
+    _FUNCTIONS.pop(name, None)
+    FUNCTION_DTYPES.pop(name, None)
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Func(Expr):
+    """Scalar function call (``lower``, ``upper``, ``length``, ``abs``,
+    ``year``)."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self):
+        if self.name not in _FUNCTIONS:
+            raise ExpressionError(
+                f"unknown function {self.name!r}; "
+                f"available: {sorted(_FUNCTIONS)}"
+            )
+
+    def evaluate(self, batch: Table) -> np.ndarray:
+        evaluated = [arg.evaluate(batch) for arg in self.args]
+        return _FUNCTIONS[self.name](evaluated)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for arg in self.args:
+            out |= arg.columns()
+        return out
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
+class AggFunc(enum.Enum):
+    """Aggregate functions supported by the hash aggregate."""
+
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+    COUNT_DISTINCT = "count_distinct"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class AggExpr:
+    """An aggregate over an input expression (None = ``COUNT(*)``)."""
+
+    func: AggFunc
+    operand: Expr | None
+    alias: str
+
+    def result_dtype(self, input_dtype: DataType | None) -> DataType:
+        if self.func in (AggFunc.COUNT, AggFunc.COUNT_DISTINCT):
+            return DataType.INT64
+        if self.func == AggFunc.AVG:
+            return DataType.FLOAT64
+        if input_dtype is None:
+            raise ExpressionError(f"{self.func} requires an operand")
+        return input_dtype
+
+    def __repr__(self) -> str:
+        inner = "*" if self.operand is None else repr(self.operand)
+        return f"{self.func.value}({inner}) AS {self.alias}"
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def col(name: str) -> ColumnRef:
+    """Shorthand column reference."""
+    return ColumnRef(name)
+
+
+def lit(value) -> Literal:
+    """Shorthand literal."""
+    return Literal(value)
+
+
+def _wrap(value) -> Expr:
+    return value if isinstance(value, Expr) else Literal(value)
+
+
+def split_conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten a conjunction tree into its AND-ed parts."""
+    if isinstance(expr, And):
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def combine_conjuncts(parts: list[Expr]) -> Expr:
+    """Re-assemble conjuncts into a single expression."""
+    if not parts:
+        raise ExpressionError("cannot combine zero conjuncts")
+    result = parts[0]
+    for part in parts[1:]:
+        result = And(result, part)
+    return result

@@ -1,0 +1,510 @@
+"""Logical plan algebra.
+
+Relational and *semantic* (model-assisted) operators share one plan IR, so
+the optimizer rewrites them uniformly — the paper's §IV requirement of "a
+common intermediate representation amenable to optimization rules".
+
+Nodes are immutable; rewrites construct new nodes via ``with_children`` or
+the constructors.  Every node computes its output schema, and carries an
+open ``hints`` mapping the optimizer uses to record physical decisions
+(join algorithm, semantic-join access path, device placement).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.errors import ExpressionError, PlanError
+from repro.relational.expressions import (
+    AggExpr,
+    Arith,
+    ColumnRef,
+    Compare,
+    Expr,
+    Func,
+    InList,
+    Literal,
+    And,
+    Not,
+    Or,
+)
+from repro.storage.schema import Field, Schema
+from repro.storage.types import DataType
+
+
+def infer_dtype(expr: Expr, schema: Schema) -> DataType:
+    """Static result type of ``expr`` against ``schema``."""
+    if isinstance(expr, ColumnRef):
+        return schema.dtype_of(schema.names[schema.index_of(expr.name)])
+    if isinstance(expr, Literal):
+        return DataType.infer(expr.value)
+    if isinstance(expr, (Compare, And, Or, Not, InList)):
+        return DataType.BOOL
+    if isinstance(expr, Arith):
+        left = infer_dtype(expr.left, schema)
+        right = infer_dtype(expr.right, schema)
+        if expr.op == "/":
+            return DataType.FLOAT64
+        if DataType.FLOAT64 in (left, right):
+            return DataType.FLOAT64
+        return DataType.INT64
+    if isinstance(expr, Func):
+        if expr.name == "abs":
+            return infer_dtype(expr.args[0], schema)
+        from repro.relational.expressions import FUNCTION_DTYPES
+
+        if expr.name in FUNCTION_DTYPES:
+            return FUNCTION_DTYPES[expr.name]
+    raise ExpressionError(f"cannot infer dtype of {expr!r}")
+
+
+class JoinType(enum.Enum):
+    INNER = "inner"
+    LEFT = "left"
+    SEMI = "semi"
+    ANTI = "anti"
+    CROSS = "cross"
+
+
+class LogicalPlan:
+    """Base class of all logical plan nodes."""
+
+    def __init__(self, children: tuple["LogicalPlan", ...]):
+        self.children = children
+        self.hints: dict = {}
+        self._schema: Schema | None = None
+
+    # -- schema ---------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        if self._schema is None:
+            self._schema = self._compute_schema()
+        return self._schema
+
+    def _compute_schema(self) -> Schema:
+        raise NotImplementedError
+
+    # -- tree utilities --------------------------------------------------
+    def with_children(self, children: tuple["LogicalPlan", ...]) -> "LogicalPlan":
+        clone = self._clone(children)
+        clone.hints = dict(self.hints)
+        return clone
+
+    def _clone(self, children: tuple["LogicalPlan", ...]) -> "LogicalPlan":
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["LogicalPlan"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def label(self) -> str:
+        """One-line description for EXPLAIN output."""
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.label()
+
+
+class ScanNode(LogicalPlan):
+    """Scan a catalog table, optionally qualifying its column names."""
+
+    def __init__(self, table_name: str, schema: Schema,
+                 qualifier: str | None = None):
+        super().__init__(())
+        self.table_name = table_name
+        self.qualifier = qualifier
+        self._base_schema = schema
+
+    def _compute_schema(self) -> Schema:
+        if self.qualifier:
+            return self._base_schema.qualified(self.qualifier)
+        return self._base_schema
+
+    def _clone(self, children):
+        if children:
+            raise PlanError("ScanNode takes no children")
+        return ScanNode(self.table_name, self._base_schema, self.qualifier)
+
+    def label(self) -> str:
+        alias = f" AS {self.qualifier}" if self.qualifier else ""
+        return f"Scan({self.table_name}{alias})"
+
+
+class FilterNode(LogicalPlan):
+    """Row filter by a boolean expression."""
+
+    def __init__(self, child: LogicalPlan, predicate: Expr):
+        super().__init__((child,))
+        self.predicate = predicate
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def _compute_schema(self) -> Schema:
+        return self.child.schema
+
+    def _clone(self, children):
+        return FilterNode(children[0], self.predicate)
+
+    def label(self) -> str:
+        return f"Filter[{self.predicate!r}]"
+
+
+class ProjectNode(LogicalPlan):
+    """Projection / computed columns: list of (expression, output name)."""
+
+    def __init__(self, child: LogicalPlan, exprs: list[tuple[Expr, str]]):
+        super().__init__((child,))
+        self.exprs = list(exprs)
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def _compute_schema(self) -> Schema:
+        fields = []
+        for expr, alias in self.exprs:
+            fields.append(Field(alias, infer_dtype(expr, self.child.schema)))
+        return Schema(fields)
+
+    def _clone(self, children):
+        return ProjectNode(children[0], self.exprs)
+
+    def label(self) -> str:
+        inner = ", ".join(f"{e!r} AS {a}" for e, a in self.exprs)
+        return f"Project[{inner}]"
+
+
+class JoinNode(LogicalPlan):
+    """Equi-join on key column lists, plus an optional residual predicate.
+
+    Empty key lists mean a cross join (then ``extra_predicate`` makes it a
+    theta join executed by nested loops).
+    """
+
+    def __init__(self, left: LogicalPlan, right: LogicalPlan,
+                 join_type: JoinType = JoinType.INNER,
+                 left_keys: list[str] | None = None,
+                 right_keys: list[str] | None = None,
+                 extra_predicate: Expr | None = None):
+        super().__init__((left, right))
+        self.join_type = join_type
+        self.left_keys = list(left_keys or [])
+        self.right_keys = list(right_keys or [])
+        self.extra_predicate = extra_predicate
+        if len(self.left_keys) != len(self.right_keys):
+            raise PlanError("join key lists must have equal length")
+
+    @property
+    def left(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def right(self) -> LogicalPlan:
+        return self.children[1]
+
+    def _compute_schema(self) -> Schema:
+        if self.join_type in (JoinType.SEMI, JoinType.ANTI):
+            return self.left.schema
+        return self.left.schema.concat(self.right.schema)
+
+    def _clone(self, children):
+        return JoinNode(children[0], children[1], self.join_type,
+                        self.left_keys, self.right_keys,
+                        self.extra_predicate)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{l}={r}" for l, r in
+                         zip(self.left_keys, self.right_keys))
+        extra = f" AND {self.extra_predicate!r}" if self.extra_predicate else ""
+        return f"Join[{self.join_type.value}: {keys}{extra}]"
+
+
+class AggregateNode(LogicalPlan):
+    """Hash aggregate with optional grouping keys."""
+
+    def __init__(self, child: LogicalPlan, group_keys: list[str],
+                 aggregates: list[AggExpr]):
+        super().__init__((child,))
+        self.group_keys = list(group_keys)
+        self.aggregates = list(aggregates)
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def _compute_schema(self) -> Schema:
+        fields = []
+        child_schema = self.child.schema
+        for key in self.group_keys:
+            index = child_schema.index_of(key)
+            fields.append(child_schema.fields[index])
+        for agg in self.aggregates:
+            input_dtype = None
+            if agg.operand is not None:
+                input_dtype = infer_dtype(agg.operand, child_schema)
+            fields.append(Field(agg.alias, agg.result_dtype(input_dtype)))
+        return Schema(fields)
+
+    def _clone(self, children):
+        return AggregateNode(children[0], self.group_keys, self.aggregates)
+
+    def label(self) -> str:
+        aggs = ", ".join(repr(a) for a in self.aggregates)
+        return f"Aggregate[keys={self.group_keys}; {aggs}]"
+
+
+class SortNode(LogicalPlan):
+    """Stable multi-key sort; keys are (column, ascending)."""
+
+    def __init__(self, child: LogicalPlan, keys: list[tuple[str, bool]]):
+        super().__init__((child,))
+        self.keys = list(keys)
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def _compute_schema(self) -> Schema:
+        return self.child.schema
+
+    def _clone(self, children):
+        return SortNode(children[0], self.keys)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{k}{'' if asc else ' DESC'}" for k, asc in self.keys)
+        return f"Sort[{keys}]"
+
+
+class LimitNode(LogicalPlan):
+    def __init__(self, child: LogicalPlan, count: int):
+        super().__init__((child,))
+        if count < 0:
+            raise PlanError("limit must be non-negative")
+        self.count = count
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def _compute_schema(self) -> Schema:
+        return self.child.schema
+
+    def _clone(self, children):
+        return LimitNode(children[0], self.count)
+
+    def label(self) -> str:
+        return f"Limit[{self.count}]"
+
+
+class UnionNode(LogicalPlan):
+    """UNION ALL of same-schema inputs."""
+
+    def __init__(self, children: list[LogicalPlan]):
+        if not children:
+            raise PlanError("union of zero inputs")
+        super().__init__(tuple(children))
+
+    def _compute_schema(self) -> Schema:
+        first = self.children[0].schema
+        for child in self.children[1:]:
+            if child.schema.names != first.names:
+                raise PlanError("union inputs must share column names")
+        return first
+
+    def _clone(self, children):
+        return UnionNode(list(children))
+
+    def label(self) -> str:
+        return f"UnionAll[{len(self.children)}]"
+
+
+# ----------------------------------------------------------------------
+# Semantic (model-assisted) operators — paper §IV
+# ----------------------------------------------------------------------
+class SemanticFilterNode(LogicalPlan):
+    """Semantic Select: keep rows whose ``column`` is context-similar to
+    ``probe`` under ``model_name`` with cosine >= ``threshold``.
+
+    Mirrors the paper's example::
+
+        word = "Clothes" USING MODEL "M" WITH COSINE THRESHOLD >= 0.9
+    """
+
+    def __init__(self, child: LogicalPlan, column: str, probe: str,
+                 model_name: str, threshold: float,
+                 score_alias: str | None = None, mode: str = "value"):
+        super().__init__((child,))
+        if not 0.0 <= threshold <= 1.0:
+            raise PlanError("semantic threshold must be within [0, 1]")
+        if mode not in ("value", "contains"):
+            raise PlanError(
+                f"semantic filter mode must be value|contains, got {mode!r}"
+            )
+        self.column = column
+        self.probe = probe
+        self.model_name = model_name
+        self.threshold = threshold
+        self.score_alias = score_alias
+        #: "value" embeds the whole cell; "contains" matches any token of
+        #: free text against the probe.
+        self.mode = mode
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def _compute_schema(self) -> Schema:
+        schema = self.child.schema
+        if self.score_alias:
+            schema = Schema(list(schema.fields)
+                            + [Field(self.score_alias, DataType.FLOAT64)])
+        return schema
+
+    def _clone(self, children):
+        return SemanticFilterNode(children[0], self.column, self.probe,
+                                  self.model_name, self.threshold,
+                                  self.score_alias, self.mode)
+
+    def label(self) -> str:
+        op = "contains" if self.mode == "contains" else "~"
+        return (f"SemanticFilter[{self.column} {op} {self.probe!r} "
+                f"model={self.model_name} >= {self.threshold}]")
+
+
+class SemanticSemiFilterNode(LogicalPlan):
+    """Disjunctive semantic filter: keep rows whose ``column`` matches ANY
+    of ``probes`` at the threshold.
+
+    Produced by the data-induced-predicate pass (paper §IV, ref [23]): the
+    distinct key values of a selective semantic-join build side become a
+    derived predicate pushed into the probe side.
+    """
+
+    def __init__(self, child: LogicalPlan, column: str, probes: list[str],
+                 model_name: str, threshold: float):
+        super().__init__((child,))
+        if not probes:
+            raise PlanError("semantic semi-filter needs at least one probe")
+        if not 0.0 <= threshold <= 1.0:
+            raise PlanError("semantic threshold must be within [0, 1]")
+        self.column = column
+        self.probes = list(probes)
+        self.model_name = model_name
+        self.threshold = threshold
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def _compute_schema(self) -> Schema:
+        return self.child.schema
+
+    def _clone(self, children):
+        return SemanticSemiFilterNode(children[0], self.column, self.probes,
+                                      self.model_name, self.threshold)
+
+    def label(self) -> str:
+        shown = ", ".join(self.probes[:3])
+        suffix = ", ..." if len(self.probes) > 3 else ""
+        return (f"SemanticSemiFilter[{self.column} ~ any({shown}{suffix}) "
+                f"model={self.model_name} >= {self.threshold}]")
+
+
+class SemanticJoinNode(LogicalPlan):
+    """Semantic Join: match rows whose join-key *context* is similar.
+
+    Output schema is the concatenation of both inputs plus a similarity
+    score column.
+    """
+
+    def __init__(self, left: LogicalPlan, right: LogicalPlan,
+                 left_column: str, right_column: str, model_name: str,
+                 threshold: float, score_alias: str = "similarity",
+                 top_k: int | None = None):
+        super().__init__((left, right))
+        if not 0.0 <= threshold <= 1.0:
+            raise PlanError("semantic threshold must be within [0, 1]")
+        if top_k is not None and top_k < 1:
+            raise PlanError("top_k must be positive")
+        self.left_column = left_column
+        self.right_column = right_column
+        self.model_name = model_name
+        self.threshold = threshold
+        self.score_alias = score_alias
+        #: When set, each distinct left key matches its k most similar
+        #: right keys (scores still floored at ``threshold``).
+        self.top_k = top_k
+
+    @property
+    def left(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def right(self) -> LogicalPlan:
+        return self.children[1]
+
+    def _compute_schema(self) -> Schema:
+        combined = self.left.schema.concat(self.right.schema)
+        return Schema(list(combined.fields)
+                      + [Field(self.score_alias, DataType.FLOAT64)])
+
+    def _clone(self, children):
+        return SemanticJoinNode(children[0], children[1], self.left_column,
+                                self.right_column, self.model_name,
+                                self.threshold, self.score_alias,
+                                self.top_k)
+
+    def label(self) -> str:
+        method = self.hints.get("method", "auto")
+        mode = f" top_k={self.top_k}" if self.top_k is not None else ""
+        return (f"SemanticJoin[{self.left_column} ~ {self.right_column} "
+                f"model={self.model_name} >= {self.threshold}{mode} "
+                f"method={method}]")
+
+
+class SemanticGroupByNode(LogicalPlan):
+    """Semantic GroupBy: on-the-fly clustering of ``column`` by context
+    similarity; appends cluster id and cluster representative columns."""
+
+    def __init__(self, child: LogicalPlan, column: str, model_name: str,
+                 threshold: float, cluster_alias: str = "cluster_id",
+                 representative_alias: str = "cluster_rep"):
+        super().__init__((child,))
+        if not 0.0 <= threshold <= 1.0:
+            raise PlanError("semantic threshold must be within [0, 1]")
+        self.column = column
+        self.model_name = model_name
+        self.threshold = threshold
+        self.cluster_alias = cluster_alias
+        self.representative_alias = representative_alias
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def _compute_schema(self) -> Schema:
+        return Schema(
+            list(self.child.schema.fields)
+            + [Field(self.cluster_alias, DataType.INT64),
+               Field(self.representative_alias, DataType.STRING)]
+        )
+
+    def _clone(self, children):
+        return SemanticGroupByNode(children[0], self.column, self.model_name,
+                                   self.threshold, self.cluster_alias,
+                                   self.representative_alias)
+
+    def label(self) -> str:
+        return (f"SemanticGroupBy[{self.column} model={self.model_name} "
+                f">= {self.threshold}]")

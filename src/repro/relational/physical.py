@@ -1,0 +1,432 @@
+"""Physical operators: vectorized volcano over column batches.
+
+``build_physical`` lowers a logical plan to a physical operator tree,
+honouring the optimizer's ``hints`` (join algorithm, semantic access path).
+Every operator records simple metrics (output rows, wall time) that the
+profiler and the benchmarks read back.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ExecutionError, PlanError
+from repro.relational.expressions import AggExpr, AggFunc, Expr
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    JoinType,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    ScanNode,
+    SemanticFilterNode,
+    SemanticGroupByNode,
+    SemanticJoinNode,
+    SemanticSemiFilterNode,
+    SortNode,
+    UnionNode,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+DEFAULT_BATCH_SIZE = 4096
+
+
+@dataclass
+class ExecutionContext:
+    """Everything physical operators need at run time."""
+
+    catalog: Catalog
+    models: object | None = None  # ModelRegistry (typed loosely: no cycle)
+    batch_size: int = DEFAULT_BATCH_SIZE
+    embedding_cache: object | None = None
+    index_cache: object | None = None  # semantic.index_cache.IndexCache
+    parallelism: int = 1
+    metrics: dict = field(default_factory=dict)
+
+    def model(self, name: str):
+        if self.models is None:
+            raise ExecutionError(
+                "query uses a semantic operator but the context has no "
+                "model registry"
+            )
+        return self.models.get(name)
+
+
+class PhysicalOperator:
+    """Base physical operator (pull-based batch iterator)."""
+
+    def __init__(self, schema: Schema,
+                 children: tuple["PhysicalOperator", ...] = ()):
+        self.schema = schema
+        self.children = children
+        self.rows_out = 0
+        self.elapsed = 0.0
+
+    def batches(self) -> Iterator[Table]:
+        start = time.perf_counter()
+        try:
+            for batch in self._batches():
+                self.rows_out += batch.num_rows
+                self.elapsed += time.perf_counter() - start
+                yield batch
+                start = time.perf_counter()
+        finally:
+            self.elapsed += time.perf_counter() - start
+
+    def _batches(self) -> Iterator[Table]:
+        raise NotImplementedError
+
+    def execute(self) -> Table:
+        """Materialize the full output."""
+        chunks = list(self.batches())
+        if not chunks:
+            return Table.empty(self.schema)
+        return Table.concat(chunks)
+
+    def walk(self) -> Iterator["PhysicalOperator"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def label(self) -> str:
+        return type(self).__name__
+
+
+class ScanOp(PhysicalOperator):
+    """Scan a materialized table in batches."""
+
+    def __init__(self, table: Table, batch_size: int,
+                 qualifier: str | None = None):
+        if qualifier:
+            table = table.qualified(qualifier)
+        super().__init__(table.schema)
+        self.table = table
+        self.batch_size = batch_size
+
+    def _batches(self) -> Iterator[Table]:
+        yield from self.table.batches(self.batch_size)
+
+
+class FilterOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, predicate: Expr):
+        super().__init__(child.schema, (child,))
+        self.predicate = predicate
+
+    def _batches(self) -> Iterator[Table]:
+        for batch in self.children[0].batches():
+            mask = self.predicate.evaluate(batch)
+            if mask.any():
+                yield batch.filter(mask)
+
+
+class ProjectOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, exprs: list[tuple[Expr, str]],
+                 schema: Schema):
+        super().__init__(schema, (child,))
+        self.exprs = exprs
+
+    def _batches(self) -> Iterator[Table]:
+        for batch in self.children[0].batches():
+            columns = {}
+            for (expr, alias), fld in zip(self.exprs, self.schema.fields):
+                values = expr.evaluate(batch)
+                if fld.dtype == DataType.STRING:
+                    values = np.asarray(values, dtype=object)
+                columns[alias] = values
+            yield Table(self.schema, columns)
+
+
+class LimitOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, count: int):
+        super().__init__(child.schema, (child,))
+        self.count = count
+
+    def _batches(self) -> Iterator[Table]:
+        remaining = self.count
+        if remaining == 0:
+            return
+        for batch in self.children[0].batches():
+            if batch.num_rows <= remaining:
+                remaining -= batch.num_rows
+                yield batch
+            else:
+                yield batch.slice(0, remaining)
+                remaining = 0
+            if remaining == 0:
+                return
+
+
+class SortOp(PhysicalOperator):
+    """Pipeline breaker: materialize, sort, re-emit."""
+
+    def __init__(self, child: PhysicalOperator, keys: list[tuple[str, bool]]):
+        super().__init__(child.schema, (child,))
+        self.keys = keys
+
+    def _batches(self) -> Iterator[Table]:
+        table = self.children[0].execute()
+        yield table.sort_by(self.keys)
+
+
+class UnionOp(PhysicalOperator):
+    def __init__(self, children: tuple[PhysicalOperator, ...]):
+        super().__init__(children[0].schema, children)
+
+    def _batches(self) -> Iterator[Table]:
+        names = self.schema.names
+        for child in self.children:
+            for batch in child.batches():
+                if batch.schema.names != names:
+                    mapping = dict(zip(batch.schema.names, names))
+                    batch = batch.renamed(mapping)
+                yield batch
+
+
+class HashJoinOp(PhysicalOperator):
+    """Equi hash join; builds on the right input, streams the left."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_keys: list[str], right_keys: list[str],
+                 join_type: JoinType, extra_predicate: Expr | None,
+                 schema: Schema):
+        super().__init__(schema, (left, right))
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.join_type = join_type
+        self.extra_predicate = extra_predicate
+
+    def _batches(self) -> Iterator[Table]:
+        if not self.left_keys:
+            raise PlanError("HashJoinOp requires join keys")
+        build = self.children[1].execute()
+        hash_table: dict[tuple, list[int]] = {}
+        build_key_arrays = [build.column(k) for k in self.right_keys]
+        for row, key in enumerate(zip(*build_key_arrays)):
+            hash_table.setdefault(tuple(key), []).append(row)
+
+        left = self.children[0]
+        for batch in left.batches():
+            probe_key_arrays = [batch.column(k) for k in self.left_keys]
+            left_indices: list[int] = []
+            right_indices: list[int] = []
+            matched_mask = np.zeros(batch.num_rows, dtype=bool)
+            for row, key in enumerate(zip(*probe_key_arrays)):
+                matches = hash_table.get(tuple(key))
+                if matches:
+                    matched_mask[row] = True
+                    if self.join_type in (JoinType.SEMI, JoinType.ANTI):
+                        continue
+                    left_indices.extend([row] * len(matches))
+                    right_indices.extend(matches)
+            yield from self._emit(batch, build, left_indices, right_indices,
+                                  matched_mask)
+
+    def _emit(self, batch: Table, build: Table, left_indices: list[int],
+              right_indices: list[int],
+              matched_mask: np.ndarray) -> Iterator[Table]:
+        if self.join_type == JoinType.SEMI:
+            if matched_mask.any():
+                yield batch.filter(matched_mask)
+            return
+        if self.join_type == JoinType.ANTI:
+            if (~matched_mask).any():
+                yield batch.filter(~matched_mask)
+            return
+        left_idx = np.asarray(left_indices, dtype=np.int64)
+        right_idx = np.asarray(right_indices, dtype=np.int64)
+        combined = _combine(batch.take(left_idx), build.take(right_idx),
+                            self.schema)
+        if self.extra_predicate is not None and combined.num_rows:
+            combined = combined.filter(
+                self.extra_predicate.evaluate(combined))
+        if self.join_type == JoinType.LEFT:
+            missing = ~matched_mask
+            if missing.any():
+                unmatched = _null_extend(batch.filter(missing), build.schema,
+                                         self.schema)
+                combined = Table.concat([combined, unmatched])
+        if combined.num_rows:
+            yield combined
+
+
+class NestedLoopJoinOp(PhysicalOperator):
+    """Cross/theta join: materializes the right side, streams the left."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 predicate: Expr | None, join_type: JoinType, schema: Schema):
+        super().__init__(schema, (left, right))
+        self.predicate = predicate
+        self.join_type = join_type
+        if join_type not in (JoinType.INNER, JoinType.CROSS):
+            raise PlanError(
+                f"NestedLoopJoinOp supports inner/cross, got {join_type}"
+            )
+
+    def _batches(self) -> Iterator[Table]:
+        right = self.children[1].execute()
+        n_right = right.num_rows
+        for batch in self.children[0].batches():
+            if batch.num_rows == 0 or n_right == 0:
+                continue
+            left_idx = np.repeat(np.arange(batch.num_rows), n_right)
+            right_idx = np.tile(np.arange(n_right), batch.num_rows)
+            combined = _combine(batch.take(left_idx), right.take(right_idx),
+                                self.schema)
+            if self.predicate is not None:
+                mask = self.predicate.evaluate(combined)
+                if not mask.any():
+                    continue
+                combined = combined.filter(mask)
+            yield combined
+
+
+class AggregateOp(PhysicalOperator):
+    """Hash aggregate (pipeline breaker)."""
+
+    def __init__(self, child: PhysicalOperator, group_keys: list[str],
+                 aggregates: list[AggExpr], schema: Schema):
+        super().__init__(schema, (child,))
+        self.group_keys = group_keys
+        self.aggregates = aggregates
+
+    def _batches(self) -> Iterator[Table]:
+        table = self.children[0].execute()
+        if not self.group_keys:
+            rows = [self._aggregate_rows(table,
+                                         np.arange(table.num_rows))]
+            yield Table.from_rows(rows, self.schema)
+            return
+        key_arrays = [table.column(k) for k in self.group_keys]
+        groups: dict[tuple, list[int]] = {}
+        for row, key in enumerate(zip(*key_arrays)):
+            groups.setdefault(tuple(key), []).append(row)
+        key_names = self.schema.names[: len(self.group_keys)]
+        rows = []
+        for key, indices in groups.items():
+            row = dict(zip(key_names, key))
+            row.update(self._aggregate_rows(table,
+                                            np.asarray(indices, np.int64)))
+            rows.append(row)
+        yield Table.from_rows(rows, self.schema)
+
+    def _aggregate_rows(self, table: Table, indices: np.ndarray) -> dict:
+        out: dict = {}
+        for agg in self.aggregates:
+            if agg.operand is None:
+                if agg.func != AggFunc.COUNT:
+                    raise ExecutionError(f"{agg.func} requires an operand")
+                out[agg.alias] = int(indices.shape[0])
+                continue
+            values = agg.operand.evaluate(table.take(indices))
+            out[agg.alias] = _apply_agg(agg.func, values)
+        return out
+
+
+def _apply_agg(func: AggFunc, values: np.ndarray):
+    if func == AggFunc.COUNT:
+        return int(values.shape[0])
+    if func == AggFunc.COUNT_DISTINCT:
+        return int(len(set(values.tolist())))
+    if values.shape[0] == 0:
+        return 0 if func == AggFunc.SUM else None
+    if func == AggFunc.SUM:
+        return values.sum().item()
+    if func == AggFunc.MIN:
+        return values.min().item() if values.dtype != object else min(values)
+    if func == AggFunc.MAX:
+        return values.max().item() if values.dtype != object else max(values)
+    if func == AggFunc.AVG:
+        return float(np.mean(values.astype(np.float64)))
+    raise ExecutionError(f"unsupported aggregate {func}")
+
+
+def _combine(left: Table, right: Table, schema: Schema) -> Table:
+    columns = {}
+    names = schema.names
+    position = 0
+    for name in left.schema.names:
+        columns[names[position]] = left.columns[name]
+        position += 1
+    for name in right.schema.names:
+        columns[names[position]] = right.columns[name]
+        position += 1
+    return Table(schema, columns)
+
+
+def _null_extend(left: Table, right_schema: Schema, schema: Schema) -> Table:
+    """Pad unmatched left rows with type-appropriate null fills."""
+    columns = {}
+    names = schema.names
+    position = 0
+    for name in left.schema.names:
+        columns[names[position]] = left.columns[name]
+        position += 1
+    n = left.num_rows
+    for fld in right_schema.fields:
+        if fld.dtype == DataType.STRING:
+            fill = np.asarray([None] * n, dtype=object)
+        elif fld.dtype == DataType.FLOAT64:
+            fill = np.full(n, np.nan)
+        elif fld.dtype == DataType.BOOL:
+            fill = np.zeros(n, dtype=bool)
+        else:
+            fill = np.zeros(n, dtype=np.int64)
+        columns[names[position]] = fill
+        position += 1
+    return Table(schema, columns)
+
+
+# ----------------------------------------------------------------------
+# Lowering: logical -> physical
+# ----------------------------------------------------------------------
+def build_physical(plan: LogicalPlan,
+                   context: ExecutionContext) -> PhysicalOperator:
+    """Lower a logical plan to a physical operator tree."""
+    if isinstance(plan, ScanNode):
+        table = context.catalog.get(plan.table_name)
+        return ScanOp(table, context.batch_size, plan.qualifier)
+    if isinstance(plan, FilterNode):
+        return FilterOp(build_physical(plan.child, context), plan.predicate)
+    if isinstance(plan, ProjectNode):
+        return ProjectOp(build_physical(plan.child, context), plan.exprs,
+                         plan.schema)
+    if isinstance(plan, LimitNode):
+        return LimitOp(build_physical(plan.child, context), plan.count)
+    if isinstance(plan, SortNode):
+        return SortOp(build_physical(plan.child, context), plan.keys)
+    if isinstance(plan, UnionNode):
+        children = tuple(build_physical(c, context) for c in plan.children)
+        return UnionOp(children)
+    if isinstance(plan, JoinNode):
+        left = build_physical(plan.left, context)
+        right = build_physical(plan.right, context)
+        if plan.left_keys:
+            return HashJoinOp(left, right, plan.left_keys, plan.right_keys,
+                              plan.join_type, plan.extra_predicate,
+                              plan.schema)
+        return NestedLoopJoinOp(left, right, plan.extra_predicate,
+                                plan.join_type if plan.extra_predicate is None
+                                else JoinType.INNER, plan.schema)
+    if isinstance(plan, AggregateNode):
+        return AggregateOp(build_physical(plan.child, context),
+                           plan.group_keys, plan.aggregates, plan.schema)
+    if isinstance(plan, (SemanticFilterNode, SemanticJoinNode,
+                         SemanticGroupByNode, SemanticSemiFilterNode)):
+        from repro.semantic.lowering import build_semantic_physical
+
+        return build_semantic_physical(plan, context, build_physical)
+    raise PlanError(f"no physical lowering for {type(plan).__name__}")
+
+
+def execute_plan(plan: LogicalPlan, context: ExecutionContext) -> Table:
+    """Lower and run a logical plan, returning the materialized result."""
+    return build_physical(plan, context).execute()

@@ -1,0 +1,109 @@
+"""User-defined scalar functions with optimizer-visible annotations.
+
+Paper §VII.A: "context-rich analysis can happen as a UDF or by invoking
+another framework ... a mounting challenge is optimizing the external
+operators in the query" (Froid, Raven).  The engine's answer is the same
+as the paper's: UDFs register *with cost annotations* the optimizer can
+read — per-row cost (so predicate ordering can defer expensive UDFs) and
+a compute-class tag (so the hardware planner knows model-backed UDFs can
+ship to accelerators).
+
+Once registered, a UDF is callable from the expression API
+(``Func("my_udf", (col("x"),))``) and from SQL (``my_udf(x)``) — the
+parser accepts any function name and the binder validates registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    Expr,
+    Func,
+    register_function,
+    unregister_function,
+)
+from repro.storage.types import DataType
+
+
+@dataclass(frozen=True)
+class ScalarUdf:
+    """A registered scalar UDF and its optimizer annotations."""
+
+    name: str
+    result_dtype: DataType
+    #: Abstract per-row evaluation cost (same units as CostParams; the
+    #: built-in comparison costs ~1 per row, a model inference ~200+).
+    cost_per_row: float = 10.0
+    #: "relational" or "model" — the placement optimizer's compute class.
+    compute_class: str = "relational"
+
+
+_REGISTERED: dict[str, ScalarUdf] = {}
+
+
+def register_udf(
+    name: str,
+    fn: Callable,
+    result_dtype: DataType,
+    cost_per_row: float = 10.0,
+    compute_class: str = "relational",
+    vectorized: bool = False,
+    replace: bool = False,
+) -> ScalarUdf:
+    """Register a scalar UDF.
+
+    ``fn`` is a per-value Python callable by default; pass
+    ``vectorized=True`` when it already maps argument *arrays* to a
+    result array.
+    """
+    if compute_class not in ("relational", "model"):
+        raise ExpressionError(
+            f"compute_class must be relational|model, got {compute_class!r}"
+        )
+    if vectorized:
+        batch_fn = fn
+    else:
+        def batch_fn(args, _fn=fn):
+            rows = zip(*args) if args else iter(())
+            values = [_fn(*row) for row in rows]
+            if result_dtype == DataType.STRING:
+                return np.asarray(values, dtype=object)
+            return np.asarray(values,
+                              dtype=result_dtype.numpy_dtype)
+
+    register_function(name, batch_fn, result_dtype, replace=replace)
+    udf = ScalarUdf(name, result_dtype, cost_per_row, compute_class)
+    _REGISTERED[name] = udf
+    return udf
+
+
+def unregister_udf(name: str) -> None:
+    """Remove a UDF registration."""
+    _REGISTERED.pop(name, None)
+    unregister_function(name)
+
+
+def udf_info(name: str) -> ScalarUdf | None:
+    """Annotation record for a registered UDF (None for built-ins)."""
+    return _REGISTERED.get(name)
+
+
+def expression_udf_cost(expr: Expr) -> float:
+    """Total per-row UDF cost referenced anywhere in ``expr``.
+
+    The cost model adds this to predicate/projection costs so expensive
+    UDFs change plan choices (e.g. run cheap filters first).
+    """
+    total = 0.0
+    if isinstance(expr, Func):
+        udf = _REGISTERED.get(expr.name)
+        if udf is not None:
+            total += udf.cost_per_row
+    for child in expr.children():
+        total += expression_udf_cost(child)
+    return total

@@ -1,0 +1,107 @@
+"""Syntactic similarity baselines (paper §III/§IV contrast class).
+
+"String edit distance or locality-sensitive hashing-based string similarity
+can compare strictly specified characteristics, but such methods cannot
+capture string synonyms."  These baselines make that contrast measurable:
+they *win* on misspellings and *lose* on synonyms, which is exactly the
+Figure-3 comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.text import ngrams
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic dynamic-programming edit distance."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current[j] = min(previous[j] + 1,        # deletion
+                             current[j - 1] + 1,     # insertion
+                             previous[j - 1] + cost)  # substitution
+        previous = current
+    return previous[-1]
+
+
+def normalized_edit_similarity(a: str, b: str) -> float:
+    """1 - normalized edit distance, in [0, 1]."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaccard_similarity(a: str, b: str, n: int = 3) -> float:
+    """Jaccard overlap of character n-gram sets."""
+    grams_a = set(ngrams(a, n, n))
+    grams_b = set(ngrams(b, n, n))
+    if not grams_a and not grams_b:
+        return 1.0
+    union = grams_a | grams_b
+    if not union:
+        return 0.0
+    return len(grams_a & grams_b) / len(union)
+
+
+def edit_similarity_join(left_values, right_values,
+                         threshold: float) -> tuple[np.ndarray, np.ndarray,
+                                                    np.ndarray]:
+    """All pairs with normalized edit similarity >= threshold."""
+    left_idx, right_idx, scores = [], [], []
+    for i, a in enumerate(left_values):
+        for j, b in enumerate(right_values):
+            score = normalized_edit_similarity(a, b)
+            if score >= threshold:
+                left_idx.append(i)
+                right_idx.append(j)
+                scores.append(score)
+    return (np.asarray(left_idx, dtype=np.int64),
+            np.asarray(right_idx, dtype=np.int64),
+            np.asarray(scores, dtype=np.float32))
+
+
+def jaccard_similarity_join(left_values, right_values, threshold: float,
+                            n: int = 3) -> tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray]:
+    """All pairs with n-gram Jaccard similarity >= threshold.
+
+    Uses an inverted index over n-grams so only pairs sharing at least one
+    gram are scored (the standard set-similarity-join filter).
+    """
+    inverted: dict[str, list[int]] = {}
+    right_grams = []
+    for j, b in enumerate(right_values):
+        grams = set(ngrams(b, n, n))
+        right_grams.append(grams)
+        for gram in grams:
+            inverted.setdefault(gram, []).append(j)
+    left_idx, right_idx, scores = [], [], []
+    for i, a in enumerate(left_values):
+        grams_a = set(ngrams(a, n, n))
+        candidates: set[int] = set()
+        for gram in grams_a:
+            candidates.update(inverted.get(gram, ()))
+        for j in candidates:
+            grams_b = right_grams[j]
+            union = grams_a | grams_b
+            if not union:
+                continue
+            score = len(grams_a & grams_b) / len(union)
+            if score >= threshold:
+                left_idx.append(i)
+                right_idx.append(j)
+                scores.append(score)
+    return (np.asarray(left_idx, dtype=np.int64),
+            np.asarray(right_idx, dtype=np.int64),
+            np.asarray(scores, dtype=np.float32))

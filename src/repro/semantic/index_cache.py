@@ -1,0 +1,82 @@
+"""Session-level vector index cache.
+
+§V: model-side "index structures for expediting operations such as
+similarity or top-k searches ... have to be included in the optimization
+process equally as relational data indexes are."  Relational indexes are
+*persistent* and amortized across queries; this cache gives semantic
+operators the same property — an index built over a (model, value-set)
+pair is reused by every later query in the session, so the cost model can
+amortize build cost exactly as it does for B-trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.embeddings.subword import fnv1a
+from repro.semantic.cache import EmbeddingCache
+from repro.vector.bruteforce import BruteForceIndex
+from repro.vector.hnsw import HNSWIndex
+from repro.vector.index import VectorIndex
+from repro.vector.ivf import IVFFlatIndex
+from repro.vector.lsh import LSHIndex
+
+_FACTORIES = {
+    "brute": lambda seed: BruteForceIndex(),
+    "lsh": lambda seed: LSHIndex(seed=seed),
+    "ivf": lambda seed: IVFFlatIndex(seed=seed),
+    "hnsw": lambda seed: HNSWIndex(seed=seed),
+}
+
+
+def _fingerprint(model_name: str, kind: str, values: list[str]) -> tuple:
+    """Order-insensitive identity of an index: model + kind + value set."""
+    content_hash = 0
+    for value in values:
+        content_hash ^= fnv1a(value)
+    return (model_name, kind, len(set(values)), content_hash)
+
+
+@dataclass
+class IndexCache:
+    """Caches built vector indexes keyed by (model, kind, value set)."""
+
+    seed: int = 0
+    hits: int = 0
+    misses: int = 0
+    _store: dict[tuple, VectorIndex] = field(default_factory=dict)
+
+    def get(self, kind: str, values: list[str],
+            cache: EmbeddingCache) -> VectorIndex:
+        """A built index of ``kind`` over the embeddings of ``values``.
+
+        Values are deduplicated in first-appearance order; the returned
+        index's ids refer to that deduplicated order (callers that need
+        the mapping should dedup the same way).
+        """
+        if kind not in _FACTORIES:
+            from repro.errors import IndexError_
+
+            raise IndexError_(
+                f"unknown index kind {kind!r}; available: "
+                f"{sorted(_FACTORIES)}"
+            )
+        unique = list(dict.fromkeys(values))
+        key = _fingerprint(cache.model.name, kind, unique)
+        index = self._store.get(key)
+        if index is not None:
+            self.hits += 1
+            return index
+        self.misses += 1
+        index = _FACTORIES[kind](self.seed)
+        index.build(cache.matrix(unique))
+        self._store[key] = index
+        return index
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)

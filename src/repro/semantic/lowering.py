@@ -1,0 +1,74 @@
+"""Lowering of semantic logical nodes to physical operators.
+
+Kept in its own module so :mod:`repro.relational.physical` can import it
+lazily (relational never depends on semantic at import time).
+"""
+
+from __future__ import annotations
+
+from repro.relational.logical import (
+    LogicalPlan,
+    SemanticFilterNode,
+    SemanticGroupByNode,
+    SemanticJoinNode,
+    SemanticSemiFilterNode,
+)
+from repro.relational.physical import ExecutionContext, PhysicalOperator
+from repro.semantic.cache import EmbeddingCache
+from repro.semantic.operators import (
+    SemanticFilterOp,
+    SemanticGroupByOp,
+    SemanticJoinOp,
+    SemanticSemiFilterOp,
+)
+
+#: Default physical strategy when the optimizer left no hint.
+DEFAULT_JOIN_METHOD = "blocked"
+
+
+def cache_for(context: ExecutionContext, model_name: str) -> EmbeddingCache:
+    """Session-lifetime embedding cache per model."""
+    if context.embedding_cache is None:
+        context.embedding_cache = {}
+    caches: dict = context.embedding_cache  # type: ignore[assignment]
+    if model_name not in caches:
+        caches[model_name] = EmbeddingCache(context.model(model_name))
+    return caches[model_name]
+
+
+def build_semantic_physical(plan: LogicalPlan, context: ExecutionContext,
+                            recurse) -> PhysicalOperator:
+    """Lower one semantic node (children lowered via ``recurse``)."""
+    if isinstance(plan, SemanticFilterNode):
+        child = recurse(plan.child, context)
+        cache = cache_for(context, plan.model_name)
+        return SemanticFilterOp(child, plan.column, plan.probe, cache,
+                                plan.threshold, plan.score_alias,
+                                plan.schema, mode=plan.mode)
+    if isinstance(plan, SemanticJoinNode):
+        left = recurse(plan.left, context)
+        right = recurse(plan.right, context)
+        cache = cache_for(context, plan.model_name)
+        method = plan.hints.get("method", DEFAULT_JOIN_METHOD)
+        if context.index_cache is None:
+            from repro.semantic.index_cache import IndexCache
+
+            context.index_cache = IndexCache()
+        return SemanticJoinOp(left, right, plan.left_column,
+                              plan.right_column, cache, plan.threshold,
+                              plan.score_alias, plan.schema, method=method,
+                              parallelism=max(context.parallelism, 2),
+                              top_k=plan.top_k,
+                              index_cache=context.index_cache)
+    if isinstance(plan, SemanticGroupByNode):
+        child = recurse(plan.child, context)
+        cache = cache_for(context, plan.model_name)
+        return SemanticGroupByOp(child, plan.column, cache, plan.threshold,
+                                 plan.cluster_alias,
+                                 plan.representative_alias, plan.schema)
+    if isinstance(plan, SemanticSemiFilterNode):
+        child = recurse(plan.child, context)
+        cache = cache_for(context, plan.model_name)
+        return SemanticSemiFilterOp(child, plan.column, plan.probes, cache,
+                                    plan.threshold, plan.schema)
+    raise TypeError(f"not a semantic node: {type(plan).__name__}")

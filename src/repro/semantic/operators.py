@@ -1,0 +1,228 @@
+"""Physical operators for the semantic plan nodes.
+
+These subclass the same :class:`~repro.relational.physical.PhysicalOperator`
+as relational operators — a semantic join *is* a join to the executor, the
+paper's central integration requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.relational.physical import PhysicalOperator, _combine
+from repro.semantic.cache import EmbeddingCache
+from repro.semantic.groupby import cluster_strings
+from repro.semantic.join import (
+    SEMANTIC_JOIN_METHODS,
+    join_nested_loop,
+    join_parallel,
+    join_prefetched,
+)
+from repro.semantic.select import semantic_any_mask, semantic_select_mask
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+class SemanticSemiFilterOp(PhysicalOperator):
+    """Streaming disjunctive semantic filter (any-probe match)."""
+
+    def __init__(self, child: PhysicalOperator, column: str,
+                 probes: list[str], cache: EmbeddingCache, threshold: float,
+                 schema: Schema):
+        super().__init__(schema, (child,))
+        self.column = column
+        self.probes = probes
+        self.cache = cache
+        self.threshold = threshold
+
+    def _batches(self) -> Iterator[Table]:
+        for batch in self.children[0].batches():
+            values = batch.column(self.column)
+            mask, _ = semantic_any_mask(values, self.probes, self.cache,
+                                        self.threshold)
+            if mask.any():
+                yield batch.filter(mask)
+
+
+class SemanticFilterOp(PhysicalOperator):
+    """Streaming semantic select: per-batch probe-similarity mask."""
+
+    def __init__(self, child: PhysicalOperator, column: str, probe: str,
+                 cache: EmbeddingCache, threshold: float,
+                 score_alias: str | None, schema: Schema,
+                 mode: str = "value"):
+        super().__init__(schema, (child,))
+        self.column = column
+        self.probe = probe
+        self.cache = cache
+        self.threshold = threshold
+        self.score_alias = score_alias
+        self.mode = mode
+
+    def _batches(self) -> Iterator[Table]:
+        from repro.semantic.select import semantic_contains_mask
+
+        kernel = (semantic_contains_mask if self.mode == "contains"
+                  else semantic_select_mask)
+        for batch in self.children[0].batches():
+            values = batch.column(self.column)
+            mask, scores = kernel(values, self.probe,
+                                  self.cache, self.threshold)
+            if not mask.any():
+                continue
+            filtered = batch.filter(mask)
+            if self.score_alias:
+                columns = dict(filtered.columns)
+                columns[self.score_alias] = scores[mask].astype(np.float64)
+                filtered = Table(self.schema, columns)
+            yield filtered
+
+
+class SemanticJoinOp(PhysicalOperator):
+    """Semantic join: dedup key values, run a similarity kernel, expand.
+
+    ``method`` picks the physical strategy (see
+    :mod:`repro.semantic.join`); the optimizer sets it via plan hints.
+    """
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_column: str, right_column: str, cache: EmbeddingCache,
+                 threshold: float, score_alias: str, schema: Schema,
+                 method: str = "blocked", parallelism: int = 4,
+                 top_k: int | None = None, index_cache=None):
+        super().__init__(schema, (left, right))
+        self.left_column = left_column
+        self.right_column = right_column
+        self.cache = cache
+        self.threshold = threshold
+        self.score_alias = score_alias
+        self.method = method
+        self.parallelism = parallelism
+        self.top_k = top_k
+        self.index_cache = index_cache
+
+    def _batches(self) -> Iterator[Table]:
+        left = self.children[0].execute()
+        right = self.children[1].execute()
+        if left.num_rows == 0 or right.num_rows == 0:
+            return
+        left_unique, left_groups = _group_rows(left.column(self.left_column))
+        right_unique, right_groups = _group_rows(
+            right.column(self.right_column))
+        if not left_unique or not right_unique:
+            return
+
+        ul, ur, scores = self._match(left_unique, right_unique)
+        if ul.shape[0] == 0:
+            return
+
+        left_parts: list[np.ndarray] = []
+        right_parts: list[np.ndarray] = []
+        score_parts: list[np.ndarray] = []
+        for pair_index in range(ul.shape[0]):
+            left_rows = left_groups[left_unique[int(ul[pair_index])]]
+            right_rows = right_groups[right_unique[int(ur[pair_index])]]
+            left_parts.append(np.repeat(left_rows, right_rows.shape[0]))
+            right_parts.append(np.tile(right_rows, left_rows.shape[0]))
+            score_parts.append(np.full(
+                left_rows.shape[0] * right_rows.shape[0],
+                float(scores[pair_index]), dtype=np.float64))
+        left_idx = np.concatenate(left_parts)
+        right_idx = np.concatenate(right_parts)
+        all_scores = np.concatenate(score_parts)
+
+        combined_schema = Schema(list(self.schema.fields)[:-1])
+        combined = _combine(left.take(left_idx), right.take(right_idx),
+                            combined_schema)
+        columns = dict(combined.columns)
+        columns[self.score_alias] = all_scores
+        yield Table(self.schema, columns)
+
+    def _match(self, left_unique: list[str], right_unique: list[str]):
+        if self.top_k is not None:
+            return self._match_topk(left_unique, right_unique)
+        if self.method == "nested_loop":
+            return join_nested_loop(left_unique, right_unique,
+                                    self.cache.model, self.threshold)
+        if self.method == "prefetched":
+            return join_prefetched(left_unique, right_unique,
+                                   self.cache.model, self.threshold)
+        left_matrix = self.cache.matrix(left_unique)
+        if self.method.startswith("index:") and self.index_cache is not None:
+            # session-level index reuse: build once per (model, value set)
+            from repro.semantic.join import join_index
+
+            kind = self.method.split(":", 1)[1]
+            index = self.index_cache.get(kind, right_unique, self.cache)
+            return join_index(left_matrix, None, self.threshold, index=index)
+        right_matrix = self.cache.matrix(right_unique)
+        if self.method == "parallel":
+            return join_parallel(left_matrix, right_matrix, self.threshold,
+                                 workers=self.parallelism)
+        kernel: Callable | None = SEMANTIC_JOIN_METHODS.get(self.method)
+        if kernel is None:
+            raise ExecutionError(
+                f"unknown semantic join method {self.method!r}; available: "
+                f"nested_loop, prefetched, "
+                f"{', '.join(sorted(SEMANTIC_JOIN_METHODS))}"
+            )
+        return kernel(left_matrix, right_matrix, self.threshold)
+
+    def _match_topk(self, left_unique: list[str], right_unique: list[str]):
+        from repro.semantic.topk import join_topk, join_topk_index
+
+        left_matrix = self.cache.matrix(left_unique)
+        if self.method.startswith("index:") and self.index_cache is not None:
+            kind = self.method.split(":", 1)[1]
+            index = self.index_cache.get(kind, right_unique, self.cache)
+            return join_topk_index(left_matrix, index, self.top_k,
+                                   min_score=self.threshold)
+        right_matrix = self.cache.matrix(right_unique)
+        return join_topk(left_matrix, right_matrix, self.top_k,
+                         min_score=self.threshold)
+
+
+class SemanticGroupByOp(PhysicalOperator):
+    """Semantic group-by: cluster the column, append id + representative."""
+
+    def __init__(self, child: PhysicalOperator, column: str,
+                 cache: EmbeddingCache, threshold: float, cluster_alias: str,
+                 representative_alias: str, schema: Schema):
+        super().__init__(schema, (child,))
+        self.column = column
+        self.cache = cache
+        self.threshold = threshold
+        self.cluster_alias = cluster_alias
+        self.representative_alias = representative_alias
+
+    def _batches(self) -> Iterator[Table]:
+        table = self.children[0].execute()
+        if table.num_rows == 0:
+            return
+        values = [v if v is not None else "" for v in
+                  table.column(self.column)]
+        clustering = cluster_strings(values, self.cache, self.threshold)
+        representatives = np.asarray(
+            [clustering.representatives[int(label)]
+             for label in clustering.labels],
+            dtype=object)
+        columns = dict(table.columns)
+        columns[self.cluster_alias] = clustering.labels
+        columns[self.representative_alias] = representatives
+        yield Table(self.schema, columns)
+
+
+def _group_rows(values: np.ndarray) -> tuple[list[str], dict[str, np.ndarray]]:
+    """Unique non-null values and the row indices holding each."""
+    groups: dict[str, list[int]] = {}
+    for row, value in enumerate(values):
+        if value is None:
+            continue
+        groups.setdefault(value, []).append(row)
+    unique = list(groups)
+    arrays = {value: np.asarray(rows, dtype=np.int64)
+              for value, rows in groups.items()}
+    return unique, arrays

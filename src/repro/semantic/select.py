@@ -1,0 +1,76 @@
+"""Semantic Select kernel: context-based filtering.
+
+``semantic_select_mask`` is the vectorized heart: embed the probe phrase
+once, embed the column (through the cache), and keep rows whose cosine
+clears the threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semantic.cache import EmbeddingCache
+
+
+def semantic_select_mask(values, probe: str, cache: EmbeddingCache,
+                         threshold: float) -> tuple[np.ndarray, np.ndarray]:
+    """Boolean mask and scores for ``cosine(values[i], probe) >= threshold``.
+
+    ``None`` values never match.
+    """
+    probe_vector = cache.vector(probe)
+    present = np.asarray([value is not None for value in values], dtype=bool)
+    scores = np.zeros(len(values), dtype=np.float32)
+    present_values = [value for value in values if value is not None]
+    if present_values:
+        matrix = cache.matrix(present_values)
+        scores[present] = matrix @ probe_vector
+    mask = scores >= threshold
+    return mask, scores
+
+
+def semantic_contains_mask(values, probe: str, cache: EmbeddingCache,
+                           threshold: float) -> tuple[np.ndarray,
+                                                      np.ndarray]:
+    """Mask/scores for free text: does ANY token of ``values[i]`` clear
+    ``cosine(token, probe) >= threshold``?
+
+    The free-text variant of Semantic Select — "review mentions clothes"
+    — where whole-string embedding would wash the signal out across
+    filler tokens.  Token embeddings are fetched once per distinct token.
+    """
+    from repro.utils.text import tokenize
+
+    probe_vector = cache.vector(probe)
+    tokenized = [tokenize(value) if value is not None else []
+                 for value in values]
+    unique_tokens = sorted({token for tokens in tokenized
+                            for token in tokens})
+    scores = np.zeros(len(values), dtype=np.float32)
+    if unique_tokens:
+        token_matrix = cache.matrix(unique_tokens)
+        token_scores = dict(zip(unique_tokens,
+                                (token_matrix @ probe_vector).tolist()))
+        for position, tokens in enumerate(tokenized):
+            if tokens:
+                scores[position] = max(token_scores[t] for t in tokens)
+    mask = scores >= threshold
+    return mask, scores
+
+
+def semantic_any_mask(values, probes: list[str], cache: EmbeddingCache,
+                      threshold: float) -> tuple[np.ndarray, np.ndarray]:
+    """Mask/scores for ``max_p cosine(values[i], p) >= threshold``.
+
+    The disjunctive (semi-join reduction) variant used by data-induced
+    predicates: one GEMM against the probe matrix, max over probes.
+    """
+    probe_matrix = cache.matrix(probes)
+    present = np.asarray([value is not None for value in values], dtype=bool)
+    scores = np.zeros(len(values), dtype=np.float32)
+    present_values = [value for value in values if value is not None]
+    if present_values:
+        matrix = cache.matrix(present_values)
+        scores[present] = (matrix @ probe_matrix.T).max(axis=1)
+    mask = scores >= threshold
+    return mask, scores

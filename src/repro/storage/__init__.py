@@ -1,0 +1,25 @@
+"""Columnar storage substrate: schemas, tables, catalog, statistics, IO."""
+
+from repro.storage.types import DataType, date_to_int, int_to_date, parse_date
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import ColumnStats, TableStats, compute_table_stats
+from repro.storage.csv_io import read_csv, read_jsonl, write_csv
+
+__all__ = [
+    "DataType",
+    "date_to_int",
+    "int_to_date",
+    "parse_date",
+    "Field",
+    "Schema",
+    "Table",
+    "Catalog",
+    "ColumnStats",
+    "TableStats",
+    "compute_table_stats",
+    "read_csv",
+    "read_jsonl",
+    "write_csv",
+]

@@ -1,0 +1,51 @@
+"""Catalog: name -> table (+ cached statistics) within a session."""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.storage.statistics import TableStats, compute_table_stats
+from repro.storage.table import Table
+
+
+class Catalog:
+    """Tables and their statistics, keyed by name."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+
+    def register(self, name: str, table: Table, replace: bool = False) -> None:
+        if name in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already registered")
+        self._tables[name] = table
+        self._stats.pop(name, None)
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "<none>"
+            raise CatalogError(
+                f"unknown table {name!r}; registered tables: {known}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+        self._stats.pop(name, None)
+
+    def stats(self, name: str) -> TableStats:
+        """Statistics for ``name``, computed on first request and cached."""
+        if name not in self._stats:
+            self._stats[name] = compute_table_stats(self.get(name))
+        return self._stats[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,112 @@
+"""Schemas: ordered, named, typed fields.
+
+Logical plan nodes carry a :class:`Schema`; the optimizer's rewrite rules
+and the binder rely on schema algebra (concat for joins, projection for
+column pruning, qualification for disambiguation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.storage.types import DataType
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column."""
+
+    name: str
+    dtype: DataType
+
+    def renamed(self, name: str) -> "Field":
+        return Field(name, self.dtype)
+
+    def qualified(self, qualifier: str) -> "Field":
+        """Prefix with a qualifier unless already qualified with it."""
+        if self.name.startswith(qualifier + "."):
+            return self
+        return Field(f"{qualifier}.{self.name}", self.dtype)
+
+
+class Schema:
+    """An ordered collection of fields with unique names."""
+
+    def __init__(self, fields: list[Field] | tuple[Field, ...]):
+        names = [field.name for field in fields]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+        self._fields = tuple(fields)
+        self._index = {field.name: i for i, field in enumerate(self._fields)}
+
+    @property
+    def fields(self) -> tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def names(self) -> list[str]:
+        return [field.name for field in self._fields]
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}:{f.dtype.value}" for f in self._fields)
+        return f"Schema({inner})"
+
+    def field(self, name: str) -> Field:
+        index = self.index_of(name)
+        return self._fields[index]
+
+    def index_of(self, name: str) -> int:
+        """Index of column ``name``; supports unambiguous suffix lookup.
+
+        ``index_of("price")`` finds ``products.price`` when exactly one
+        qualified column has that suffix — the binder leans on this.
+        """
+        if name in self._index:
+            return self._index[name]
+        suffix_matches = [
+            i for i, field in enumerate(self._fields)
+            if field.name.endswith("." + name)
+        ]
+        if len(suffix_matches) == 1:
+            return suffix_matches[0]
+        if len(suffix_matches) > 1:
+            names = [self._fields[i].name for i in suffix_matches]
+            raise SchemaError(f"ambiguous column {name!r}: matches {names}")
+        raise SchemaError(
+            f"unknown column {name!r}; available: {self.names}"
+        )
+
+    def dtype_of(self, name: str) -> DataType:
+        return self.field(name).dtype
+
+    def select(self, names: list[str]) -> "Schema":
+        return Schema([self.field(self.names[self.index_of(n)]) for n in names])
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(list(self._fields) + list(other.fields))
+
+    def qualified(self, qualifier: str) -> "Schema":
+        return Schema([field.qualified(qualifier) for field in self._fields])
+
+    def renamed(self, mapping: dict[str, str]) -> "Schema":
+        return Schema([
+            field.renamed(mapping.get(field.name, field.name))
+            for field in self._fields
+        ])

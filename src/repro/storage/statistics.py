@@ -1,0 +1,137 @@
+"""Table and column statistics for cardinality estimation.
+
+The optimizer's selectivity model (paper §V: "include high-level cost
+information, such as the effect on the input/output cardinality") consumes
+row counts, distinct-value counts, min/max, and equi-width histograms
+computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+#: Histogram resolution for numeric columns.
+HISTOGRAM_BINS = 32
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of one column."""
+
+    name: str
+    dtype: DataType
+    count: int
+    null_count: int
+    distinct: int
+    min_value: float | None = None
+    max_value: float | None = None
+    histogram: np.ndarray | None = field(default=None, repr=False)
+    bin_edges: np.ndarray | None = field(default=None, repr=False)
+
+    def selectivity_eq(self) -> float:
+        """Estimated selectivity of ``col = literal`` (uniform over NDV)."""
+        if self.distinct <= 0:
+            return 0.0
+        return 1.0 / self.distinct
+
+    def selectivity_range(self, low: float | None, high: float | None) -> float:
+        """Estimated selectivity of a (half-)open numeric range predicate."""
+        if self.count == 0:
+            return 0.0
+        if self.histogram is not None and self.bin_edges is not None:
+            return self._histogram_fraction(low, high)
+        if self.min_value is None or self.max_value is None:
+            return 1.0 / 3.0  # classic System-R magic number
+        span = self.max_value - self.min_value
+        if span <= 0:
+            inside = ((low is None or low <= self.min_value)
+                      and (high is None or high >= self.max_value))
+            return 1.0 if inside else 0.0
+        lo = self.min_value if low is None else max(low, self.min_value)
+        hi = self.max_value if high is None else min(high, self.max_value)
+        if hi <= lo:
+            return 0.0
+        return float(np.clip((hi - lo) / span, 0.0, 1.0))
+
+    def _histogram_fraction(self, low: float | None, high: float | None) -> float:
+        assert self.histogram is not None and self.bin_edges is not None
+        edges = self.bin_edges
+        counts = self.histogram.astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        lo = edges[0] if low is None else low
+        hi = edges[-1] if high is None else high
+        covered = 0.0
+        for i in range(counts.shape[0]):
+            left, right = edges[i], edges[i + 1]
+            width = right - left
+            if width <= 0:
+                inside = lo <= left <= hi
+                covered += counts[i] if inside else 0.0
+                continue
+            overlap = max(0.0, min(hi, right) - max(lo, left))
+            covered += counts[i] * (overlap / width)
+        return float(np.clip(covered / total, 0.0, 1.0))
+
+
+@dataclass
+class TableStats:
+    """Statistics of a whole table."""
+
+    row_count: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats | None:
+        if name in self.columns:
+            return self.columns[name]
+        suffix = [c for n, c in self.columns.items() if n.endswith("." + name)]
+        if len(suffix) == 1:
+            return suffix[0]
+        return None
+
+
+def compute_column_stats(name: str, dtype: DataType,
+                         values: np.ndarray) -> ColumnStats:
+    """Compute stats for one column array."""
+    count = int(values.shape[0])
+    if dtype == DataType.STRING:
+        mask = np.asarray([v is not None for v in values], dtype=bool)
+        non_null = values[mask]
+        distinct = len(set(non_null.tolist()))
+        return ColumnStats(name, dtype, count, count - int(mask.sum()),
+                           distinct)
+    non_null = values
+    null_count = 0
+    if dtype == DataType.FLOAT64:
+        finite = ~np.isnan(values)
+        non_null = values[finite]
+        null_count = count - int(finite.sum())
+    distinct = int(np.unique(non_null).shape[0]) if non_null.shape[0] else 0
+    stats = ColumnStats(name, dtype, count, null_count, distinct)
+    if dtype.is_numeric or dtype == DataType.BOOL:
+        if non_null.shape[0]:
+            numeric = non_null.astype(np.float64)
+            stats.min_value = float(numeric.min())
+            stats.max_value = float(numeric.max())
+            if stats.max_value > stats.min_value:
+                hist, edges = np.histogram(numeric, bins=HISTOGRAM_BINS)
+                stats.histogram = hist
+                stats.bin_edges = edges
+    return stats
+
+
+def compute_table_stats(table: Table) -> TableStats:
+    """Compute statistics for every column of ``table``."""
+    columns = {
+        field.name: compute_column_stats(
+            field.name, field.dtype, table.columns[field.name]
+        )
+        for field in table.schema
+    }
+    return TableStats(row_count=table.num_rows, columns=columns)

@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG, timing, and text helpers."""
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.timing import Timer, timed
+from repro.utils.text import normalize_token, tokenize
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "Timer",
+    "timed",
+    "normalize_token",
+    "tokenize",
+]

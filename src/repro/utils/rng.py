@@ -1,0 +1,42 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic components in the library (synthetic data, embedding noise,
+LSH hyperplanes, k-means init, ...) receive an explicit seed and create
+their generator through :func:`make_rng`.  Sub-component seeds are derived
+with :func:`derive_seed` so that two components seeded from the same parent
+never share a stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_MAX_SEED = 2**63 - 1
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a NumPy ``Generator`` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (seeded from entropy — only appropriate for throwaway use).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(parent_seed: int, *names: str | int) -> int:
+    """Derive a child seed from ``parent_seed`` and a path of names.
+
+    The derivation is stable across processes and Python versions (uses
+    SHA-256 rather than ``hash()``), so components keep identical streams
+    between runs.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(parent_seed)).encode("utf-8"))
+    for name in names:
+        hasher.update(b"/")
+        hasher.update(str(name).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big") % _MAX_SEED

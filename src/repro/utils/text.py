@@ -1,0 +1,48 @@
+"""Text normalization and tokenization shared by models and operators.
+
+The embedding models, the semantic operators, and the synthetic workload
+generators must agree on how raw strings become tokens; this module is the
+single source of that agreement.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+
+
+def normalize_token(token: str) -> str:
+    """Lower-case and strip a single token.
+
+    Multi-word phrases (``"golden retriever"``) are preserved as one unit;
+    internal whitespace is collapsed to single spaces so phrase lookups are
+    stable.
+    """
+    return " ".join(token.lower().split())
+
+
+def tokenize(text: str) -> list[str]:
+    """Split free text into normalized word tokens.
+
+    Keeps intra-word hyphens and apostrophes (``"lace-ups"`` stays one
+    token) — the same convention fastText-style subword models rely on.
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def ngrams(word: str, n_min: int, n_max: int, *, boundary: bool = True) -> list[str]:
+    """Character n-grams of ``word`` for ``n_min <= n <= n_max``.
+
+    With ``boundary=True`` the word is wrapped in ``<`` and ``>`` markers as
+    in fastText, so prefixes/suffixes are distinguishable from word-internal
+    grams.
+    """
+    decorated = f"<{word}>" if boundary else word
+    grams = []
+    for size in range(n_min, n_max + 1):
+        if size > len(decorated):
+            break
+        for start in range(len(decorated) - size + 1):
+            grams.append(decorated[start:start + size])
+    return grams

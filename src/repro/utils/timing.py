@@ -1,0 +1,53 @@
+"""Wall-clock timing helpers used by the profiler and the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    >>> timer = Timer()
+    >>> with timer.measure():
+    ...     pass
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    calls: int = 0
+    _last: float = field(default=0.0, repr=False)
+
+    @contextmanager
+    def measure(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self._last = time.perf_counter() - start
+            self.elapsed += self._last
+            self.calls += 1
+
+    @property
+    def last(self) -> float:
+        """Duration of the most recent measured block, in seconds."""
+        return self._last
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.calls = 0
+        self._last = 0.0
+
+
+@contextmanager
+def timed(sink: dict, key: str):
+    """Measure a block and add the duration (seconds) into ``sink[key]``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = sink.get(key, 0.0) + (time.perf_counter() - start)

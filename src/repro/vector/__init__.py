@@ -1,0 +1,50 @@
+"""Vector processing substrate (paper §V, refs [20], [32]).
+
+Distance metrics, exact (brute-force) search, and three approximate
+nearest-neighbour indexes — random-hyperplane LSH, IVF-Flat, and a
+lightweight HNSW graph.  The optimizer's cost model chooses between
+brute-force and index-based access for semantic operators, exactly the
+"index-based access for similarity search should be accounted for in
+cost-based optimization" point of §IV.
+"""
+
+from repro.vector.metrics import (
+    cosine_matrix,
+    cosine_pairs,
+    cosine_similarity,
+    l2_distance,
+    normalize_rows,
+)
+from repro.vector.bruteforce import BruteForceIndex
+from repro.vector.lsh import LSHIndex
+from repro.vector.ivf import IVFFlatIndex
+from repro.vector.hnsw import HNSWIndex
+from repro.vector.index import VectorIndex
+from repro.vector.kmeans import KMeans
+from repro.vector.topk import top_k_indices, threshold_pairs
+from repro.vector.quantization import (
+    QuantizedMatrix,
+    join_quantized,
+    quantize_rows,
+    quantized_similarity,
+)
+
+__all__ = [
+    "cosine_matrix",
+    "cosine_pairs",
+    "cosine_similarity",
+    "l2_distance",
+    "normalize_rows",
+    "BruteForceIndex",
+    "LSHIndex",
+    "IVFFlatIndex",
+    "HNSWIndex",
+    "VectorIndex",
+    "KMeans",
+    "top_k_indices",
+    "threshold_pairs",
+    "QuantizedMatrix",
+    "join_quantized",
+    "quantize_rows",
+    "quantized_similarity",
+]

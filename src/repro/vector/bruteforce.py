@@ -1,0 +1,36 @@
+"""Exact cosine search by full matrix scan.
+
+The reference implementation every approximate index is measured against
+(recall), and the physical access path of choice for small candidate sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vector.index import SearchResult, VectorIndex
+from repro.vector.topk import top_k_indices
+
+
+class BruteForceIndex(VectorIndex):
+    """Exact top-k / range search via one GEMV per query."""
+
+    def _build(self, vectors: np.ndarray) -> None:
+        pass  # nothing beyond the normalized matrix kept by the base class
+
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        self._require_built()
+        query = self._normalize_query(query, self.vectors.shape[1])
+        scores = self.vectors @ query
+        ids = top_k_indices(scores, k)
+        return SearchResult(ids, scores[ids])
+
+    def range_search(self, query: np.ndarray, threshold: float,
+                     oversample: int = 4) -> SearchResult:
+        self._require_built()
+        query = self._normalize_query(query, self.vectors.shape[1])
+        scores = self.vectors @ query
+        ids = np.nonzero(scores >= threshold)[0].astype(np.int64)
+        order = np.argsort(-scores[ids], kind="stable")
+        ids = ids[order]
+        return SearchResult(ids, scores[ids])

@@ -1,0 +1,144 @@
+"""A lightweight HNSW (hierarchical navigable small world) graph index.
+
+Implements the standard construction of Malkov & Yashunin: each element is
+inserted at a geometrically-sampled maximum layer; greedy search descends
+from the top layer, then a beam search (``ef``) runs on the base layer.
+Kept deliberately compact — the engine needs a realistic graph-index access
+path with build/probe cost characteristics, not a FAISS replacement.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.vector.index import SearchResult, VectorIndex
+
+
+class HNSWIndex(VectorIndex):
+    """HNSW over cosine similarity (vectors normalized by the base class)."""
+
+    def __init__(self, m: int = 8, ef_construction: int = 64,
+                 ef_search: int = 32, seed: int = 0):
+        super().__init__()
+        self.m = m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.seed = seed
+        self._layers: list[dict[int, list[int]]] = []
+        self._entry_point: int = -1
+        self._node_level: np.ndarray | None = None
+
+    def _build(self, vectors: np.ndarray) -> None:
+        rng = make_rng(derive_seed(self.seed, "hnsw"))
+        n = vectors.shape[0]
+        level_mult = 1.0 / np.log(max(self.m, 2))
+        levels = np.floor(-np.log(rng.uniform(size=n) + 1e-12)
+                          * level_mult).astype(np.int64)
+        max_level = int(levels.max(initial=0))
+        self._node_level = levels
+        self._layers = [dict() for _ in range(max_level + 1)]
+        self._entry_point = -1
+
+        for node in range(n):
+            self._insert(node, int(levels[node]), vectors)
+
+    # ------------------------------------------------------------------
+    def _insert(self, node: int, level: int, vectors: np.ndarray) -> None:
+        for layer in range(level + 1):
+            self._layers[layer].setdefault(node, [])
+        if self._entry_point < 0:
+            self._entry_point = node
+            return
+        query = vectors[node]
+        entry = self._entry_point
+        assert self._node_level is not None
+        top = int(self._node_level[self._entry_point])
+        # Greedy descent through layers above the node's level.
+        for layer in range(top, level, -1):
+            entry = self._greedy_step(query, entry, layer, vectors)
+        # Beam search + connect on layers <= level.
+        for layer in range(min(level, top), -1, -1):
+            neighbours = self._search_layer(query, [entry], layer,
+                                            self.ef_construction, vectors)
+            selected = [idx for _, idx in
+                        heapq.nlargest(self.m, neighbours)]
+            self._connect(node, selected, layer, vectors)
+            if neighbours:
+                entry = max(neighbours)[1]
+        if level > top:
+            self._entry_point = node
+
+    def _connect(self, node: int, neighbours: list[int], layer: int,
+                 vectors: np.ndarray) -> None:
+        adjacency = self._layers[layer]
+        adjacency[node] = list(neighbours)
+        limit = self.m * 2 if layer == 0 else self.m
+        for neighbour in neighbours:
+            links = adjacency.setdefault(neighbour, [])
+            links.append(node)
+            if len(links) > limit:  # prune to the closest ``limit`` links
+                scores = vectors[links] @ vectors[neighbour]
+                order = np.argsort(-scores)[:limit]
+                adjacency[neighbour] = [links[int(i)] for i in order]
+
+    def _greedy_step(self, query: np.ndarray, entry: int, layer: int,
+                     vectors: np.ndarray) -> int:
+        current = entry
+        current_score = float(vectors[current] @ query)
+        improved = True
+        while improved:
+            improved = False
+            for neighbour in self._layers[layer].get(current, ()):
+                score = float(vectors[neighbour] @ query)
+                if score > current_score:
+                    current, current_score = neighbour, score
+                    improved = True
+        return current
+
+    def _search_layer(self, query: np.ndarray, entries: list[int], layer: int,
+                      ef: int, vectors: np.ndarray) -> list[tuple[float, int]]:
+        """Beam search; returns (score, id) pairs (unordered)."""
+        visited = set(entries)
+        candidates: list[tuple[float, int]] = []   # max-heap via negation
+        best: list[tuple[float, int]] = []         # min-heap of size <= ef
+        for entry in entries:
+            score = float(vectors[entry] @ query)
+            heapq.heappush(candidates, (-score, entry))
+            heapq.heappush(best, (score, entry))
+        while candidates:
+            neg_score, current = heapq.heappop(candidates)
+            if best and -neg_score < best[0][0] and len(best) >= ef:
+                break
+            for neighbour in self._layers[layer].get(current, ()):
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                score = float(vectors[neighbour] @ query)
+                if len(best) < ef or score > best[0][0]:
+                    heapq.heappush(candidates, (-score, neighbour))
+                    heapq.heappush(best, (score, neighbour))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return best
+
+    # ------------------------------------------------------------------
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        self._require_built()
+        query = self._normalize_query(query, self.vectors.shape[1])
+        if self._entry_point < 0:
+            return SearchResult(np.empty(0, dtype=np.int64),
+                                np.empty(0, dtype=np.float32))
+        assert self._node_level is not None
+        entry = self._entry_point
+        for layer in range(int(self._node_level[self._entry_point]), 0, -1):
+            entry = self._greedy_step(query, entry, layer, self.vectors)
+        ef = max(self.ef_search, k)
+        found = self._search_layer(query, [entry], 0, ef, self.vectors)
+        found.sort(reverse=True)
+        top = found[:k]
+        ids = np.asarray([idx for _, idx in top], dtype=np.int64)
+        scores = np.asarray([score for score, _ in top], dtype=np.float32)
+        return SearchResult(ids, scores)

@@ -1,0 +1,100 @@
+"""Common interface for vector indexes.
+
+The semantic-join physical operators and the optimizer's access-path
+selection only depend on this interface, so index implementations are
+interchangeable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.vector.metrics import normalize_rows
+
+
+@dataclass
+class SearchResult:
+    """Result of a top-k search: parallel id/score arrays, best first."""
+
+    ids: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+
+class VectorIndex(ABC):
+    """A build-once, query-many cosine-similarity index."""
+
+    def __init__(self):
+        self._vectors: np.ndarray | None = None
+
+    @property
+    def is_built(self) -> bool:
+        return self._vectors is not None
+
+    @property
+    def size(self) -> int:
+        return 0 if self._vectors is None else int(self._vectors.shape[0])
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The (normalized) indexed vectors."""
+        self._require_built()
+        assert self._vectors is not None
+        return self._vectors
+
+    def build(self, vectors: np.ndarray) -> "VectorIndex":
+        """Index ``(n, d)`` vectors (rows are copied and normalized)."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise IndexError_("build expects a non-empty (n, d) matrix")
+        self._vectors = normalize_rows(vectors)
+        self._build(self._vectors)
+        return self
+
+    @abstractmethod
+    def _build(self, vectors: np.ndarray) -> None:
+        """Implementation hook: vectors are already normalized."""
+
+    @abstractmethod
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        """Top-``k`` most similar indexed vectors for one query vector."""
+
+    def range_search(self, query: np.ndarray, threshold: float,
+                     oversample: int = 4) -> SearchResult:
+        """All indexed vectors with cosine >= ``threshold``.
+
+        Default implementation iterates top-k with growing ``k`` until the
+        score frontier drops below the threshold; exact indexes override
+        with a direct scan.
+        """
+        self._require_built()
+        k = min(max(oversample, 1), self.size)
+        while True:
+            result = self.search(query, k)
+            below = result.scores < threshold
+            if below.any() or k >= self.size:
+                keep = result.scores >= threshold
+                return SearchResult(result.ids[keep], result.scores[keep])
+            k = min(k * 2, self.size)
+
+    def _require_built(self) -> None:
+        if not self.is_built:
+            raise IndexError_(f"{type(self).__name__} queried before build()")
+
+    @staticmethod
+    def _normalize_query(query: np.ndarray, dim: int) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        if query.shape[0] != dim:
+            raise IndexError_(
+                f"query dim {query.shape[0]} != index dim {dim}"
+            )
+        norm = float(np.linalg.norm(query))
+        if norm > 0.0:
+            query = query / norm
+        return query

@@ -1,0 +1,76 @@
+"""IVF-Flat index: k-means coarse quantizer + inverted lists.
+
+The standard FAISS-style recipe (paper ref [20]): partition vectors into
+``n_lists`` Voronoi cells; a query scans only the ``n_probes`` closest
+cells exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+from repro.vector.index import SearchResult, VectorIndex
+from repro.vector.kmeans import KMeans
+from repro.vector.topk import top_k_indices
+
+
+class IVFFlatIndex(VectorIndex):
+    """Inverted-file index with exact scoring inside probed cells."""
+
+    def __init__(self, n_lists: int = 16, n_probes: int = 3, seed: int = 0):
+        super().__init__()
+        if n_probes < 1:
+            n_probes = 1
+        self.n_lists = n_lists
+        self.n_probes = n_probes
+        self.seed = seed
+        self._centroids: np.ndarray | None = None
+        self._lists: list[np.ndarray] = []
+
+    def _build(self, vectors: np.ndarray) -> None:
+        k = min(self.n_lists, vectors.shape[0])
+        kmeans = KMeans(n_clusters=k, seed=derive_seed(self.seed, "ivf"))
+        kmeans.fit(vectors)
+        assert kmeans.centroids is not None and kmeans.labels is not None
+        self._centroids = kmeans.centroids
+        self._lists = [
+            np.nonzero(kmeans.labels == cluster)[0].astype(np.int64)
+            for cluster in range(k)
+        ]
+
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        self._require_built()
+        query = self._normalize_query(query, self.vectors.shape[1])
+        candidates = self._probe(query)
+        if candidates.size == 0:
+            return SearchResult(np.empty(0, dtype=np.int64),
+                                np.empty(0, dtype=np.float32))
+        scores = self.vectors[candidates] @ query
+        order = top_k_indices(scores, k)
+        return SearchResult(candidates[order], scores[order])
+
+    def range_search(self, query: np.ndarray, threshold: float,
+                     oversample: int = 4) -> SearchResult:
+        self._require_built()
+        query = self._normalize_query(query, self.vectors.shape[1])
+        candidates = self._probe(query)
+        if candidates.size == 0:
+            return SearchResult(np.empty(0, dtype=np.int64),
+                                np.empty(0, dtype=np.float32))
+        scores = self.vectors[candidates] @ query
+        keep = scores >= threshold
+        ids = candidates[keep]
+        kept = scores[keep]
+        order = np.argsort(-kept, kind="stable")
+        return SearchResult(ids[order], kept[order])
+
+    def _probe(self, query: np.ndarray) -> np.ndarray:
+        assert self._centroids is not None
+        affinities = self._centroids @ query
+        probes = top_k_indices(affinities, min(self.n_probes,
+                                               len(self._lists)))
+        parts = [self._lists[int(p)] for p in probes]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)

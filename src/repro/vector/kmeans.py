@@ -1,0 +1,98 @@
+"""Lloyd's k-means with k-means++ initialization (pure NumPy).
+
+Used by the IVF-Flat coarse quantizer and by SemanticGroupBy's
+fixed-k clustering mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class KMeans:
+    """k-means clustering.
+
+    Attributes after :meth:`fit`: ``centroids`` (k, d), ``labels`` (n,),
+    ``inertia`` (sum of squared distances to assigned centroid).
+    """
+
+    n_clusters: int
+    max_iter: int = 25
+    tol: float = 1e-4
+    seed: int = 0
+    centroids: np.ndarray | None = field(default=None, repr=False)
+    labels: np.ndarray | None = field(default=None, repr=False)
+    inertia: float = float("inf")
+
+    def fit(self, points: np.ndarray) -> "KMeans":
+        points = np.asarray(points, dtype=np.float32)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise IndexError_("KMeans.fit expects a non-empty (n, d) matrix")
+        k = min(self.n_clusters, points.shape[0])
+        rng = make_rng(self.seed)
+        centroids = self._init_plus_plus(points, k, rng)
+        labels = np.zeros(points.shape[0], dtype=np.int64)
+        previous_inertia = float("inf")
+        for _ in range(self.max_iter):
+            distances = _squared_distances(points, centroids)
+            labels = np.argmin(distances, axis=1)
+            inertia = float(distances[np.arange(points.shape[0]), labels].sum())
+            for cluster in range(k):
+                members = points[labels == cluster]
+                if members.shape[0] > 0:
+                    centroids[cluster] = members.mean(axis=0)
+                else:  # re-seed empty cluster at the farthest point
+                    farthest = int(np.argmax(distances.min(axis=1)))
+                    centroids[cluster] = points[farthest]
+            if previous_inertia - inertia <= self.tol * max(previous_inertia, 1e-12):
+                previous_inertia = inertia
+                break
+            previous_inertia = inertia
+        # Final assignment against the *final* centroids so that labels,
+        # inertia, and predict() agree.
+        distances = _squared_distances(points, centroids)
+        self.labels = np.argmin(distances, axis=1)
+        self.inertia = float(
+            distances[np.arange(points.shape[0]), self.labels].sum())
+        self.centroids = centroids
+        return self
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        if self.centroids is None:
+            raise IndexError_("KMeans.predict called before fit")
+        points = np.asarray(points, dtype=np.float32)
+        return np.argmin(_squared_distances(points, self.centroids), axis=1)
+
+    @staticmethod
+    def _init_plus_plus(points: np.ndarray, k: int,
+                        rng: np.random.Generator) -> np.ndarray:
+        n = points.shape[0]
+        centroids = np.empty((k, points.shape[1]), dtype=np.float32)
+        first = int(rng.integers(n))
+        centroids[0] = points[first]
+        closest_sq = _squared_distances(points, centroids[:1]).ravel()
+        for i in range(1, k):
+            total = float(closest_sq.sum())
+            if total <= 0.0:
+                centroids[i:] = points[int(rng.integers(n))]
+                break
+            probabilities = closest_sq / total
+            choice = int(rng.choice(n, p=probabilities))
+            centroids[i] = points[choice]
+            new_sq = _squared_distances(points, centroids[i:i + 1]).ravel()
+            np.minimum(closest_sq, new_sq, out=closest_sq)
+        return centroids
+
+
+def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    sq = (np.sum(points**2, axis=1)[:, None]
+          + np.sum(centroids**2, axis=1)[None, :]
+          - 2.0 * (points @ centroids.T))
+    np.maximum(sq, 0.0, out=sq)
+    return sq

@@ -1,0 +1,94 @@
+"""Random-hyperplane LSH index for cosine similarity.
+
+Classic SimHash construction: each of ``n_tables`` hash tables uses
+``n_bits`` random hyperplanes; a vector's signature is the sign pattern of
+its projections.  Candidates are the union of same-bucket entries over all
+tables (optionally expanded by multi-probe on 1-bit flips), re-ranked
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.vector.index import SearchResult, VectorIndex
+from repro.vector.topk import top_k_indices
+
+
+class LSHIndex(VectorIndex):
+    """SimHash LSH with exact re-ranking of candidates."""
+
+    def __init__(self, n_tables: int = 8, n_bits: int = 12, seed: int = 0,
+                 multiprobe_flips: int = 1):
+        super().__init__()
+        self.n_tables = n_tables
+        self.n_bits = n_bits
+        self.seed = seed
+        self.multiprobe_flips = multiprobe_flips
+        self._hyperplanes: np.ndarray | None = None  # (tables, bits, d)
+        self._tables: list[dict[int, list[int]]] = []
+
+    def _build(self, vectors: np.ndarray) -> None:
+        rng = make_rng(derive_seed(self.seed, "lsh", self.n_tables, self.n_bits))
+        dim = vectors.shape[1]
+        self._hyperplanes = rng.standard_normal(
+            (self.n_tables, self.n_bits, dim)
+        ).astype(np.float32)
+        self._tables = [dict() for _ in range(self.n_tables)]
+        signatures = self._signatures(vectors)  # (n, tables)
+        for row in range(vectors.shape[0]):
+            for table in range(self.n_tables):
+                bucket = int(signatures[row, table])
+                self._tables[table].setdefault(bucket, []).append(row)
+
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        self._require_built()
+        query = self._normalize_query(query, self.vectors.shape[1])
+        candidates = self._candidates(query)
+        if candidates.size == 0:
+            return SearchResult(np.empty(0, dtype=np.int64),
+                                np.empty(0, dtype=np.float32))
+        scores = self.vectors[candidates] @ query
+        order = top_k_indices(scores, k)
+        return SearchResult(candidates[order], scores[order])
+
+    def range_search(self, query: np.ndarray, threshold: float,
+                     oversample: int = 4) -> SearchResult:
+        self._require_built()
+        query = self._normalize_query(query, self.vectors.shape[1])
+        candidates = self._candidates(query)
+        if candidates.size == 0:
+            return SearchResult(np.empty(0, dtype=np.int64),
+                                np.empty(0, dtype=np.float32))
+        scores = self.vectors[candidates] @ query
+        keep = scores >= threshold
+        ids = candidates[keep]
+        kept_scores = scores[keep]
+        order = np.argsort(-kept_scores, kind="stable")
+        return SearchResult(ids[order], kept_scores[order])
+
+    # ------------------------------------------------------------------
+    def _signatures(self, vectors: np.ndarray) -> np.ndarray:
+        """Bucket id per (vector, table): pack sign bits into an int."""
+        assert self._hyperplanes is not None
+        weights = (1 << np.arange(self.n_bits)).astype(np.int64)
+        output = np.empty((vectors.shape[0], self.n_tables), dtype=np.int64)
+        for table in range(self.n_tables):
+            projections = vectors @ self._hyperplanes[table].T  # (n, bits)
+            bits = (projections > 0.0).astype(np.int64)
+            output[:, table] = bits @ weights
+        return output
+
+    def _candidates(self, query: np.ndarray) -> np.ndarray:
+        signature = self._signatures(query[None, :])[0]
+        found: set[int] = set()
+        for table in range(self.n_tables):
+            bucket = int(signature[table])
+            found.update(self._tables[table].get(bucket, ()))
+            for flip in range(self.n_bits if self.multiprobe_flips else 0):
+                if self.multiprobe_flips < 1:
+                    break
+                neighbour = bucket ^ (1 << flip)
+                found.update(self._tables[table].get(neighbour, ()))
+        return np.fromiter(found, dtype=np.int64, count=len(found))

@@ -1,0 +1,69 @@
+"""Distance / similarity kernels over embedding matrices.
+
+All batch kernels take ``(n, d)`` float arrays.  ``normalize_rows`` is the
+single place rows are unit-normalized, so cosine similarity elsewhere is a
+plain dot product — this is also what makes the "tight code" and "SIMD"
+rungs of the Figure-4 ladder work (one BLAS GEMM instead of per-pair
+Python).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+
+def normalize_rows(matrix: np.ndarray, copy: bool = True) -> np.ndarray:
+    """L2-normalize each row; zero rows are left at zero."""
+    matrix = np.array(matrix, dtype=np.float32, copy=copy)
+    if matrix.ndim != 2:
+        raise IndexError_("normalize_rows expects a 2-D matrix")
+    # norms in float64: float32 loses precision on denormal-scale rows
+    norms = np.linalg.norm(matrix.astype(np.float64), axis=1, keepdims=True)
+    np.divide(matrix, norms, out=matrix, where=norms > 0.0)
+    return matrix
+
+
+def cosine_similarity(vector_a: np.ndarray, vector_b: np.ndarray) -> float:
+    """Cosine similarity of two single vectors."""
+    norm_a = float(np.linalg.norm(vector_a))
+    norm_b = float(np.linalg.norm(vector_b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(vector_a, vector_b) / (norm_a * norm_b))
+
+
+def cosine_matrix(left: np.ndarray, right: np.ndarray,
+                  assume_normalized: bool = False) -> np.ndarray:
+    """Full ``(n, m)`` cosine matrix between row sets."""
+    if not assume_normalized:
+        left = normalize_rows(left)
+        right = normalize_rows(right)
+    return left @ right.T
+
+
+def cosine_pairs(left: np.ndarray, right: np.ndarray,
+                 assume_normalized: bool = False) -> np.ndarray:
+    """Row-wise cosine between aligned rows of two ``(n, d)`` matrices."""
+    if left.shape != right.shape:
+        raise IndexError_("cosine_pairs expects equal-shape matrices")
+    if not assume_normalized:
+        left = normalize_rows(left)
+        right = normalize_rows(right)
+    return np.einsum("nd,nd->n", left, right)
+
+
+def l2_distance(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Full ``(n, m)`` Euclidean distance matrix (numerically clamped).
+
+    Computed in float64: the ``a^2 + b^2 - 2ab`` expansion loses too much
+    precision in float32 for near-identical rows.
+    """
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    sq = (np.sum(left**2, axis=1)[:, None]
+          + np.sum(right**2, axis=1)[None, :]
+          - 2.0 * (left @ right.T))
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq)

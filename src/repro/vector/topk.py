@@ -1,0 +1,31 @@
+"""Top-k and threshold-pair helpers shared by indexes and join operators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, sorted best-first.
+
+    Uses ``argpartition`` for O(n + k log k) instead of a full sort.
+    """
+    k = min(int(k), scores.shape[0])
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if k == scores.shape[0]:
+        return np.argsort(-scores, kind="stable").astype(np.int64)
+    partition = np.argpartition(-scores, k - 1)[:k]
+    return partition[np.argsort(-scores[partition], kind="stable")].astype(np.int64)
+
+
+def threshold_pairs(
+    similarity: np.ndarray, threshold: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All ``(i, j)`` with ``similarity[i, j] >= threshold``.
+
+    Returns ``(rows, cols, scores)`` — the vectorized core of the blocked
+    semantic join.
+    """
+    rows, cols = np.nonzero(similarity >= threshold)
+    return rows, cols, similarity[rows, cols]

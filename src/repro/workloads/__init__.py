@@ -1,0 +1,13 @@
+"""Synthetic workload generators for every experiment (DESIGN.md §4)."""
+
+from repro.workloads.wiki_strings import WikiStringWorkload
+from repro.workloads.retail import RetailWorkload
+from repro.workloads.labels import DirtyLabelWorkload
+from repro.workloads.logs import LogWorkload
+
+__all__ = [
+    "WikiStringWorkload",
+    "RetailWorkload",
+    "DirtyLabelWorkload",
+    "LogWorkload",
+]

@@ -1,0 +1,178 @@
+"""The motivating-example workload (paper §II, Figure 2).
+
+An online shopping platform with three sources:
+
+1. **RDBMS** — ``products``, ``users``, ``transactions`` (clean, golden),
+2. **knowledge base** — category triples whose labels are surface-form
+   variants of the product vocabulary (curated on a broader corpus),
+3. **image store** — customer images with latent objects, reachable only
+   through (simulated) object detection.
+
+The bundle registers everything into a catalog / engine session and also
+exposes the raw generators so benchmarks can scale pieces independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.embeddings.thesaurus import Thesaurus, default_thesaurus
+from repro.polystore.image_store import ImageStore, SyntheticImage
+from repro.polystore.knowledge_base import KnowledgeBase
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType, date_to_int
+from repro.utils.rng import derive_seed, make_rng
+
+_PRODUCT_SCHEMA = Schema([
+    Field("pid", DataType.INT64),
+    Field("name", DataType.STRING),
+    Field("ptype", DataType.STRING),
+    Field("price", DataType.FLOAT64),
+    Field("brand", DataType.STRING),
+])
+
+_USER_SCHEMA = Schema([
+    Field("uid", DataType.INT64),
+    Field("country", DataType.STRING),
+    Field("signup_date", DataType.DATE),
+])
+
+_TRANSACTION_SCHEMA = Schema([
+    Field("tid", DataType.INT64),
+    Field("uid", DataType.INT64),
+    Field("pid", DataType.INT64),
+    Field("quantity", DataType.INT64),
+    Field("date", DataType.DATE),
+])
+
+_BRANDS = ["acme", "northwind", "globex", "initech", "umbrella", "stark"]
+_COUNTRIES = ["ch", "de", "fr", "it", "us", "jp", "br"]
+
+
+@dataclass
+class RetailWorkload:
+    """Deterministic generator for the Figure-2 data ecosystem."""
+
+    n_products: int = 500
+    n_users: int = 200
+    n_transactions: int = 2_000
+    n_images: int = 300
+    seed: int = 41
+    start_date: str = "2022-01-01"
+    end_date: str = "2022-12-31"
+    thesaurus: Thesaurus | None = None
+    _leaf_names: list[str] = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        self.thesaurus = self.thesaurus or default_thesaurus()
+        self._leaf_names = [c.name for c in self.thesaurus.leaves]
+
+    # ------------------------------------------------------------------
+    def products(self) -> Table:
+        """Product catalog; ``ptype`` holds one surface form per product."""
+        rng = make_rng(derive_seed(self.seed, "products"))
+        rows = []
+        for pid in range(self.n_products):
+            concept = self.thesaurus[self._leaf_names[int(
+                rng.integers(len(self._leaf_names)))]]
+            form = concept.forms[int(rng.integers(len(concept.forms)))]
+            rows.append({
+                "pid": pid,
+                "name": f"{_BRANDS[int(rng.integers(len(_BRANDS)))]} "
+                        f"{form} #{pid}",
+                "ptype": form,
+                "price": round(float(rng.uniform(1.0, 200.0)), 2),
+                "brand": _BRANDS[int(rng.integers(len(_BRANDS)))],
+            })
+        return Table.from_rows(rows, _PRODUCT_SCHEMA)
+
+    def users(self) -> Table:
+        rng = make_rng(derive_seed(self.seed, "users"))
+        lo = date_to_int(self.start_date)
+        hi = date_to_int(self.end_date)
+        rows = [{
+            "uid": uid,
+            "country": _COUNTRIES[int(rng.integers(len(_COUNTRIES)))],
+            "signup_date": int(rng.integers(lo, hi)),
+        } for uid in range(self.n_users)]
+        return Table.from_rows(rows, _USER_SCHEMA)
+
+    def transactions(self) -> Table:
+        rng = make_rng(derive_seed(self.seed, "transactions"))
+        lo = date_to_int(self.start_date)
+        hi = date_to_int(self.end_date)
+        rows = [{
+            "tid": tid,
+            "uid": int(rng.integers(self.n_users)),
+            "pid": int(rng.integers(self.n_products)),
+            "quantity": int(rng.integers(1, 5)),
+            "date": int(rng.integers(lo, hi)),
+        } for tid in range(self.n_transactions)]
+        return Table.from_rows(rows, _TRANSACTION_SCHEMA)
+
+    def knowledge_base(self) -> KnowledgeBase:
+        """Category triples over the *hypernym* vocabulary.
+
+        For every leaf concept and each of its surface forms, the KB holds
+        ``(form, category, hypernym_form)`` triples — e.g.
+        ``(parka, category, clothes)``.  Labels intentionally include forms
+        the RDBMS never uses, so exact joins under-match.
+        """
+        kb = KnowledgeBase("kb")
+        assert self.thesaurus is not None
+        for hypernym in self.thesaurus.hypernyms:
+            category = hypernym.canonical
+            for child_name in hypernym.children:
+                child = self.thesaurus[child_name]
+                for form in child.forms:
+                    kb.add(form, "category", category)
+                kb.add(child.canonical, "subclass_of", category)
+        return kb
+
+    def image_store(self) -> ImageStore:
+        """Customer images: 1-4 latent objects, capture dates in range."""
+        rng = make_rng(derive_seed(self.seed, "images"))
+        lo = date_to_int(self.start_date)
+        hi = date_to_int(self.end_date)
+        store = ImageStore("images")
+        for image_id in range(self.n_images):
+            count = int(rng.integers(1, 5))
+            picks = rng.choice(len(self._leaf_names), size=count,
+                               replace=True)
+            objects = tuple(self._leaf_names[int(i)] for i in picks)
+            store.add(SyntheticImage(
+                image_id=image_id,
+                date_taken=int(rng.integers(lo, hi)),
+                true_objects=objects,
+            ))
+        return store
+
+    # ------------------------------------------------------------------
+    def register_into(self, catalog, detection_model=None,
+                      detect: bool = True) -> None:
+        """Materialize all sources into ``catalog``.
+
+        ``images.detections`` (the model-derived view) is registered only
+        when ``detect=True``; benchmarks that want to measure
+        pushdown-before-inference call ``image_store().detect_table``
+        themselves.
+        """
+        catalog.register("products", self.products(), replace=True)
+        catalog.register("users", self.users(), replace=True)
+        catalog.register("transactions", self.transactions(), replace=True)
+        kb = self.knowledge_base()
+        catalog.register("kb.category", kb.table("category"), replace=True)
+        catalog.register("kb.triples", kb.table("triples"), replace=True)
+        store = self.image_store()
+        catalog.register("images.metadata", store.table("metadata"),
+                         replace=True)
+        if detect:
+            from repro.polystore.image_store import ObjectDetectionModel
+
+            model = detection_model or ObjectDetectionModel(
+                thesaurus=self.thesaurus, seed=derive_seed(self.seed, "det"))
+            catalog.register("images.detections",
+                             store.detect_table(model), replace=True)

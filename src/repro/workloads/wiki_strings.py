@@ -1,0 +1,76 @@
+"""Figure-4 workload: two arrays of strings with a 1%-selectivity filter.
+
+Substitutes for "two arrays of 10k strings taken randomly from the
+Wikipedia dataset".  Each side mixes thesaurus surface forms (which
+produce >= 0.9 cosine matches across sides) with filler vocabulary (which
+does not), plus a numeric ``views`` column whose predicate
+``views >= cutoff`` has exactly the requested selectivity — the filter the
+ladder pushes down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.pretrained import FILLER_WORDS
+from repro.embeddings.thesaurus import Thesaurus, default_thesaurus
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+from repro.utils.rng import derive_seed, make_rng
+
+_SCHEMA = Schema([
+    Field("sid", DataType.INT64),
+    Field("text", DataType.STRING),
+    Field("views", DataType.INT64),
+])
+
+
+@dataclass
+class WikiStringWorkload:
+    """Generator for the Figure-4 semantic-similarity-join input."""
+
+    n: int = 10_000
+    concept_fraction: float = 0.5
+    selectivity: float = 0.01
+    seed: int = 23
+    thesaurus: Thesaurus | None = None
+    #: With ``unique_texts`` every row gets a distinct suffix token —
+    #: free-text-like columns where NDV == row count (used by the
+    #: inference-heavy Figure-5 workload).
+    unique_texts: bool = False
+
+    def __post_init__(self):
+        self.thesaurus = self.thesaurus or default_thesaurus()
+
+    def side(self, which: str) -> Table:
+        """One input relation (``"left"`` or ``"right"``)."""
+        rng = make_rng(derive_seed(self.seed, "side", which))
+        forms = self.thesaurus.all_forms()
+        texts: list[str] = []
+        for row in range(self.n):
+            if rng.uniform() < self.concept_fraction:
+                text = forms[int(rng.integers(len(forms)))]
+            else:
+                text = FILLER_WORDS[int(rng.integers(len(FILLER_WORDS)))]
+            if self.unique_texts:
+                filler = FILLER_WORDS[int(rng.integers(len(FILLER_WORDS)))]
+                text = f"{filler} {text} r{row}"
+            texts.append(text)
+        # views: uniform ints; predicate views >= cutoff keeps ~selectivity
+        views = rng.integers(0, 1_000_000, size=self.n)
+        return Table(_SCHEMA, {
+            "sid": np.arange(self.n, dtype=np.int64),
+            "text": np.asarray(texts, dtype=object),
+            "views": views.astype(np.int64),
+        })
+
+    @property
+    def views_cutoff(self) -> int:
+        """Cutoff making ``views >= cutoff`` pass ~``selectivity`` rows."""
+        return int((1.0 - self.selectivity) * 1_000_000)
+
+    def pair(self) -> tuple[Table, Table]:
+        return self.side("left"), self.side("right")

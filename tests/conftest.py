@@ -1,0 +1,81 @@
+"""Shared fixtures: one pretrained model per session, small catalogs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings.pretrained import build_pretrained_model
+from repro.embeddings.registry import ModelRegistry
+from repro.embeddings.thesaurus import default_thesaurus
+from repro.relational.physical import ExecutionContext
+from repro.semantic.cache import EmbeddingCache
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@pytest.fixture(scope="session")
+def thesaurus():
+    return default_thesaurus()
+
+
+@pytest.fixture(scope="session")
+def model(thesaurus):
+    """The synthetic pretrained model (built once per test session)."""
+    return build_pretrained_model(thesaurus=thesaurus, seed=7)
+
+
+@pytest.fixture(scope="session")
+def registry(model):
+    registry = ModelRegistry()
+    registry.register(model)
+    return registry
+
+
+@pytest.fixture()
+def cache(model):
+    return EmbeddingCache(model)
+
+
+@pytest.fixture(scope="session")
+def model_cache(model):
+    """Session-scoped cache for hypothesis tests (avoids per-example
+    fixture teardown health checks)."""
+    return EmbeddingCache(model)
+
+
+@pytest.fixture()
+def products_table():
+    return Table.from_dict({
+        "pid": [1, 2, 3, 4, 5, 6],
+        "ptype": ["sneakers", "parka", "sedan", "kitten", "blazer", "apple"],
+        "price": [25.0, 120.0, 9000.0, 300.0, 15.0, 2.0],
+        "brand": ["acme", "acme", "globex", "acme", "initech", "globex"],
+    })
+
+
+@pytest.fixture()
+def kb_table():
+    return Table.from_dict({
+        "label": ["shoes", "jacket", "clothes", "dog", "car", "fruit"],
+        "category": ["clothes", "clothes", "clothes", "animal", "vehicle",
+                     "food"],
+    })
+
+
+@pytest.fixture()
+def catalog(products_table, kb_table):
+    catalog = Catalog()
+    catalog.register("products", products_table)
+    catalog.register("kb", kb_table)
+    return catalog
+
+
+@pytest.fixture()
+def context(catalog, registry):
+    return ExecutionContext(catalog=catalog, models=registry, batch_size=3)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

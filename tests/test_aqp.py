@@ -1,0 +1,121 @@
+"""Tests for sampling-based approximate query processing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational.aqp import ApproximateAggregator, ApproximateResult
+from repro.relational.expressions import col
+from repro.storage.table import Table
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def big_table():
+    rng = make_rng(11)
+    n = 20_000
+    return Table.from_dict({
+        "value": rng.uniform(0, 100, n).tolist(),
+        "group": [["a", "b", "c"][int(i)] for i in
+                  rng.integers(0, 3, n)],
+    })
+
+
+class TestEstimates:
+    def test_count_within_ci(self, big_table):
+        aggregator = ApproximateAggregator(big_table, sample_fraction=0.1,
+                                           seed=5)
+        result = aggregator.count(col("group") == "a")
+        exact = int((big_table.column("group") == "a").sum())
+        assert result.contains(exact)
+        assert result.sample_rows == 2_000
+
+    def test_count_no_predicate_exact(self, big_table):
+        aggregator = ApproximateAggregator(big_table, sample_fraction=0.05)
+        result = aggregator.count()
+        assert result.estimate == big_table.num_rows
+        assert result.half_width == 0.0
+
+    def test_sum_within_ci(self, big_table):
+        aggregator = ApproximateAggregator(big_table, sample_fraction=0.1,
+                                           seed=5)
+        result = aggregator.sum("value")
+        exact = float(big_table.column("value").sum())
+        assert result.contains(exact)
+        # the interval is meaningfully tight at 10% sampling
+        assert result.half_width < 0.05 * exact
+
+    def test_sum_with_predicate(self, big_table):
+        aggregator = ApproximateAggregator(big_table, sample_fraction=0.2,
+                                           seed=5)
+        predicate = col("group") == "b"
+        result = aggregator.sum("value", predicate)
+        mask = big_table.column("group") == "b"
+        exact = float(big_table.column("value")[mask].sum())
+        assert result.contains(exact)
+
+    def test_avg_within_ci(self, big_table):
+        aggregator = ApproximateAggregator(big_table, sample_fraction=0.1,
+                                           seed=5)
+        result = aggregator.avg("value")
+        exact = float(big_table.column("value").mean())
+        assert result.contains(exact)
+
+    def test_higher_confidence_wider_interval(self, big_table):
+        aggregator = ApproximateAggregator(big_table, sample_fraction=0.05,
+                                           seed=5)
+        narrow = aggregator.sum("value", confidence=0.90)
+        wide = aggregator.sum("value", confidence=0.99)
+        assert wide.half_width > narrow.half_width
+        assert wide.estimate == narrow.estimate
+
+    def test_larger_sample_tighter_interval(self, big_table):
+        small = ApproximateAggregator(big_table, sample_fraction=0.02,
+                                      seed=5).sum("value")
+        large = ApproximateAggregator(big_table, sample_fraction=0.3,
+                                      seed=5).sum("value")
+        assert large.half_width < small.half_width
+
+    def test_full_sample_is_exact(self, big_table):
+        aggregator = ApproximateAggregator(big_table, sample_fraction=1.0)
+        result = aggregator.avg("value")
+        exact = float(big_table.column("value").mean())
+        assert result.estimate == pytest.approx(exact)
+
+    def test_coverage_rate(self, big_table):
+        """~95% of 95%-CIs must contain the truth (checked loosely)."""
+        exact = float(big_table.column("value").sum())
+        covered = 0
+        trials = 40
+        for seed in range(trials):
+            result = ApproximateAggregator(
+                big_table, sample_fraction=0.05, seed=seed).sum("value")
+            covered += int(result.contains(exact))
+        assert covered >= int(0.80 * trials)
+
+
+class TestValidation:
+    def test_bad_fraction(self, big_table):
+        with pytest.raises(ExecutionError):
+            ApproximateAggregator(big_table, sample_fraction=0.0)
+        with pytest.raises(ExecutionError):
+            ApproximateAggregator(big_table, sample_fraction=1.5)
+
+    def test_unsupported_confidence(self, big_table):
+        aggregator = ApproximateAggregator(big_table, sample_fraction=0.1)
+        with pytest.raises(ExecutionError):
+            aggregator.sum("value", confidence=0.5)
+
+    def test_empty_match(self, big_table):
+        aggregator = ApproximateAggregator(big_table, sample_fraction=0.05)
+        result = aggregator.avg("value", col("group") == "zzz")
+        assert result.estimate == 0.0
+
+    def test_result_str(self, big_table):
+        result = ApproximateAggregator(big_table, 0.1).sum("value")
+        assert "CI" in str(result)
+
+    def test_deterministic_given_seed(self, big_table):
+        a = ApproximateAggregator(big_table, 0.1, seed=9).sum("value")
+        b = ApproximateAggregator(big_table, 0.1, seed=9).sum("value")
+        assert a.estimate == b.estimate

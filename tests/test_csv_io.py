@@ -1,0 +1,79 @@
+"""Tests for CSV / JSONL IO and schema inference."""
+
+import json
+
+import pytest
+
+from repro.errors import SourceError
+from repro.storage.csv_io import (
+    infer_csv_schema,
+    read_csv,
+    read_jsonl,
+    scan_csv,
+    write_csv,
+)
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "id,name,price,active,born\n"
+        "1,ada,10.5,true,1990-01-01\n"
+        "2,bob,20.0,false,1985-06-15\n"
+        "3,eve,7.25,true,2000-12-31\n"
+    )
+    return path
+
+
+class TestInference:
+    def test_types(self, csv_file):
+        schema = infer_csv_schema(csv_file)
+        assert schema.dtype_of("id") == DataType.INT64
+        assert schema.dtype_of("name") == DataType.STRING
+        assert schema.dtype_of("price") == DataType.FLOAT64
+        assert schema.dtype_of("active") == DataType.BOOL
+        assert schema.dtype_of("born") == DataType.DATE
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SourceError):
+            infer_csv_schema(path)
+
+
+class TestReadWrite:
+    def test_read_csv(self, csv_file):
+        table = read_csv(csv_file)
+        assert table.num_rows == 3
+        assert table.column("name").tolist() == ["ada", "bob", "eve"]
+
+    def test_scan_batches(self, csv_file):
+        batches = list(scan_csv(csv_file, batch_size=2))
+        assert [b.num_rows for b in batches] == [2, 1]
+
+    def test_round_trip(self, csv_file, tmp_path):
+        table = read_csv(csv_file)
+        out = tmp_path / "out.csv"
+        write_csv(table, out)
+        again = read_csv(out, schema=table.schema)
+        assert again.column("id").tolist() == table.column("id").tolist()
+
+    def test_explicit_schema_subset(self, csv_file):
+        schema = Schema([Field("name", DataType.STRING),
+                         Field("price", DataType.FLOAT64)])
+        table = read_csv(csv_file, schema=schema)
+        assert table.schema.names == ["name", "price"]
+
+    def test_read_jsonl(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path.write_text("\n".join(json.dumps(r) for r in rows))
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("b", DataType.STRING)])
+        table = read_jsonl(path, schema)
+        assert table.num_rows == 2
+        assert table.column("b").tolist() == ["x", "y"]

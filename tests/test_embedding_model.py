@@ -1,0 +1,161 @@
+"""Tests for the embedding model: geometry, subwords, registry."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.model import EmbeddingModel
+from repro.embeddings.pretrained import build_pretrained_model
+from repro.embeddings.registry import ModelRegistry, default_registry
+from repro.embeddings.thesaurus import TABLE_I
+from repro.errors import ModelError
+
+
+class TestGeometry:
+    """The latent-space structure every experiment relies on."""
+
+    def test_synonyms_above_090(self, model, thesaurus):
+        for concept in thesaurus.leaves:
+            forms = concept.forms
+            for a, b in zip(forms, forms[1:]):
+                assert model.similarity(a, b) >= 0.88, (a, b)
+
+    def test_hypernym_band(self, model):
+        for pair in [("dog", "animal"), ("boots", "clothes"),
+                     ("sedan", "vehicle")]:
+            score = model.similarity(*pair)
+            assert 0.60 <= score <= 0.88, pair
+
+    def test_siblings_below_hypernyms(self, model):
+        assert model.similarity("dog", "cat") < model.similarity(
+            "dog", "animal")
+
+    def test_unrelated_near_zero(self, model):
+        assert abs(model.similarity("dog", "boots")) < 0.35
+        assert abs(model.similarity("sedan", "apple")) < 0.35
+
+    def test_filler_words_unrelated(self, model):
+        assert abs(model.similarity("dog", "the")) < 0.35
+
+    def test_misspellings_stay_close(self, model):
+        assert model.similarity("sneakers", "sneekers") > 0.85
+        assert model.similarity("jacket", "jackett") > 0.85
+
+    def test_embeddings_are_unit_norm(self, model):
+        for word in ["dog", "sneakers", "golden retriever", "xyzzy"]:
+            assert np.linalg.norm(model.embed(word)) == pytest.approx(
+                1.0, abs=1e-5)
+
+    def test_multiword_phrase_in_vocab(self, model):
+        assert "golden retriever" in model
+        assert model.similarity("golden retriever", "puppy") > 0.85
+
+    def test_oov_phrase_averages_parts(self, model):
+        # "golden puppy" is OOV as a phrase; parts pull it to the dog anchor
+        assert model.similarity("golden puppy", "dog") > 0.5
+
+
+class TestApi:
+    def test_embed_batch_matches_embed(self, model):
+        words = ["dog", "cat", "dog", "parka"]
+        matrix = model.embed_batch(words)
+        for row, word in zip(matrix, words):
+            assert np.allclose(row, model.embed(word), atol=1e-6)
+
+    def test_embed_batch_shape_dtype(self, model):
+        matrix = model.embed_batch(["a", "b", "c"])
+        assert matrix.shape == (3, model.dim)
+        assert matrix.dtype == np.float32
+
+    def test_token_accounting(self, thesaurus):
+        model = build_pretrained_model(thesaurus=thesaurus, seed=3,
+                                       name="counting")
+        before = model.tokens_embedded
+        model.embed("dog")
+        model.embed_batch(["x", "y", "x"])  # two unique
+        assert model.tokens_embedded == before + 3
+
+    def test_most_similar_recovers_synonyms(self, model):
+        top = [w for w, _ in model.most_similar("dog", k=4)]
+        assert set(top) <= {"puppy", "canine", "golden retriever", "hound"}
+
+    def test_most_similar_excludes_self(self, model):
+        top = [w for w, _ in model.most_similar("dog", k=10)]
+        assert "dog" not in top
+
+    def test_most_similar_with_candidates(self, model):
+        top = model.most_similar("dog", k=2,
+                                 candidates=["canine", "boots", "sedan"])
+        assert top[0][0] == "canine"
+
+    def test_most_similar_scores_sorted(self, model):
+        scores = [s for _, s in model.most_similar("dog", k=8)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_table_i_leaf_top4_are_synonyms(self, model, thesaurus):
+        """The paper's Table I shape, leaf rows: a leaf category's best
+        matches are exactly its synonym surface forms."""
+        for category in ("dog", "cat", "shoes", "jacket"):
+            top = {w for w, _ in model.most_similar(category, k=4)}
+            assert top <= thesaurus.synonyms_of(category), (category, top)
+            overlap = top & set(TABLE_I[category])
+            assert len(overlap) >= 3, (category, top)
+
+    def test_table_i_hypernym_matches_are_family(self, model, thesaurus):
+        """Hypernym rows: matches are own synonyms or hyponym forms."""
+        for category in ("animal", "clothes"):
+            top = {w for w, _ in model.most_similar(category, k=6)}
+            allowed = (thesaurus.synonyms_of(category)
+                       | thesaurus.hyponym_forms(category))
+            assert top <= allowed, (category, top - allowed)
+
+    def test_deterministic_rebuild(self, thesaurus):
+        a = build_pretrained_model(thesaurus=thesaurus, seed=7)
+        b = build_pretrained_model(thesaurus=thesaurus, seed=7)
+        assert np.array_equal(a.word_vectors, b.word_vectors)
+
+    def test_seed_changes_vectors(self, thesaurus):
+        a = build_pretrained_model(thesaurus=thesaurus, seed=7)
+        b = build_pretrained_model(thesaurus=thesaurus, seed=8)
+        assert not np.array_equal(a.word_vectors, b.word_vectors)
+
+    def test_extra_vocab(self, thesaurus):
+        model = build_pretrained_model(thesaurus=thesaurus, seed=7,
+                                       extra_vocab=["frobnicator"],
+                                       name="extra")
+        assert "frobnicator" in model
+
+    def test_constructor_validation(self):
+        with pytest.raises(ModelError):
+            EmbeddingModel(name="bad", vocab={"a": 0},
+                           word_vectors=np.zeros((2, 4), dtype=np.float32),
+                           bucket_vectors=np.zeros((7, 4),
+                                                   dtype=np.float32))
+
+
+class TestRegistry:
+    def test_register_and_get(self, model):
+        registry = ModelRegistry()
+        registry.register(model)
+        assert registry.get(model.name) is model
+
+    def test_duplicate_register_raises(self, model):
+        registry = ModelRegistry()
+        registry.register(model)
+        with pytest.raises(ModelError):
+            registry.register(model)
+
+    def test_replace(self, model):
+        registry = ModelRegistry()
+        registry.register(model)
+        registry.register(model, replace=True)
+        assert len(registry) == 1
+
+    def test_unknown_model_message_lists_names(self, model):
+        registry = ModelRegistry()
+        registry.register(model)
+        with pytest.raises(ModelError, match="wiki-ft-100"):
+            registry.get("nope")
+
+    def test_default_registry(self):
+        registry = default_registry(seed=7)
+        assert "wiki-ft-100" in registry

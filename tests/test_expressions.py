@@ -1,0 +1,166 @@
+"""Tests for the expression tree and its vectorized evaluation."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    AggExpr,
+    AggFunc,
+    And,
+    Arith,
+    ColumnRef,
+    Compare,
+    Func,
+    InList,
+    Literal,
+    Not,
+    Or,
+    col,
+    combine_conjuncts,
+    lit,
+    split_conjuncts,
+)
+from repro.relational.logical import infer_dtype
+from repro.storage.table import Table
+from repro.storage.types import DataType, date_to_int
+
+
+@pytest.fixture()
+def batch():
+    return Table.from_dict({
+        "x": [1, 2, 3, 4],
+        "y": [10.0, 20.0, 30.0, 40.0],
+        "s": ["dog", "cat", "dog", "fox"],
+        "d": [date_to_int("2022-01-01"), date_to_int("2022-06-01"),
+              date_to_int("2023-01-01"), date_to_int("2023-06-01")],
+    })
+
+
+class TestEvaluation:
+    def test_column_ref(self, batch):
+        assert ColumnRef("x").evaluate(batch).tolist() == [1, 2, 3, 4]
+
+    def test_literal_broadcast(self, batch):
+        assert Literal(5).evaluate(batch).tolist() == [5, 5, 5, 5]
+
+    def test_string_literal_broadcast(self, batch):
+        values = Literal("z").evaluate(batch)
+        assert values.dtype == object
+        assert values.tolist() == ["z"] * 4
+
+    def test_date_literal_coerced(self):
+        literal = Literal(datetime.date(2022, 1, 1))
+        assert literal.value == date_to_int("2022-01-01")
+
+    def test_comparisons(self, batch):
+        assert (col("x") > 2).evaluate(batch).tolist() == \
+            [False, False, True, True]
+        assert (col("x") <= 2).evaluate(batch).tolist() == \
+            [True, True, False, False]
+        assert (col("s") == "dog").evaluate(batch).tolist() == \
+            [True, False, True, False]
+        assert (col("s") != "dog").evaluate(batch).tolist() == \
+            [False, True, False, True]
+
+    def test_boolean_ops(self, batch):
+        both = (col("x") > 1) & (col("x") < 4)
+        assert both.evaluate(batch).tolist() == [False, True, True, False]
+        either = (col("x") == 1) | (col("x") == 4)
+        assert either.evaluate(batch).tolist() == [True, False, False, True]
+        negated = ~(col("x") > 2)
+        assert negated.evaluate(batch).tolist() == [True, True, False, False]
+
+    def test_arithmetic(self, batch):
+        assert (col("x") + 1).evaluate(batch).tolist() == [2, 3, 4, 5]
+        assert (col("x") * 2).evaluate(batch).tolist() == [2, 4, 6, 8]
+        assert (col("y") / 10).evaluate(batch).tolist() == \
+            [1.0, 2.0, 3.0, 4.0]
+        assert (col("y") - col("x")).evaluate(batch).tolist() == \
+            [9.0, 18.0, 27.0, 36.0]
+
+    def test_in_list(self, batch):
+        expr = col("s").isin(["dog", "fox"])
+        assert expr.evaluate(batch).tolist() == [True, False, True, True]
+
+    def test_date_comparison(self, batch):
+        expr = col("d") > date_to_int("2022-12-01")
+        assert expr.evaluate(batch).tolist() == [False, False, True, True]
+
+    def test_functions(self, batch):
+        assert Func("upper", (col("s"),)).evaluate(batch)[0] == "DOG"
+        assert Func("length", (col("s"),)).evaluate(batch).tolist() == \
+            [3, 3, 3, 3]
+        assert Func("year", (col("d"),)).evaluate(batch).tolist() == \
+            [2022, 2022, 2023, 2023]
+        assert Func("abs", (col("x") - 3,)).evaluate(batch).tolist() == \
+            [2, 1, 0, 1]
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError):
+            Func("bogus", (col("x"),))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Compare("~=", col("x"), lit(1))
+        with pytest.raises(ExpressionError):
+            Arith("%", col("x"), lit(2))
+
+
+class TestStructure:
+    def test_columns_collects_references(self):
+        expr = (col("a") > 1) & (Func("lower", (col("b"),)) == "x")
+        assert expr.columns() == {"a", "b"}
+
+    def test_split_conjuncts(self):
+        expr = And(And(col("a") > 1, col("b") > 2), col("c") > 3)
+        parts = split_conjuncts(expr)
+        assert len(parts) == 3
+
+    def test_split_single(self):
+        parts = split_conjuncts(col("a") > 1)
+        assert len(parts) == 1
+
+    def test_combine_round_trip(self, batch):
+        parts = [col("x") > 1, col("x") < 4]
+        combined = combine_conjuncts(parts)
+        assert combined.evaluate(batch).tolist() == [False, True, True,
+                                                     False]
+
+    def test_combine_empty_raises(self):
+        with pytest.raises(ExpressionError):
+            combine_conjuncts([])
+
+    def test_same_as(self):
+        assert (col("a") > 1).same_as(col("a") > 1)
+        assert not (col("a") > 1).same_as(col("a") > 2)
+
+    def test_repr_readable(self):
+        assert "price" in repr(col("price") > 20)
+
+
+class TestDtypeInference:
+    def test_infer(self, batch):
+        schema = batch.schema
+        assert infer_dtype(col("x"), schema) == DataType.INT64
+        assert infer_dtype(col("y"), schema) == DataType.FLOAT64
+        assert infer_dtype(col("x") > 1, schema) == DataType.BOOL
+        assert infer_dtype(col("x") + col("x"), schema) == DataType.INT64
+        assert infer_dtype(col("x") + col("y"), schema) == DataType.FLOAT64
+        assert infer_dtype(col("x") / lit(2), schema) == DataType.FLOAT64
+        assert infer_dtype(Func("lower", (col("s"),)), schema) == \
+            DataType.STRING
+        assert infer_dtype(Func("year", (col("d"),)), schema) == \
+            DataType.INT64
+
+    def test_agg_result_dtypes(self):
+        assert AggExpr(AggFunc.COUNT, None, "n").result_dtype(None) == \
+            DataType.INT64
+        assert AggExpr(AggFunc.AVG, col("x"), "a").result_dtype(
+            DataType.INT64) == DataType.FLOAT64
+        assert AggExpr(AggFunc.SUM, col("x"), "s").result_dtype(
+            DataType.INT64) == DataType.INT64
+        with pytest.raises(ExpressionError):
+            AggExpr(AggFunc.SUM, None, "s").result_dtype(None)

@@ -1,0 +1,123 @@
+"""Property-based tests for the extension modules (quantization, top-k,
+transfer planning, AQP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hardware.devices import ethernet_10g, xeon_cpu
+from repro.hardware.topology import HardwareTopology
+from repro.hardware.transfer import TransferPlanner
+from repro.semantic.topk import join_topk
+from repro.vector.metrics import normalize_rows
+from repro.vector.quantization import quantize_rows, quantized_similarity
+
+_MATRIX = hnp.arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.integers(1, 10), st.integers(2, 16)),
+    elements=st.floats(-3, 3, width=32, allow_nan=False),
+)
+
+
+class TestQuantizationProperties:
+    @given(_MATRIX)
+    def test_codes_in_int8_range(self, matrix):
+        quantized = quantize_rows(matrix)
+        assert quantized.codes.dtype == np.int8
+        assert int(quantized.codes.max(initial=0)) <= 127
+        assert int(quantized.codes.min(initial=0)) >= -127
+
+    @given(_MATRIX)
+    @settings(max_examples=40)
+    def test_similarity_error_bounded(self, matrix):
+        unit = normalize_rows(matrix)
+        quantized = quantize_rows(unit, assume_normalized=True)
+        exact = unit @ unit.T
+        approx = quantized_similarity(quantized, quantized)
+        # worst case per element: dim * (scale/2) per factor; empirically
+        # far tighter — assert the engineering bound used by the guard band
+        assert float(np.abs(exact - approx).max()) < 0.05
+
+    @given(_MATRIX)
+    def test_dequantize_shape(self, matrix):
+        quantized = quantize_rows(matrix)
+        assert quantized.dequantize().shape == matrix.shape
+
+
+class TestTopKProperties:
+    @given(_MATRIX, st.integers(1, 5))
+    @settings(max_examples=40)
+    def test_at_most_k_matches_per_row(self, matrix, k):
+        unit = normalize_rows(matrix)
+        li, ri, scores = join_topk(unit, unit, k)
+        counts = np.bincount(li, minlength=unit.shape[0])
+        assert counts.max(initial=0) <= k
+
+    @given(_MATRIX, st.integers(1, 5))
+    @settings(max_examples=40)
+    def test_selected_are_the_best(self, matrix, k):
+        unit = normalize_rows(matrix)
+        similarity = unit @ unit.T
+        li, ri, scores = join_topk(unit, unit, k)
+        for row in set(li.tolist()):
+            picked = {int(j) for i, j in zip(li, ri) if i == row}
+            row_scores = similarity[row]
+            worst_picked = min(float(row_scores[j]) for j in picked)
+            not_picked = [float(s) for j, s in enumerate(row_scores)
+                          if j not in picked]
+            if not_picked:
+                assert worst_picked >= max(not_picked) - 1e-5
+
+    @given(_MATRIX)
+    def test_min_score_respected(self, matrix):
+        unit = normalize_rows(matrix)
+        _, _, scores = join_topk(unit, unit, 3, min_score=0.5)
+        if scores.shape[0]:
+            assert float(scores.min()) >= 0.5
+
+
+class TestTransferProperties:
+    @pytest.fixture(scope="class")
+    def planner(self):
+        topology = HardwareTopology(
+            [xeon_cpu("a"), xeon_cpu("b")], [ethernet_10g("a", "b")])
+        return TransferPlanner(topology)
+
+    @given(st.floats(1.0, 1e12))
+    @settings(max_examples=50)
+    def test_plan_never_worse_than_raw(self, n_bytes):
+        topology = HardwareTopology(
+            [xeon_cpu("a"), xeon_cpu("b")], [ethernet_10g("a", "b")])
+        planner = TransferPlanner(topology)
+        plan = planner.plan("a", "b", n_bytes)
+        raw_seconds = topology.transfer_seconds("a", "b", n_bytes)
+        assert plan.seconds <= raw_seconds * 1.0001
+
+    @given(st.floats(1.0, 1e11), st.floats(1.0, 1e11))
+    @settings(max_examples=30)
+    def test_time_monotone_in_bytes(self, bytes_a, bytes_b):
+        topology = HardwareTopology(
+            [xeon_cpu("a"), xeon_cpu("b")], [ethernet_10g("a", "b")])
+        planner = TransferPlanner(topology)
+        small, large = sorted((bytes_a, bytes_b))
+        assert planner.plan("a", "b", small).seconds <= \
+            planner.plan("a", "b", large).seconds + 1e-9
+
+
+class TestAqpProperties:
+    @given(st.integers(0, 2**31), st.floats(0.05, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_estimate_inside_own_ci(self, seed, fraction):
+        from repro.relational.aqp import ApproximateAggregator
+        from repro.storage.table import Table
+
+        rng = np.random.default_rng(seed % (2**31))
+        table = Table.from_dict({
+            "v": rng.uniform(0, 10, 500).tolist(),
+        })
+        result = ApproximateAggregator(table, sample_fraction=fraction,
+                                       seed=seed % 997).sum("v")
+        assert result.ci_low <= result.estimate <= result.ci_high
+        assert result.sample_rows <= 500

@@ -1,0 +1,197 @@
+"""Tests for online integration: consolidation, entity resolution, FD
+repair."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IntegrationError
+from repro.integration.consolidation import (
+    ResultConsolidator,
+    pairwise_f1,
+)
+from repro.integration.entity_resolution import EntityResolver
+from repro.integration.fd_repair import (
+    FunctionalDependency,
+    repair_fd_violations,
+)
+from repro.storage.table import Table
+
+
+class TestConsolidation:
+    def test_semantic_groups_synonyms(self, cache):
+        values = ["boots", "sneakers", "boots", "sedan", "automobile"]
+        report = ResultConsolidator(cache, threshold=0.9).consolidate(values)
+        assert report.mapping["sneakers"] == report.mapping["boots"]
+        assert report.mapping["sedan"] == report.mapping["automobile"]
+        assert report.mapping["boots"] != report.mapping["sedan"]
+        assert report.n_clusters == 2
+
+    def test_semantic_handles_misspellings(self, cache):
+        values = ["sneakers", "sneekers", "parka", "parkka"]
+        report = ResultConsolidator(cache, threshold=0.85).consolidate(values)
+        assert report.mapping["sneekers"] == report.mapping["sneakers"]
+        assert report.mapping["parkka"] == report.mapping["parka"]
+
+    def test_edit_baseline_misses_synonyms(self, cache):
+        values = ["boots", "sneakers"]
+        semantic = ResultConsolidator(cache, threshold=0.9).consolidate(
+            values)
+        edit = ResultConsolidator(method="edit",
+                                  threshold=0.7).consolidate(values)
+        assert semantic.n_clusters == 1
+        assert edit.n_clusters == 2  # edit distance can't see synonymy
+
+    def test_edit_baseline_catches_misspellings(self):
+        values = ["sneakers", "sneekers"]
+        report = ResultConsolidator(method="edit",
+                                    threshold=0.7).consolidate(values)
+        assert report.n_clusters == 1
+
+    def test_jaccard_baseline(self):
+        values = ["sneakers", "sneekers", "boots"]
+        report = ResultConsolidator(method="jaccard",
+                                    threshold=0.3).consolidate(values)
+        assert report.mapping["sneekers"] == report.mapping["sneakers"]
+
+    def test_exact_baseline(self):
+        report = ResultConsolidator(method="exact").consolidate(
+            ["a", "a", "b"])
+        assert report.n_clusters == 2
+
+    def test_semantic_requires_cache(self):
+        with pytest.raises(IntegrationError):
+            ResultConsolidator(method="semantic")
+
+    def test_unknown_method(self, cache):
+        with pytest.raises(IntegrationError):
+            ResultConsolidator(cache, method="soundex")
+
+    def test_consolidate_column(self, cache):
+        table = Table.from_dict({
+            "label": ["boots", "sneakers", "sedan"],
+            "n": [1, 2, 3],
+        })
+        consolidator = ResultConsolidator(cache, threshold=0.9)
+        rewritten = consolidator.consolidate_column(table, "label")
+        labels = set(rewritten.column("label").tolist())
+        assert len(labels) == 2
+        assert rewritten.column("n").tolist() == [1, 2, 3]
+
+    def test_none_values_skipped(self, cache):
+        report = ResultConsolidator(cache).consolidate(["boots", None])
+        assert None not in report.mapping
+
+
+class TestPairwiseF1:
+    def test_perfect(self):
+        predicted = {"a": "g1", "b": "g1", "c": "g2"}
+        truth = {"a": "x", "b": "x", "c": "y"}
+        assert pairwise_f1(predicted, truth) == (1.0, 1.0, 1.0)
+
+    def test_under_merge_recall_low(self):
+        predicted = {"a": "g1", "b": "g2", "c": "g3"}
+        truth = {"a": "x", "b": "x", "c": "x"}
+        precision, recall, f1 = pairwise_f1(predicted, truth)
+        assert recall == 0.0 and f1 == 0.0
+
+    def test_over_merge_precision_low(self):
+        predicted = {"a": "g", "b": "g", "c": "g"}
+        truth = {"a": "x", "b": "y", "c": "z"}
+        precision, recall, f1 = pairwise_f1(predicted, truth)
+        assert precision == 0.0
+
+    def test_empty(self):
+        assert pairwise_f1({}, {}) == (1.0, 1.0, 1.0)
+
+
+class TestEntityResolver:
+    def test_match_cross_tables(self, cache):
+        left = Table.from_dict({"name": ["sneakers", "sedan", "apple"]})
+        right = Table.from_dict({"name": ["shoes", "car", "kitten"]})
+        pairs = EntityResolver(cache, 0.9).match(left, right, "name",
+                                                 "name")
+        matched = {(p.left_row, p.right_row) for p in pairs}
+        assert (0, 0) in matched and (1, 1) in matched
+        assert (2, 2) not in matched
+
+    def test_deduplicate_transitive(self, cache):
+        table = Table.from_dict({
+            "name": ["boots", "sneakers", "oxfords", "sedan", "car"],
+        })
+        ids = EntityResolver(cache, 0.9).deduplicate(table, "name")
+        assert ids[0] == ids[1] == ids[2]
+        assert ids[3] == ids[4]
+        assert ids[0] != ids[3]
+
+    def test_deduplicate_empty(self, cache):
+        table = Table.from_dict({"name": ["x"]}).slice(0, 0)
+        assert EntityResolver(cache).deduplicate(table, "name").shape == (0,)
+
+    def test_ids_compact_first_appearance(self, cache):
+        table = Table.from_dict({"name": ["sedan", "boots", "car"]})
+        ids = EntityResolver(cache, 0.9).deduplicate(table, "name")
+        assert ids[0] == 0
+        assert ids[1] == 1
+        assert ids[2] == 0
+
+
+class TestFdRepair:
+    @pytest.fixture()
+    def dirty_table(self):
+        return Table.from_dict({
+            "pid": [1, 1, 1, 2, 2, 3],
+            "category": ["boots", "sneakers", "boots", "sedan", "plane",
+                         "apple"],
+            "price": [10.0, 11.0, 12.0, 13.0, 14.0, 15.0],
+        })
+
+    def test_semantic_consolidation_counted(self, dirty_table, cache):
+        fd = FunctionalDependency(("pid",), "category")
+        repaired, report = repair_fd_violations(dirty_table, fd, cache,
+                                                semantic_threshold=0.9)
+        assert report.violating_groups == 2
+        assert report.semantic_consolidations == 1  # boots/sneakers group
+        assert report.majority_repairs == 1         # sedan/plane conflict
+        group1 = [r["category"] for r in repaired.to_rows()
+                  if r["pid"] == 1]
+        assert len(set(group1)) == 1
+
+    def test_majority_vote_wins(self, dirty_table, cache):
+        fd = FunctionalDependency(("pid",), "category")
+        repaired, _ = repair_fd_violations(dirty_table, fd, cache)
+        group1 = {r["category"] for r in repaired.to_rows() if r["pid"] == 1}
+        assert group1 == {"boots"}  # 2-of-3 majority
+
+    def test_scope_mask_limits_repair(self, dirty_table, cache):
+        fd = FunctionalDependency(("pid",), "category")
+        scope = np.asarray([True, True, True, False, False, False])
+        repaired, report = repair_fd_violations(dirty_table, fd, cache,
+                                                scope_mask=scope)
+        assert report.violating_groups == 1
+        untouched = [r["category"] for r in repaired.to_rows()
+                     if r["pid"] == 2]
+        assert set(untouched) == {"sedan", "plane"}
+
+    def test_clean_table_no_changes(self, cache):
+        table = Table.from_dict({"pid": [1, 1], "category": ["a", "a"]})
+        fd = FunctionalDependency(("pid",), "category")
+        _, report = repair_fd_violations(table, fd, cache)
+        assert report.violating_groups == 0
+        assert report.rows_changed == 0
+
+    def test_works_without_cache(self, dirty_table):
+        fd = FunctionalDependency(("pid",), "category")
+        repaired, report = repair_fd_violations(dirty_table, fd, cache=None)
+        assert report.semantic_consolidations == 0
+        assert report.violating_groups == 2
+
+    def test_empty_lhs_rejected(self, dirty_table):
+        with pytest.raises(IntegrationError):
+            repair_fd_violations(dirty_table,
+                                 FunctionalDependency((), "category"))
+
+    def test_bad_scope_length(self, dirty_table):
+        fd = FunctionalDependency(("pid",), "category")
+        with pytest.raises(IntegrationError):
+            repair_fd_violations(dirty_table, fd,
+                                 scope_mask=np.ones(2, dtype=bool))

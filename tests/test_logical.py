@@ -1,0 +1,137 @@
+"""Tests for logical plan nodes: schemas, cloning, traversal."""
+
+import pytest
+
+from repro.errors import PlanError, SchemaError
+from repro.relational.expressions import AggExpr, AggFunc, col
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    JoinType,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SemanticFilterNode,
+    SemanticGroupByNode,
+    SemanticJoinNode,
+    SemanticSemiFilterNode,
+    SortNode,
+    UnionNode,
+)
+from repro.storage.types import DataType
+
+
+@pytest.fixture()
+def scan_products(products_table):
+    return ScanNode("products", products_table.schema, qualifier="p")
+
+
+@pytest.fixture()
+def scan_kb(kb_table):
+    return ScanNode("kb", kb_table.schema, qualifier="k")
+
+
+class TestSchemas:
+    def test_scan_qualifies(self, scan_products):
+        assert "p.pid" in scan_products.schema
+
+    def test_scan_without_qualifier(self, products_table):
+        scan = ScanNode("products", products_table.schema)
+        assert "pid" in scan.schema
+
+    def test_filter_preserves_schema(self, scan_products):
+        node = FilterNode(scan_products, col("p.price") > 1)
+        assert node.schema == scan_products.schema
+
+    def test_project_schema(self, scan_products):
+        node = ProjectNode(scan_products, [(col("p.price") * 2, "double")])
+        assert node.schema.names == ["double"]
+        assert node.schema.dtype_of("double") == DataType.FLOAT64
+
+    def test_join_concat_schema(self, scan_products, scan_kb):
+        node = JoinNode(scan_products, scan_kb, JoinType.INNER,
+                        ["p.ptype"], ["k.label"])
+        assert node.schema.names[:4] == ["p.pid", "p.ptype", "p.price",
+                                         "p.brand"]
+        assert "k.label" in node.schema
+
+    def test_semi_join_keeps_left_schema(self, scan_products, scan_kb):
+        node = JoinNode(scan_products, scan_kb, JoinType.SEMI,
+                        ["p.ptype"], ["k.label"])
+        assert node.schema == scan_products.schema
+
+    def test_join_key_length_mismatch(self, scan_products, scan_kb):
+        with pytest.raises(PlanError):
+            JoinNode(scan_products, scan_kb, JoinType.INNER, ["a"], [])
+
+    def test_aggregate_schema(self, scan_products):
+        node = AggregateNode(scan_products, ["p.brand"], [
+            AggExpr(AggFunc.COUNT, None, "n"),
+            AggExpr(AggFunc.AVG, col("p.price"), "avg_price"),
+        ])
+        assert node.schema.names == ["p.brand", "n", "avg_price"]
+        assert node.schema.dtype_of("avg_price") == DataType.FLOAT64
+
+    def test_semantic_join_appends_score(self, scan_products, scan_kb):
+        node = SemanticJoinNode(scan_products, scan_kb, "p.ptype", "k.label",
+                                "m", 0.9)
+        assert node.schema.names[-1] == "similarity"
+        assert node.schema.dtype_of("similarity") == DataType.FLOAT64
+
+    def test_semantic_filter_score_alias(self, scan_products):
+        plain = SemanticFilterNode(scan_products, "p.ptype", "clothes", "m",
+                                   0.9)
+        assert plain.schema == scan_products.schema
+        scored = SemanticFilterNode(scan_products, "p.ptype", "clothes", "m",
+                                    0.9, score_alias="score")
+        assert scored.schema.names[-1] == "score"
+
+    def test_semantic_groupby_appends_columns(self, scan_products):
+        node = SemanticGroupByNode(scan_products, "p.ptype", "m", 0.8)
+        assert node.schema.names[-2:] == ["cluster_id", "cluster_rep"]
+
+    def test_semantic_semi_filter_schema(self, scan_products):
+        node = SemanticSemiFilterNode(scan_products, "p.ptype",
+                                      ["shoes"], "m", 0.9)
+        assert node.schema == scan_products.schema
+
+    def test_union_schema_mismatch(self, scan_products, scan_kb):
+        with pytest.raises(PlanError):
+            UnionNode([scan_products, scan_kb]).schema
+
+    def test_threshold_validation(self, scan_products, scan_kb):
+        with pytest.raises(PlanError):
+            SemanticFilterNode(scan_products, "p.ptype", "x", "m", 1.5)
+        with pytest.raises(PlanError):
+            SemanticJoinNode(scan_products, scan_kb, "a", "b", "m", -0.1)
+        with pytest.raises(PlanError):
+            SemanticSemiFilterNode(scan_products, "p.ptype", [], "m", 0.9)
+
+    def test_limit_validation(self, scan_products):
+        with pytest.raises(PlanError):
+            LimitNode(scan_products, -1)
+
+
+class TestTreeOps:
+    def test_with_children_preserves_hints(self, scan_products):
+        node = FilterNode(scan_products, col("p.price") > 1)
+        node.hints["method"] = "x"
+        clone = node.with_children((scan_products,))
+        assert clone.hints == {"method": "x"}
+        assert clone is not node
+
+    def test_walk_preorder(self, scan_products, scan_kb):
+        join = JoinNode(scan_products, scan_kb, JoinType.CROSS)
+        top = FilterNode(join, col("p.price") > 1)
+        labels = [type(n).__name__ for n in top.walk()]
+        assert labels == ["FilterNode", "JoinNode", "ScanNode", "ScanNode"]
+
+    def test_pretty_contains_labels(self, scan_products):
+        node = SortNode(LimitNode(scan_products, 3), [("p.price", False)])
+        text = node.pretty()
+        assert "Sort" in text and "Limit" in text and "Scan" in text
+
+    def test_scan_clone_rejects_children(self, scan_products, scan_kb):
+        with pytest.raises(PlanError):
+            scan_products.with_children((scan_kb,))

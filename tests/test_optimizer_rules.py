@@ -1,0 +1,215 @@
+"""Tests for rewrite rules: each rule, fixpoint, semantics preservation."""
+
+import pytest
+
+from repro.optimizer.rules import (
+    DEFAULT_RULES,
+    MergeFilters,
+    PruneColumns,
+    PushFilterBelowSemanticFilter,
+    PushFilterIntoJoin,
+    PushFilterThroughAggregate,
+    PushFilterThroughProject,
+    PushFilterThroughSemanticJoin,
+    RemoveTrivialProject,
+    RuleContext,
+    rewrite_fixpoint,
+    substitute,
+)
+from repro.relational.expressions import AggExpr, AggFunc, ColumnRef, col, lit
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    JoinType,
+    ProjectNode,
+    ScanNode,
+    SemanticFilterNode,
+    SemanticJoinNode,
+)
+from repro.relational.physical import execute_plan
+
+
+@pytest.fixture()
+def scan_p(products_table):
+    return ScanNode("products", products_table.schema, qualifier="p")
+
+
+@pytest.fixture()
+def scan_k(kb_table):
+    return ScanNode("kb", kb_table.schema, qualifier="k")
+
+
+def _rows(plan, context):
+    return sorted(map(str, execute_plan(plan, context).to_rows()))
+
+
+class TestMergeFilters:
+    def test_merges(self, scan_p):
+        plan = FilterNode(FilterNode(scan_p, col("p.price") > 1),
+                          col("p.price") < 100)
+        merged = MergeFilters().apply(plan, RuleContext())
+        assert isinstance(merged, FilterNode)
+        assert isinstance(merged.child, ScanNode)
+
+    def test_no_match(self, scan_p):
+        assert MergeFilters().apply(scan_p, RuleContext()) is None
+
+
+class TestPushThroughProject:
+    def test_substitutes_alias(self, scan_p, context):
+        project = ProjectNode(scan_p, [(col("p.price") * 2, "double"),
+                                       (col("p.pid"), "pid")])
+        plan = FilterNode(project, col("double") > 100)
+        rewritten = PushFilterThroughProject().apply(plan, RuleContext())
+        assert isinstance(rewritten, ProjectNode)
+        assert isinstance(rewritten.child, FilterNode)
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_substitute_helper(self):
+        mapping = {"alias": col("real") + lit(1)}
+        rewritten = substitute(col("alias") > 5, mapping)
+        assert rewritten.columns() == {"real"}
+
+    def test_substitute_missing_alias(self):
+        with pytest.raises(KeyError):
+            substitute(col("ghost") > 5, {})
+
+
+class TestPushIntoJoin:
+    def test_splits_by_side(self, scan_p, scan_k, context):
+        join = JoinNode(scan_p, scan_k, JoinType.CROSS)
+        plan = FilterNode(join, (col("p.price") > 100)
+                          & (col("k.category") == "clothes"))
+        rewritten = PushFilterIntoJoin().apply(plan, RuleContext())
+        assert isinstance(rewritten, JoinNode)
+        assert isinstance(rewritten.left, FilterNode)
+        assert isinstance(rewritten.right, FilterNode)
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_residual_predicate_stays(self, scan_p, scan_k):
+        join = JoinNode(scan_p, scan_k, JoinType.CROSS)
+        plan = FilterNode(join, (col("p.ptype") == col("k.label"))
+                          & (col("p.price") > 1))
+        rewritten = PushFilterIntoJoin().apply(plan, RuleContext())
+        assert isinstance(rewritten, FilterNode)  # cross-side part remains
+        assert isinstance(rewritten.child, JoinNode)
+
+    def test_left_join_not_rewritten(self, scan_p, scan_k):
+        join = JoinNode(scan_p, scan_k, JoinType.LEFT,
+                        ["p.ptype"], ["k.label"])
+        plan = FilterNode(join, col("k.category") == "clothes")
+        assert PushFilterIntoJoin().apply(plan, RuleContext()) is None
+
+
+class TestPushThroughSemanticJoin:
+    def test_pushes_both_sides(self, scan_p, scan_k, context):
+        join = SemanticJoinNode(scan_p, scan_k, "p.ptype", "k.label",
+                                "wiki-ft-100", 0.9)
+        plan = FilterNode(join, (col("p.price") > 20)
+                          & (col("k.category") == "clothes"))
+        rewritten = PushFilterThroughSemanticJoin().apply(plan,
+                                                          RuleContext())
+        assert isinstance(rewritten, SemanticJoinNode)
+        assert isinstance(rewritten.left, FilterNode)
+        assert isinstance(rewritten.right, FilterNode)
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_score_predicate_not_pushed(self, scan_p, scan_k):
+        join = SemanticJoinNode(scan_p, scan_k, "p.ptype", "k.label",
+                                "wiki-ft-100", 0.9,
+                                score_alias="similarity")
+        plan = FilterNode(join, col("similarity") > 0.95)
+        assert PushFilterThroughSemanticJoin().apply(
+            plan, RuleContext()) is None
+
+
+class TestPushBelowSemanticFilter:
+    def test_relational_filter_sinks(self, scan_p, context):
+        semantic = SemanticFilterNode(scan_p, "p.ptype", "clothes",
+                                      "wiki-ft-100", 0.7)
+        plan = FilterNode(semantic, col("p.price") > 20)
+        rewritten = PushFilterBelowSemanticFilter().apply(plan,
+                                                          RuleContext())
+        assert isinstance(rewritten, SemanticFilterNode)
+        assert isinstance(rewritten.child, FilterNode)
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_score_reference_blocks(self, scan_p):
+        semantic = SemanticFilterNode(scan_p, "p.ptype", "clothes",
+                                      "wiki-ft-100", 0.7,
+                                      score_alias="score")
+        plan = FilterNode(semantic, col("score") > 0.8)
+        assert PushFilterBelowSemanticFilter().apply(
+            plan, RuleContext()) is None
+
+
+class TestPushThroughAggregate:
+    def test_key_predicate_pushes(self, scan_p, context):
+        aggregate = AggregateNode(scan_p, ["p.brand"],
+                                  [AggExpr(AggFunc.COUNT, None, "n")])
+        plan = FilterNode(aggregate, col("p.brand") == "acme")
+        rewritten = PushFilterThroughAggregate().apply(plan, RuleContext())
+        assert isinstance(rewritten, AggregateNode)
+        assert isinstance(rewritten.child, FilterNode)
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_agg_output_predicate_stays(self, scan_p):
+        aggregate = AggregateNode(scan_p, ["p.brand"],
+                                  [AggExpr(AggFunc.COUNT, None, "n")])
+        plan = FilterNode(aggregate, col("n") > 1)
+        assert PushFilterThroughAggregate().apply(plan,
+                                                  RuleContext()) is None
+
+
+class TestRemoveTrivialProject:
+    def test_removes_identity(self, scan_p):
+        identity = ProjectNode(scan_p, [
+            (ColumnRef(n), n) for n in scan_p.schema.names])
+        assert RemoveTrivialProject().apply(identity,
+                                            RuleContext()) is scan_p
+
+    def test_keeps_non_identity(self, scan_p):
+        project = ProjectNode(scan_p, [(col("p.pid"), "pid")])
+        assert RemoveTrivialProject().apply(project, RuleContext()) is None
+
+
+class TestPruneColumns:
+    def test_inserts_projection_over_scan(self, scan_p, scan_k, context):
+        join = SemanticJoinNode(scan_p, scan_k, "p.ptype", "k.label",
+                                "wiki-ft-100", 0.9)
+        plan = ProjectNode(join, [(col("p.pid"), "pid")])
+        pruned = PruneColumns().run(plan)
+        scans_with_project = [
+            node for node in pruned.walk()
+            if isinstance(node, ProjectNode)
+            and node.children and isinstance(node.child, ScanNode)
+        ]
+        assert scans_with_project  # at least one scan now pruned
+        assert _rows(plan, context) == _rows(pruned, context)
+
+    def test_keeps_filter_columns(self, scan_p, context):
+        plan = ProjectNode(FilterNode(scan_p, col("p.price") > 20),
+                           [(col("p.pid"), "pid")])
+        pruned = PruneColumns().run(plan)
+        assert _rows(plan, context) == _rows(pruned, context)
+
+
+class TestFixpoint:
+    def test_filter_reaches_scans_through_stack(self, scan_p, scan_k,
+                                                context):
+        join = SemanticJoinNode(scan_p, scan_k, "p.ptype", "k.label",
+                                "wiki-ft-100", 0.9)
+        plan = FilterNode(FilterNode(join, col("p.price") > 20),
+                          col("k.category") == "clothes")
+        ctx = RuleContext()
+        rewritten = rewrite_fixpoint(plan, DEFAULT_RULES, ctx)
+        assert isinstance(rewritten, SemanticJoinNode)
+        assert ctx.applied  # rules fired
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_fixpoint_idempotent(self, scan_p):
+        plan = FilterNode(scan_p, col("p.price") > 20)
+        once = rewrite_fixpoint(plan, DEFAULT_RULES)
+        twice = rewrite_fixpoint(once, DEFAULT_RULES)
+        assert once.pretty() == twice.pretty()

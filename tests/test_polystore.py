@@ -1,0 +1,174 @@
+"""Tests for polystore sources: KB, image store, federation, RDBMS."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.polystore.federation import Federation
+from repro.polystore.image_store import (
+    ImageStore,
+    ObjectDetectionModel,
+    SyntheticImage,
+)
+from repro.polystore.knowledge_base import KnowledgeBase
+from repro.polystore.rdbms import RelationalSource
+from repro.storage.catalog import Catalog
+from repro.storage.types import date_to_int
+
+
+@pytest.fixture()
+def kb():
+    kb = KnowledgeBase()
+    kb.add("parka", "category", "clothes")
+    kb.add("boots", "category", "clothes")
+    kb.add("sedan", "category", "vehicle")
+    kb.add("jacket", "subclass_of", "clothes")
+    return kb
+
+
+@pytest.fixture()
+def image_store(thesaurus):
+    store = ImageStore()
+    store.add(SyntheticImage(0, date_to_int("2022-03-01"),
+                             ("dog", "shoes")))
+    store.add(SyntheticImage(1, date_to_int("2022-09-01"),
+                             ("jacket",)))
+    store.add(SyntheticImage(2, date_to_int("2022-11-15"),
+                             ("cat", "sofa", "phone")))
+    return store
+
+
+class TestKnowledgeBase:
+    def test_query_by_predicate(self, kb):
+        triples = kb.query(predicate="category")
+        assert len(triples) == 3
+
+    def test_query_wildcard_subject(self, kb):
+        triples = kb.query(predicate="category", obj="clothes")
+        assert {t.subject for t in triples} == {"parka", "boots"}
+
+    def test_subjects_of(self, kb):
+        assert set(kb.subjects_of("category", "clothes")) == \
+            {"parka", "boots"}
+
+    def test_triples_table(self, kb):
+        table = kb.table("triples")
+        assert table.num_rows == 4
+        assert table.schema.names == ["subject", "predicate", "object"]
+
+    def test_predicate_view(self, kb):
+        table = kb.table("category")
+        assert table.num_rows == 3
+        assert table.schema.names == ["subject", "object"]
+
+    def test_empty_predicate_view(self, kb):
+        assert kb.table("nonexistent").num_rows == 0
+
+    def test_len(self, kb):
+        assert len(kb) == 4
+
+
+class TestObjectDetection:
+    def test_detection_deterministic(self, image_store, thesaurus):
+        model_a = ObjectDetectionModel(thesaurus=thesaurus, seed=31)
+        model_b = ObjectDetectionModel(thesaurus=thesaurus, seed=31)
+        detections_a = model_a.detect(image_store.images[0])
+        detections_b = model_b.detect(image_store.images[0])
+        assert [(d.label, d.confidence) for d in detections_a] == \
+            [(d.label, d.confidence) for d in detections_b]
+
+    def test_labels_are_concept_forms(self, image_store, thesaurus):
+        model = ObjectDetectionModel(thesaurus=thesaurus, miss_rate=0.0,
+                                     hallucination_rate=0.0, seed=1)
+        detections = model.detect(image_store.images[0])
+        true_concepts = set(image_store.images[0].true_objects)
+        for detection in detections:
+            concept = thesaurus.concept_of(detection.label)
+            assert concept is not None
+            assert concept.name in true_concepts
+
+    def test_inference_accounting(self, image_store, thesaurus):
+        model = ObjectDetectionModel(thesaurus=thesaurus, seed=1)
+        model.detect(image_store.images[0])
+        model.detect(image_store.images[1])
+        assert model.images_processed == 2
+        assert model.simulated_seconds == pytest.approx(
+            2 * model.seconds_per_image)
+
+    def test_detect_table_pushdown_saves_inference(self, image_store,
+                                                   thesaurus):
+        eager = ObjectDetectionModel(thesaurus=thesaurus, seed=1)
+        image_store.detect_table(eager)
+        assert eager.images_processed == 3
+
+        lazy = ObjectDetectionModel(thesaurus=thesaurus, seed=1)
+        image_store.detect_table(lazy,
+                                 after_date=date_to_int("2022-10-01"))
+        assert lazy.images_processed == 1  # only the November image
+
+    def test_detect_table_schema(self, image_store, thesaurus):
+        model = ObjectDetectionModel(thesaurus=thesaurus, seed=1)
+        table = image_store.detect_table(model)
+        assert table.schema.names == ["image_id", "date_taken", "label",
+                                      "confidence", "object_count"]
+
+    def test_object_count_column(self, image_store, thesaurus):
+        model = ObjectDetectionModel(thesaurus=thesaurus, miss_rate=0.0,
+                                     hallucination_rate=0.0, seed=1)
+        table = image_store.detect_table(model)
+        rows = [r for r in table.to_rows() if r["image_id"] == 2]
+        assert all(r["object_count"] == 3 for r in rows)
+
+    def test_metadata_view_is_model_free(self, image_store):
+        table = image_store.table("metadata")
+        assert table.num_rows == 3
+        assert table.schema.names == ["image_id", "date_taken"]
+
+    def test_unknown_view_raises(self, image_store):
+        with pytest.raises(SourceError):
+            image_store.table("detections")
+
+
+class TestRelationalSourceAndFederation:
+    def test_rdbms_source(self, products_table):
+        source = RelationalSource("shop", {"products": products_table})
+        assert source.table_names() == ["products"]
+        assert source.table("products") is products_table
+
+    def test_rdbms_unknown_table(self, products_table):
+        source = RelationalSource("shop", {"products": products_table})
+        with pytest.raises(SourceError):
+            source.table("ghost")
+
+    def test_rdbms_duplicate_add(self, products_table):
+        source = RelationalSource("shop")
+        source.add_table("t", products_table)
+        with pytest.raises(SourceError):
+            source.add_table("t", products_table)
+
+    def test_federation_registers_qualified(self, products_table, kb):
+        catalog = Catalog()
+        federation = Federation(catalog)
+        federation.add_source(RelationalSource("shop",
+                                               {"products": products_table}))
+        federation.add_source(kb)
+        assert "shop.products" in catalog
+        assert "kb.triples" in catalog
+        assert "kb.category" in catalog
+
+    def test_federation_duplicate_source(self, kb):
+        federation = Federation(Catalog())
+        federation.add_source(kb)
+        with pytest.raises(SourceError):
+            federation.add_source(kb)
+
+    def test_federation_rematerialize(self, kb):
+        catalog = Catalog()
+        federation = Federation(catalog)
+        federation.add_source(kb)
+        kb.add("tee", "category", "clothes")
+        federation.materialize("kb")
+        assert catalog.get("kb.category").num_rows == 4
+
+    def test_federation_unknown_source(self):
+        with pytest.raises(SourceError):
+            Federation(Catalog()).source("ghost")

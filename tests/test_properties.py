@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.embeddings.subword import fnv1a, subword_ids
+from repro.semantic.baselines import (
+    jaccard_similarity,
+    levenshtein,
+    normalized_edit_similarity,
+)
+from repro.semantic.join import join_blocked, join_rowkernel
+from repro.storage.types import date_to_int, int_to_date
+from repro.vector.metrics import normalize_rows
+from repro.vector.topk import threshold_pairs, top_k_indices
+
+_WORD = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=0,
+                max_size=12)
+
+_MATRIX = hnp.arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.integers(1, 12), st.integers(2, 8)),
+    elements=st.floats(-5, 5, width=32, allow_nan=False),
+)
+
+
+class TestStringProperties:
+    @given(_WORD, _WORD)
+    def test_levenshtein_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(_WORD)
+    def test_levenshtein_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(_WORD, _WORD)
+    def test_levenshtein_bounds(self, a, b):
+        distance = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b), 0)
+
+    @given(_WORD, _WORD, _WORD)
+    @settings(max_examples=40)
+    def test_levenshtein_triangle(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(_WORD, _WORD)
+    def test_edit_similarity_range(self, a, b):
+        assert 0.0 <= normalized_edit_similarity(a, b) <= 1.0
+
+    @given(_WORD, _WORD)
+    def test_jaccard_range_and_symmetry(self, a, b):
+        score = jaccard_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == jaccard_similarity(b, a)
+
+    @given(_WORD)
+    def test_fnv_stable(self, word):
+        assert fnv1a(word) == fnv1a(word)
+        assert 0 <= fnv1a(word) < 2**64
+
+    @given(_WORD, st.integers(11, 5000))
+    def test_subword_ids_in_range(self, word, buckets):
+        ids = subword_ids(word, buckets)
+        if ids.size:
+            assert ids.min() >= 0
+            assert ids.max() < buckets
+
+
+class TestVectorProperties:
+    @given(_MATRIX)
+    def test_normalize_rows_unit_or_zero(self, matrix):
+        normalized = normalize_rows(matrix)
+        norms = np.linalg.norm(normalized, axis=1)
+        for norm in norms:
+            assert norm == 0.0 or abs(norm - 1.0) < 1e-4
+
+    @given(_MATRIX, st.integers(1, 15))
+    def test_top_k_matches_argsort(self, matrix, k):
+        scores = matrix[:, 0].astype(np.float64)
+        top = top_k_indices(scores, k)
+        k_eff = min(k, scores.shape[0])
+        assert top.shape[0] == k_eff
+        # the selected scores are the k largest values
+        chosen = np.sort(scores[top])[::-1]
+        expected = np.sort(scores)[::-1][:k_eff]
+        assert np.allclose(chosen, expected)
+
+    @given(_MATRIX, st.floats(-1, 1))
+    def test_threshold_pairs_complete_and_sound(self, matrix, threshold):
+        similarity = matrix @ matrix.T
+        rows, cols, scores = threshold_pairs(similarity, threshold)
+        assert np.all(scores >= threshold)
+        assert rows.shape[0] == int((similarity >= threshold).sum())
+
+    @given(_MATRIX)
+    @settings(max_examples=30)
+    def test_join_kernels_agree(self, matrix):
+        left = normalize_rows(matrix)
+        right = normalize_rows(matrix[::-1].copy())
+        blocked = join_blocked(left, right, 0.8)
+        rowkernel = join_rowkernel(left, right, 0.8)
+        assert set(zip(blocked[0].tolist(), blocked[1].tolist())) == \
+            set(zip(rowkernel[0].tolist(), rowkernel[1].tolist()))
+
+    @given(_MATRIX, st.floats(0.1, 0.99))
+    @settings(max_examples=30)
+    def test_join_threshold_monotone(self, matrix, threshold):
+        left = normalize_rows(matrix)
+        strict = join_blocked(left, left, min(threshold + 0.2, 1.0))
+        loose = join_blocked(left, left, threshold)
+        strict_pairs = set(zip(strict[0].tolist(), strict[1].tolist()))
+        loose_pairs = set(zip(loose[0].tolist(), loose[1].tolist()))
+        assert strict_pairs <= loose_pairs
+
+
+class TestDateProperties:
+    @given(st.integers(-700_000, 2_900_000))
+    def test_date_round_trip(self, days):
+        assert date_to_int(int_to_date(days)) == days
+
+
+class TestClusteringProperties:
+    @given(values=st.lists(st.sampled_from(
+        ["boots", "sneakers", "sedan", "automobile", "apple", "kitten"]),
+        min_size=0, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_cluster_labels_well_formed(self, model_cache, values):
+        from repro.semantic.groupby import cluster_strings
+
+        clustering = cluster_strings(values, model_cache, 0.9)
+        assert clustering.labels.shape[0] == len(values)
+        if values:
+            assert clustering.labels.max() < clustering.n_clusters
+            assert clustering.labels.min() >= 0
+            # same string always gets the same cluster
+            by_value = {}
+            for value, label in zip(values, clustering.labels):
+                by_value.setdefault(value, set()).add(int(label))
+            assert all(len(labels) == 1 for labels in by_value.values())

@@ -1,0 +1,236 @@
+"""Robustness: empty inputs, degenerate plans, and edge cases through
+every operator — the failure modes a downstream user hits first."""
+
+import numpy as np
+import pytest
+
+from repro.relational.expressions import AggExpr, AggFunc, col
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    JoinType,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SemanticFilterNode,
+    SemanticGroupByNode,
+    SemanticJoinNode,
+    SemanticSemiFilterNode,
+    SortNode,
+    UnionNode,
+)
+from repro.relational.physical import execute_plan
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+@pytest.fixture()
+def empty_catalog(catalog, products_table):
+    empty = Table.empty(products_table.schema)
+    catalog.register("empty_products", empty)
+    return catalog
+
+
+@pytest.fixture()
+def scan_empty(empty_catalog):
+    schema = empty_catalog.get("empty_products").schema
+    return ScanNode("empty_products", schema, qualifier="e")
+
+
+class TestEmptyInputs:
+    def test_filter_on_empty(self, context, scan_empty):
+        plan = FilterNode(scan_empty, col("e.price") > 0)
+        result = execute_plan(plan, context)
+        assert result.num_rows == 0
+        assert result.schema == scan_empty.schema
+
+    def test_project_on_empty(self, context, scan_empty):
+        plan = ProjectNode(scan_empty, [(col("e.price") * 2, "x")])
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_sort_limit_on_empty(self, context, scan_empty):
+        plan = LimitNode(SortNode(scan_empty, [("e.price", True)]), 5)
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_aggregate_global_on_empty(self, context, scan_empty):
+        plan = AggregateNode(scan_empty, [], [
+            AggExpr(AggFunc.COUNT, None, "n"),
+            AggExpr(AggFunc.SUM, col("e.price"), "total"),
+        ])
+        row = execute_plan(plan, context).to_rows()[0]
+        assert row["n"] == 0
+        assert row["total"] == 0
+
+    def test_aggregate_grouped_on_empty(self, context, scan_empty):
+        plan = AggregateNode(scan_empty, ["e.brand"],
+                             [AggExpr(AggFunc.COUNT, None, "n")])
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_hash_join_empty_build(self, context, scan_empty,
+                                   products_table):
+        full = ScanNode("products", products_table.schema, qualifier="p")
+        plan = JoinNode(full, scan_empty, JoinType.INNER,
+                        ["p.ptype"], ["e.ptype"])
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_hash_join_empty_probe(self, context, scan_empty,
+                                   products_table):
+        full = ScanNode("products", products_table.schema, qualifier="p")
+        plan = JoinNode(scan_empty, full, JoinType.INNER,
+                        ["e.ptype"], ["p.ptype"])
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_left_join_empty_build_keeps_probe(self, context, scan_empty,
+                                               products_table):
+        full = ScanNode("products", products_table.schema, qualifier="p")
+        plan = JoinNode(full, scan_empty, JoinType.LEFT,
+                        ["p.ptype"], ["e.ptype"])
+        result = execute_plan(plan, context)
+        assert result.num_rows == products_table.num_rows
+
+    def test_cross_join_with_empty(self, context, scan_empty,
+                                   products_table):
+        full = ScanNode("products", products_table.schema, qualifier="p")
+        plan = JoinNode(full, scan_empty, JoinType.CROSS)
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_union_with_empty(self, context, scan_empty, empty_catalog,
+                              products_table):
+        full = ScanNode("products", products_table.schema, qualifier="e")
+        plan = UnionNode([scan_empty, full])
+        assert execute_plan(plan, context).num_rows == \
+            products_table.num_rows
+
+    def test_semantic_filter_on_empty(self, context, scan_empty):
+        plan = SemanticFilterNode(scan_empty, "e.ptype", "clothes",
+                                  "wiki-ft-100", 0.7)
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_semantic_join_empty_left(self, context, scan_empty, kb_table):
+        kb = ScanNode("kb", kb_table.schema, qualifier="k")
+        plan = SemanticJoinNode(scan_empty, kb, "e.ptype", "k.label",
+                                "wiki-ft-100", 0.9)
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_semantic_join_empty_right(self, context, scan_empty,
+                                       products_table):
+        full = ScanNode("products", products_table.schema, qualifier="p")
+        plan = SemanticJoinNode(full, scan_empty, "p.ptype", "e.ptype",
+                                "wiki-ft-100", 0.9)
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_semantic_groupby_on_empty(self, context, scan_empty):
+        plan = SemanticGroupByNode(scan_empty, "e.ptype", "wiki-ft-100",
+                                   0.8)
+        assert execute_plan(plan, context).num_rows == 0
+
+    def test_semantic_semi_filter_on_empty(self, context, scan_empty):
+        plan = SemanticSemiFilterNode(scan_empty, "e.ptype", ["shoes"],
+                                      "wiki-ft-100", 0.9)
+        assert execute_plan(plan, context).num_rows == 0
+
+
+class TestOptimizerOnDegeneratePlans:
+    def test_optimize_empty_table_plan(self, empty_catalog, registry,
+                                       context):
+        from repro.optimizer import Optimizer
+
+        schema = empty_catalog.get("empty_products").schema
+        scan = ScanNode("empty_products", schema, qualifier="e")
+        plan = FilterNode(scan, col("e.price") > 10)
+        optimizer = Optimizer(empty_catalog, registry,
+                              execution_context=context)
+        optimized = optimizer.optimize(plan)
+        assert execute_plan(optimized, context).num_rows == 0
+
+    def test_optimize_semantic_join_over_empty(self, empty_catalog,
+                                               registry, context,
+                                               kb_table):
+        from repro.optimizer import Optimizer
+
+        schema = empty_catalog.get("empty_products").schema
+        scan = ScanNode("empty_products", schema, qualifier="e")
+        kb = ScanNode("kb", kb_table.schema, qualifier="k")
+        plan = SemanticJoinNode(scan, kb, "e.ptype", "k.label",
+                                "wiki-ft-100", 0.9)
+        optimizer = Optimizer(empty_catalog, registry,
+                              execution_context=context)
+        optimized = optimizer.optimize(plan)
+        assert execute_plan(optimized, context).num_rows == 0
+
+
+class TestNullHandling:
+    def test_semantic_join_skips_null_keys(self, context, catalog,
+                                           kb_table):
+        with_nulls = Table.from_dict(
+            {"name": ["boots", None, "sedan"]},
+            schema=Schema([Field("name", DataType.STRING)]))
+        catalog.register("nullable", with_nulls)
+        scan = ScanNode("nullable", with_nulls.schema, qualifier="n")
+        kb = ScanNode("kb", kb_table.schema, qualifier="k")
+        plan = SemanticJoinNode(scan, kb, "n.name", "k.label",
+                                "wiki-ft-100", 0.9)
+        result = execute_plan(plan, context)
+        assert None not in set(result.column("n.name").tolist())
+
+    def test_single_row_table(self, context, catalog, kb_table):
+        single = Table.from_dict({"name": ["boots"]})
+        catalog.register("single", single)
+        scan = ScanNode("single", single.schema, qualifier="s")
+        kb = ScanNode("kb", kb_table.schema, qualifier="k")
+        plan = SemanticJoinNode(scan, kb, "s.name", "k.label",
+                                "wiki-ft-100", 0.9)
+        result = execute_plan(plan, context)
+        assert result.num_rows == 1
+
+    def test_all_identical_values(self, context, catalog, kb_table):
+        same = Table.from_dict({"name": ["boots"] * 10})
+        catalog.register("same", same)
+        scan = ScanNode("same", same.schema, qualifier="s")
+        kb = ScanNode("kb", kb_table.schema, qualifier="k")
+        plan = SemanticJoinNode(scan, kb, "s.name", "k.label",
+                                "wiki-ft-100", 0.9)
+        result = execute_plan(plan, context)
+        assert result.num_rows == 10  # each duplicate row joins once
+
+
+class TestSqlEdgeCases:
+    def test_top_k_parsed(self):
+        from repro.engine.sql.parser import parse_sql
+
+        statement = parse_sql(
+            "SELECT * FROM a SEMANTIC JOIN b ON a.x ~ b.y "
+            "THRESHOLD 0.5 TOP 3")
+        assert statement.joins[0].top_k == 3
+
+    def test_contains_operator_parsed(self):
+        from repro.engine.sql import ast
+        from repro.engine.sql.parser import parse_sql
+
+        statement = parse_sql("SELECT * FROM t WHERE x ~* 'probe'")
+        assert isinstance(statement.where, ast.SemanticPredicate)
+        assert statement.where.mode == "contains"
+
+    def test_empty_in_list_rejected(self):
+        from repro.engine.sql.parser import parse_sql
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM t WHERE a IN ()")
+
+    def test_double_semantic_group_by_rejected(self):
+        from repro.engine.sql.parser import parse_sql
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM t SEMANTIC GROUP BY a "
+                      "SEMANTIC GROUP BY b")
+
+    def test_limit_zero_via_sql(self, products_table):
+        from repro.engine.session import Session
+
+        session = Session(seed=7)
+        session.register_table("products", products_table)
+        assert session.sql("SELECT * FROM products LIMIT 0").num_rows == 0

@@ -1,0 +1,256 @@
+"""Tests for the SQL dialect: lexer, parser, binder, end-to-end."""
+
+import pytest
+
+from repro.engine.sql import ast
+from repro.engine.sql.binder import Binder
+from repro.engine.sql.lexer import Lexer, TokenType
+from repro.engine.sql.parser import parse_sql
+from repro.errors import BindError, ParseError
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    LimitNode,
+    ProjectNode,
+    SemanticFilterNode,
+    SemanticGroupByNode,
+    SemanticJoinNode,
+    SortNode,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = Lexer("SELECT sElEcT select").tokens()
+        assert all(t.is_keyword("select") for t in tokens[:3])
+
+    def test_string_literal(self):
+        tokens = Lexer("'hello world'").tokens()
+        assert tokens[0].type == TokenType.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_escape(self):
+        tokens = Lexer("'it''s'").tokens()
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            Lexer("'oops").tokens()
+
+    def test_numbers(self):
+        tokens = Lexer("42 3.14").tokens()
+        assert tokens[0].text == "42"
+        assert tokens[1].text == "3.14"
+
+    def test_operators(self):
+        text = "<= >= != <> = < > ~"
+        tokens = Lexer(text).tokens()
+        assert [t.text for t in tokens[:-1]] == \
+            ["<=", ">=", "!=", "!=", "=", "<", ">", "~"]
+
+    def test_comments_skipped(self):
+        tokens = Lexer("select -- a comment\n x").tokens()
+        assert tokens[1].text == "x"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            Lexer("select @").tokens()
+
+    def test_position_recorded(self):
+        tokens = Lexer("select x").tokens()
+        assert tokens[1].position == 7
+
+
+class TestParser:
+    def test_select_star(self):
+        statement = parse_sql("SELECT * FROM t")
+        assert statement.items == []
+        assert statement.base.name == "t"
+
+    def test_aliases(self):
+        statement = parse_sql("SELECT a AS x, b y FROM t AS u")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+        assert statement.base.alias == "u"
+
+    def test_dotted_table_name(self):
+        statement = parse_sql("SELECT * FROM kb.category AS k")
+        assert statement.base.name == "kb.category"
+        assert statement.base.alias == "k"
+
+    def test_where_precedence(self):
+        statement = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(statement.where, ast.BoolOp)
+        assert statement.where.op == "or"
+
+    def test_between(self):
+        statement = parse_sql("SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(statement.where, ast.BoolOp)
+        assert statement.where.op == "and"
+
+    def test_in_list(self):
+        statement = parse_sql("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(statement.where, ast.InListExpr)
+        assert len(statement.where.values) == 3
+
+    def test_date_literal(self):
+        statement = parse_sql("SELECT * FROM t WHERE d > DATE '2022-06-01'")
+        assert isinstance(statement.where.right, ast.DateLit)
+
+    def test_semantic_predicate(self):
+        statement = parse_sql(
+            "SELECT * FROM t WHERE x ~ 'clothes' "
+            "USING MODEL 'm' THRESHOLD 0.8")
+        predicate = statement.where
+        assert isinstance(predicate, ast.SemanticPredicate)
+        assert predicate.probe == "clothes"
+        assert predicate.model == "m"
+        assert predicate.threshold == 0.8
+
+    def test_semantic_predicate_defaults(self):
+        statement = parse_sql("SELECT * FROM t WHERE x ~ 'y'")
+        assert statement.where.model is None
+        assert statement.where.threshold == 0.9
+
+    def test_join(self):
+        statement = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.y AND a.z = b.w")
+        join = statement.joins[0]
+        assert join.kind == "inner"
+        assert len(join.left_keys) == 2
+
+    def test_semantic_join(self):
+        statement = parse_sql(
+            "SELECT * FROM a SEMANTIC JOIN b ON a.x ~ b.y "
+            "USING MODEL 'm' THRESHOLD 0.85")
+        join = statement.joins[0]
+        assert join.kind == "semantic"
+        assert join.threshold == 0.85
+
+    def test_semantic_group_by(self):
+        statement = parse_sql(
+            "SELECT cluster_rep, COUNT(*) AS n FROM t "
+            "SEMANTIC GROUP BY msg THRESHOLD 0.75")
+        assert statement.semantic_group_by.column.dotted == "msg"
+        assert statement.semantic_group_by.threshold == 0.75
+
+    def test_group_order_limit(self):
+        statement = parse_sql(
+            "SELECT brand, COUNT(*) AS n FROM t GROUP BY brand "
+            "ORDER BY n DESC LIMIT 10")
+        assert statement.group_by[0].dotted == "brand"
+        assert statement.order_by[0].ascending is False
+        assert statement.limit == 10
+
+    def test_aggregates(self):
+        statement = parse_sql(
+            "SELECT COUNT(*), COUNT(DISTINCT x), SUM(y), AVG(z) FROM t")
+        names = [item.expr.name for item in statement.items]
+        assert names == ["count", "count", "sum", "avg"]
+        assert statement.items[0].expr.star
+        assert statement.items[1].expr.distinct
+
+    def test_arithmetic(self):
+        statement = parse_sql("SELECT price * 2 + 1 AS p FROM t")
+        assert isinstance(statement.items[0].expr, ast.BinaryArith)
+
+    def test_negative_number(self):
+        statement = parse_sql("SELECT * FROM t WHERE x > -5")
+        assert statement.where.right.value == -5
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM t garbage extra, tokens")
+
+    def test_missing_from_keyword(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT FROM t")
+
+    def test_cross_join(self):
+        statement = parse_sql("SELECT * FROM a CROSS JOIN b")
+        assert statement.joins[0].kind == "cross"
+
+
+class TestBinder:
+    def test_simple_plan_shape(self, catalog, registry):
+        binder = Binder(catalog, "wiki-ft-100")
+        plan = binder.bind(parse_sql(
+            "SELECT p.pid FROM products AS p WHERE p.price > 10"))
+        assert isinstance(plan, ProjectNode)
+        assert isinstance(plan.child, FilterNode)
+
+    def test_unknown_table(self, catalog):
+        binder = Binder(catalog, "m")
+        with pytest.raises(BindError, match="unknown table"):
+            binder.bind(parse_sql("SELECT * FROM ghost"))
+
+    def test_unknown_column(self, catalog):
+        binder = Binder(catalog, "m")
+        with pytest.raises(BindError):
+            binder.bind(parse_sql(
+                "SELECT * FROM products AS p WHERE p.ghost > 1"))
+
+    def test_semantic_filter_bound(self, catalog):
+        binder = Binder(catalog, "default-model")
+        plan = binder.bind(parse_sql(
+            "SELECT * FROM products AS p WHERE p.ptype ~ 'clothes'"))
+        assert isinstance(plan, SemanticFilterNode)
+        assert plan.model_name == "default-model"
+
+    def test_semantic_join_bound(self, catalog):
+        binder = Binder(catalog, "m")
+        plan = binder.bind(parse_sql(
+            "SELECT * FROM products AS p SEMANTIC JOIN kb AS k "
+            "ON p.ptype ~ k.label THRESHOLD 0.9"))
+        assert isinstance(plan, SemanticJoinNode)
+
+    def test_join_keys_oriented(self, catalog):
+        binder = Binder(catalog, "m")
+        # keys written right-to-left on purpose
+        plan = binder.bind(parse_sql(
+            "SELECT * FROM products AS p JOIN kb AS k "
+            "ON k.label = p.ptype"))
+        assert plan.left_keys == ["p.ptype"]
+        assert plan.right_keys == ["k.label"]
+
+    def test_aggregate_bound(self, catalog):
+        binder = Binder(catalog, "m")
+        plan = binder.bind(parse_sql(
+            "SELECT p.brand, COUNT(*) AS n FROM products AS p "
+            "GROUP BY p.brand"))
+        assert isinstance(plan, AggregateNode)
+
+    def test_non_key_column_rejected(self, catalog):
+        binder = Binder(catalog, "m")
+        with pytest.raises(BindError, match="GROUP BY"):
+            binder.bind(parse_sql(
+                "SELECT p.price, COUNT(*) AS n FROM products AS p "
+                "GROUP BY p.brand"))
+
+    def test_semantic_group_by_bound(self, catalog):
+        binder = Binder(catalog, "m")
+        plan = binder.bind(parse_sql(
+            "SELECT cluster_rep, COUNT(*) AS n FROM products "
+            "SEMANTIC GROUP BY ptype THRESHOLD 0.8"))
+        assert isinstance(plan, AggregateNode)
+        assert isinstance(plan.child, SemanticGroupByNode)
+
+    def test_order_limit_bound(self, catalog):
+        binder = Binder(catalog, "m")
+        plan = binder.bind(parse_sql(
+            "SELECT p.pid FROM products AS p ORDER BY p.price DESC LIMIT 2"))
+        assert isinstance(plan, ProjectNode)
+        assert isinstance(plan.child, LimitNode)
+        assert isinstance(plan.child.child, SortNode)
+
+    def test_or_with_semantic_rejected(self, catalog):
+        binder = Binder(catalog, "m")
+        with pytest.raises(BindError):
+            binder.bind(parse_sql(
+                "SELECT * FROM products AS p "
+                "WHERE p.price > 1 OR p.ptype ~ 'clothes'"))
+
+    def test_select_star_no_project(self, catalog):
+        binder = Binder(catalog, "m")
+        plan = binder.bind(parse_sql("SELECT * FROM products"))
+        assert not isinstance(plan, ProjectNode)

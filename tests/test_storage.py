@@ -1,0 +1,259 @@
+"""Tests for storage: types, schema, table, catalog."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.types import (
+    DataType,
+    coerce_array,
+    date_to_int,
+    int_to_date,
+    parse_date,
+)
+
+
+class TestTypes:
+    def test_date_round_trip(self):
+        day = date_to_int("2022-06-15")
+        assert int_to_date(day) == datetime.date(2022, 6, 15)
+
+    def test_epoch_is_zero(self):
+        assert date_to_int("1970-01-01") == 0
+
+    def test_parse_date(self):
+        assert parse_date("2022-01-02") == date_to_int("2022-01-02")
+
+    def test_infer(self):
+        assert DataType.infer(True) == DataType.BOOL
+        assert DataType.infer(3) == DataType.INT64
+        assert DataType.infer(3.5) == DataType.FLOAT64
+        assert DataType.infer("x") == DataType.STRING
+        assert DataType.infer(datetime.date(2020, 1, 1)) == DataType.DATE
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(SchemaError):
+            DataType.infer(object())
+
+    def test_coerce_date_strings(self):
+        array = coerce_array(["2020-01-01", "2020-01-02"], DataType.DATE)
+        assert array.dtype == np.int64
+        assert array[1] - array[0] == 1
+
+    def test_coerce_string_none_preserved(self):
+        array = coerce_array(["a", None], DataType.STRING)
+        assert array[1] is None
+
+    def test_numeric_flag(self):
+        assert DataType.DATE.is_numeric
+        assert not DataType.STRING.is_numeric
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a", DataType.INT64), Field("a", DataType.INT64)])
+
+    def test_index_of_exact(self):
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("b", DataType.STRING)])
+        assert schema.index_of("b") == 1
+
+    def test_index_of_suffix(self):
+        schema = Schema([Field("p.price", DataType.FLOAT64),
+                         Field("k.label", DataType.STRING)])
+        assert schema.index_of("price") == 0
+
+    def test_index_of_ambiguous_suffix(self):
+        schema = Schema([Field("p.price", DataType.FLOAT64),
+                         Field("q.price", DataType.FLOAT64)])
+        with pytest.raises(SchemaError, match="ambiguous"):
+            schema.index_of("price")
+
+    def test_index_of_unknown(self):
+        schema = Schema([Field("a", DataType.INT64)])
+        with pytest.raises(SchemaError, match="unknown column"):
+            schema.index_of("z")
+
+    def test_concat(self):
+        left = Schema([Field("a", DataType.INT64)])
+        right = Schema([Field("b", DataType.STRING)])
+        assert left.concat(right).names == ["a", "b"]
+
+    def test_qualified(self):
+        schema = Schema([Field("a", DataType.INT64)]).qualified("t")
+        assert schema.names == ["t.a"]
+
+    def test_qualified_idempotent(self):
+        schema = Schema([Field("t.a", DataType.INT64)]).qualified("t")
+        assert schema.names == ["t.a"]
+
+    def test_renamed(self):
+        schema = Schema([Field("a", DataType.INT64)]).renamed({"a": "x"})
+        assert schema.names == ["x"]
+
+    def test_select_preserves_dtype(self):
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("b", DataType.STRING)])
+        assert schema.select(["b"]).fields[0].dtype == DataType.STRING
+
+    def test_equality_and_hash(self):
+        a = Schema([Field("a", DataType.INT64)])
+        b = Schema([Field("a", DataType.INT64)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestTable:
+    def test_from_dict_infers_types(self):
+        table = Table.from_dict({"x": [1, 2], "s": ["a", "b"]})
+        assert table.schema.dtype_of("x") == DataType.INT64
+        assert table.schema.dtype_of("s") == DataType.STRING
+
+    def test_from_dict_empty_column_needs_schema(self):
+        with pytest.raises(SchemaError):
+            Table.from_dict({"x": []})
+
+    def test_ragged_columns_rejected(self):
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("b", DataType.INT64)])
+        with pytest.raises(SchemaError):
+            Table(schema, {"a": np.zeros(2, dtype=np.int64),
+                           "b": np.zeros(3, dtype=np.int64)})
+
+    def test_from_rows(self):
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("b", DataType.STRING)])
+        table = Table.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}],
+                                schema)
+        assert table.num_rows == 2
+        assert table.column("b")[1] == "y"
+
+    def test_filter(self, products_table):
+        filtered = products_table.filter(
+            products_table.column("price") > 100)
+        assert filtered.num_rows == 3  # parka, sedan, kitten
+
+    def test_take(self, products_table):
+        taken = products_table.take(np.array([2, 0]))
+        assert taken.column("pid").tolist() == [3, 1]
+
+    def test_slice(self, products_table):
+        assert products_table.slice(1, 3).num_rows == 2
+
+    def test_select(self, products_table):
+        selected = products_table.select(["price", "pid"])
+        assert selected.schema.names == ["price", "pid"]
+
+    def test_with_column(self, products_table):
+        extended = products_table.with_column(
+            Field("flag", DataType.BOOL),
+            np.ones(products_table.num_rows, dtype=bool))
+        assert "flag" in extended.schema
+
+    def test_with_column_length_mismatch(self, products_table):
+        with pytest.raises(SchemaError):
+            products_table.with_column(Field("f", DataType.BOOL),
+                                       np.ones(2, dtype=bool))
+
+    def test_concat(self, products_table):
+        double = Table.concat([products_table, products_table])
+        assert double.num_rows == 2 * products_table.num_rows
+
+    def test_concat_mismatched(self, products_table, kb_table):
+        with pytest.raises(SchemaError):
+            Table.concat([products_table, kb_table])
+
+    def test_batches_cover_all_rows(self, products_table):
+        batches = list(products_table.batches(4))
+        assert sum(b.num_rows for b in batches) == products_table.num_rows
+        assert batches[0].num_rows == 4
+
+    def test_batches_empty_table(self):
+        table = Table.empty(Schema([Field("a", DataType.INT64)]))
+        assert list(table.batches(10)) == []
+
+    def test_batches_invalid_size(self, products_table):
+        with pytest.raises(SchemaError):
+            list(products_table.batches(0))
+
+    def test_sort_by_single(self, products_table):
+        ordered = products_table.sort_by([("price", True)])
+        prices = ordered.column("price")
+        assert np.all(np.diff(prices) >= 0)
+
+    def test_sort_by_descending(self, products_table):
+        ordered = products_table.sort_by([("price", False)])
+        prices = ordered.column("price")
+        assert np.all(np.diff(prices) <= 0)
+
+    def test_sort_by_multi_stable(self):
+        table = Table.from_dict({
+            "g": ["b", "a", "b", "a"],
+            "v": [1, 2, 3, 4],
+        })
+        ordered = table.sort_by([("g", True), ("v", False)])
+        assert ordered.column("v").tolist() == [4, 2, 3, 1]
+
+    def test_qualified(self, products_table):
+        qualified = products_table.qualified("p")
+        assert "p.pid" in qualified.schema
+        assert qualified.column("p.pid").tolist() == \
+            products_table.column("pid").tolist()
+
+    def test_row_and_to_rows(self, products_table):
+        row = products_table.row(0)
+        assert row["pid"] == 1
+        rows = products_table.to_rows()
+        assert isinstance(rows[0]["pid"], int)
+
+    def test_renamed(self, products_table):
+        renamed = products_table.renamed({"pid": "id"})
+        assert "id" in renamed.schema
+
+
+class TestCatalog:
+    def test_register_get(self, products_table):
+        catalog = Catalog()
+        catalog.register("t", products_table)
+        assert catalog.get("t") is products_table
+
+    def test_duplicate_register(self, products_table):
+        catalog = Catalog()
+        catalog.register("t", products_table)
+        with pytest.raises(CatalogError):
+            catalog.register("t", products_table)
+
+    def test_replace(self, products_table, kb_table):
+        catalog = Catalog()
+        catalog.register("t", products_table)
+        catalog.register("t", kb_table, replace=True)
+        assert catalog.get("t") is kb_table
+
+    def test_unknown_get(self):
+        with pytest.raises(CatalogError, match="unknown table"):
+            Catalog().get("ghost")
+
+    def test_drop(self, products_table):
+        catalog = Catalog()
+        catalog.register("t", products_table)
+        catalog.drop("t")
+        assert "t" not in catalog
+
+    def test_drop_unknown(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop("ghost")
+
+    def test_stats_cached_and_invalidated(self, products_table, kb_table):
+        catalog = Catalog()
+        catalog.register("t", products_table)
+        stats = catalog.stats("t")
+        assert stats.row_count == products_table.num_rows
+        assert catalog.stats("t") is stats
+        catalog.register("t", kb_table, replace=True)
+        assert catalog.stats("t").row_count == kb_table.num_rows

@@ -1,0 +1,97 @@
+"""Tests for subword hashing and bucket fitting."""
+
+import numpy as np
+
+from repro.embeddings.model import fit_bucket_vectors
+from repro.embeddings.subword import (
+    fnv1a,
+    shared_gram_fraction,
+    subword_ids,
+)
+
+
+class TestFnv:
+    def test_deterministic(self):
+        assert fnv1a("hello") == fnv1a("hello")
+
+    def test_distinct_inputs(self):
+        assert fnv1a("hello") != fnv1a("hellp")
+
+    def test_known_reference_value(self):
+        # FNV-1a 64-bit of empty string is the offset basis
+        assert fnv1a("") == 0xCBF29CE484222325
+
+    def test_unicode(self):
+        assert isinstance(fnv1a("café"), int)
+
+
+class TestSubwordIds:
+    def test_within_bucket_range(self):
+        ids = subword_ids("sneakers", buckets=101)
+        assert ids.dtype == np.int64
+        assert (ids >= 0).all() and (ids < 101).all()
+
+    def test_multiword_hashes_both_parts(self):
+        single = subword_ids("golden")
+        phrase = subword_ids("golden retriever")
+        assert phrase.shape[0] > single.shape[0]
+
+    def test_empty_for_tiny_word(self):
+        # "a" decorates to "<a>"; min gram length 3 -> 1 gram
+        assert subword_ids("a").shape[0] == 1
+
+    def test_deterministic(self):
+        assert np.array_equal(subword_ids("parka"), subword_ids("parka"))
+
+
+class TestSharedGrams:
+    def test_identical_words(self):
+        assert shared_gram_fraction("boots", "boots") == 1.0
+
+    def test_misspelling_shares_substantially(self):
+        assert shared_gram_fraction("sneakers", "sneekers") > 0.2
+
+    def test_unrelated_words_share_little(self):
+        assert shared_gram_fraction("sneakers", "zucchini") < 0.1
+
+    def test_empty_words(self):
+        assert shared_gram_fraction("", "") == 1.0
+
+
+class TestBucketFitting:
+    def test_word_reconstruction(self):
+        """Mean of a word's fitted gram vectors approximates its vector."""
+        rng = np.random.default_rng(5)
+        vocab = {"sneakers": 0, "parka": 1, "zucchini": 2}
+        vectors = rng.standard_normal((3, 16)).astype(np.float32)
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        buckets = fit_bucket_vectors(vocab, vectors, buckets=5003)
+        ids = subword_ids("sneakers", 5003)
+        reconstructed = buckets[ids].mean(axis=0)
+        cosine = float(
+            reconstructed @ vectors[0]
+            / (np.linalg.norm(reconstructed) * np.linalg.norm(vectors[0]))
+        )
+        assert cosine > 0.95
+
+    def test_misspelling_lands_near_source(self):
+        rng = np.random.default_rng(6)
+        words = ["sneakers", "parka", "zucchini", "laptop", "camera"]
+        vocab = {w: i for i, w in enumerate(words)}
+        vectors = rng.standard_normal((5, 32)).astype(np.float32)
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        buckets = fit_bucket_vectors(vocab, vectors, buckets=20011)
+        ids = subword_ids("sneekers", 20011)
+        oov = buckets[ids].mean(axis=0)
+        oov /= np.linalg.norm(oov)
+        scores = vectors @ oov
+        assert int(np.argmax(scores)) == vocab["sneakers"]
+
+    def test_untouched_buckets_are_zero(self):
+        vocab = {"ab": 0}
+        vectors = np.ones((1, 4), dtype=np.float32)
+        buckets = fit_bucket_vectors(vocab, vectors, buckets=997)
+        used = subword_ids("ab", 997)
+        mask = np.ones(997, dtype=bool)
+        mask[used] = False
+        assert np.abs(buckets[mask]).max() == 0.0

@@ -1,0 +1,104 @@
+"""Tests for the concept thesaurus."""
+
+import pytest
+
+from repro.embeddings.thesaurus import (
+    Concept,
+    TABLE_I,
+    Thesaurus,
+    default_thesaurus,
+)
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def thesaurus():
+    return default_thesaurus()
+
+
+class TestStructure:
+    def test_validates(self, thesaurus):
+        thesaurus.validate()
+
+    def test_contains_table_i_categories(self, thesaurus):
+        for category in TABLE_I:
+            assert category in thesaurus
+
+    def test_table_i_matches_are_known_forms(self, thesaurus):
+        forms = set(thesaurus.all_forms())
+        for matches in TABLE_I.values():
+            for match in matches:
+                assert match in forms
+
+    def test_leaves_and_hypernyms_partition(self, thesaurus):
+        names = {c.name for c in thesaurus}
+        leaves = {c.name for c in thesaurus.leaves}
+        hypers = {c.name for c in thesaurus.hypernyms}
+        assert leaves | hypers == names
+        assert not leaves & hypers
+
+    def test_hierarchy_is_single_level(self, thesaurus):
+        for hyper in thesaurus.hypernyms:
+            for child in hyper.children:
+                assert not thesaurus[child].is_hypernym
+
+    def test_canonical_is_first_form(self, thesaurus):
+        assert thesaurus["dog"].canonical == "dog"
+
+    def test_len(self, thesaurus):
+        assert len(thesaurus) > 20
+
+
+class TestLookups:
+    def test_concept_of_form(self, thesaurus):
+        assert thesaurus.concept_of("parka").name == "jacket"
+
+    def test_concept_of_is_case_insensitive(self, thesaurus):
+        assert thesaurus.concept_of("Parka").name == "jacket"
+
+    def test_concept_of_unknown(self, thesaurus):
+        assert thesaurus.concept_of("quux") is None
+
+    def test_synonyms_of(self, thesaurus):
+        synonyms = thesaurus.synonyms_of("dog")
+        assert "canine" in synonyms
+        assert "dog" not in synonyms
+
+    def test_synonyms_of_unknown(self, thesaurus):
+        assert thesaurus.synonyms_of("quux") == set()
+
+    def test_hyponym_forms(self, thesaurus):
+        forms = thesaurus.hyponym_forms("clothes")
+        assert "boots" in forms
+        assert "parka" in forms
+        assert "clothes" not in forms
+
+    def test_parent_of(self, thesaurus):
+        assert thesaurus.parent_of("dog").name == "animal"
+        assert thesaurus.parent_of("animal") is None
+
+    def test_getitem_unknown_raises(self, thesaurus):
+        with pytest.raises(ModelError):
+            thesaurus["nonexistent"]
+
+
+class TestMutation:
+    def test_duplicate_add_raises(self):
+        thesaurus = Thesaurus()
+        thesaurus.add(Concept("x", ("x",)))
+        with pytest.raises(ModelError):
+            thesaurus.add(Concept("x", ("y",)))
+
+    def test_validate_missing_child(self):
+        thesaurus = Thesaurus()
+        thesaurus.add(Concept("parent", ("parent",), children=("ghost",)))
+        with pytest.raises(ModelError):
+            thesaurus.validate()
+
+    def test_validate_nested_hypernym(self):
+        thesaurus = Thesaurus()
+        thesaurus.add(Concept("a", ("a",), children=("b",)))
+        thesaurus.add(Concept("b", ("b",), children=("c",)))
+        thesaurus.add(Concept("c", ("c",)))
+        with pytest.raises(ModelError):
+            thesaurus.validate()

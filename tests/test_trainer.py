@@ -1,0 +1,91 @@
+"""Tests for the skip-gram trainer and the corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.corpus import CorpusGenerator
+from repro.embeddings.thesaurus import default_thesaurus
+from repro.embeddings.trainer import SkipGramTrainer, TrainConfig
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    generator = CorpusGenerator(seed=11)
+    return generator.generate(1_200)
+
+
+@pytest.fixture(scope="module")
+def trained(small_corpus):
+    config = TrainConfig(dim=24, epochs=4, window=3, negatives=4,
+                         learning_rate=0.03, seed=13, buckets=4001)
+    trainer = SkipGramTrainer(config)
+    model = trainer.fit(small_corpus, name="tiny")
+    return trainer, model
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = CorpusGenerator(seed=11).generate(50)
+        b = CorpusGenerator(seed=11).generate(50)
+        assert a == b
+
+    def test_sentences_contain_topic_words(self):
+        generator = CorpusGenerator(seed=11)
+        sentence = generator.generate(1)[0]
+        assert len(sentence) >= 5
+
+    def test_topic_stability(self):
+        generator = CorpusGenerator(seed=11)
+        assert generator.topic_of("dog") == generator.topic_of("dog")
+
+    def test_different_concepts_different_topics(self):
+        generator = CorpusGenerator(seed=11)
+        assert generator.topic_of("dog") != generator.topic_of("sofa")
+
+
+class TestTrainer:
+    def test_loss_decreases(self, trained):
+        trainer, _ = trained
+        assert trainer.loss_history[-1] < trainer.loss_history[0]
+
+    def test_synonyms_cluster_above_random(self, trained):
+        """The distributional-hypothesis check: same-concept forms end up
+        more similar than random cross-concept pairs."""
+        _, model = trained
+        thesaurus = default_thesaurus()
+        synonym_scores = []
+        random_scores = []
+        pairs = [("dog", "canine"), ("cat", "feline"), ("boots", "sneakers"),
+                 ("sofa", "couch"), ("car", "sedan")]
+        for a, b in pairs:
+            if a in model and b in model:
+                synonym_scores.append(model.similarity(a, b))
+        cross = [("dog", "sofa"), ("cat", "boots"), ("car", "parrot"),
+                 ("apple", "blazer"), ("desk", "kitten")]
+        for a, b in cross:
+            if a in model and b in model:
+                random_scores.append(model.similarity(a, b))
+        assert len(synonym_scores) >= 3
+        assert np.mean(synonym_scores) > np.mean(random_scores) + 0.1
+
+    def test_deterministic_training(self, small_corpus):
+        config = TrainConfig(dim=8, epochs=1, seed=21, buckets=997)
+        a = SkipGramTrainer(config).fit(small_corpus[:100])
+        b = SkipGramTrainer(config).fit(small_corpus[:100])
+        assert np.array_equal(a.word_vectors, b.word_vectors)
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ModelError):
+            SkipGramTrainer(TrainConfig(dim=8)).fit([])
+
+    def test_config_validation(self):
+        with pytest.raises(ModelError):
+            TrainConfig(dim=0).validate()
+        with pytest.raises(ModelError):
+            TrainConfig(negatives=0).validate()
+
+    def test_min_count_filters_vocab(self, small_corpus):
+        config = TrainConfig(dim=8, epochs=1, min_count=1000, seed=1)
+        with pytest.raises(ModelError):
+            SkipGramTrainer(config).fit(small_corpus[:50])

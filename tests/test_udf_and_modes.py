@@ -1,0 +1,189 @@
+"""Tests for UDFs, semantic-contains mode, and model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.persistence import load_model, save_model
+from repro.errors import ExpressionError, ModelError
+from repro.relational.expressions import Func, col
+from repro.relational.logical import ScanNode, SemanticFilterNode, \
+    infer_dtype
+from repro.relational.physical import execute_plan
+from repro.relational.udf import (
+    expression_udf_cost,
+    register_udf,
+    udf_info,
+    unregister_udf,
+)
+from repro.semantic.select import semantic_contains_mask
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+@pytest.fixture()
+def margin_udf():
+    udf = register_udf("margin", lambda price: price * 0.2,
+                       DataType.FLOAT64, cost_per_row=25.0, replace=True)
+    yield udf
+    unregister_udf("margin")
+
+
+class TestUdf:
+    def test_scalar_udf_in_expression(self, margin_udf, products_table):
+        expr = Func("margin", (col("price"),))
+        values = expr.evaluate(products_table)
+        assert values[0] == pytest.approx(5.0)
+
+    def test_vectorized_udf(self, products_table):
+        register_udf("double", lambda args: args[0] * 2, DataType.FLOAT64,
+                     vectorized=True, replace=True)
+        try:
+            expr = Func("double", (col("price"),))
+            assert expr.evaluate(products_table)[0] == pytest.approx(50.0)
+        finally:
+            unregister_udf("double")
+
+    def test_udf_in_sql(self, margin_udf, products_table, kb_table):
+        from repro.engine.session import Session
+
+        session = Session(seed=7)
+        session.register_table("products", products_table)
+        result = session.sql(
+            "SELECT margin(p.price) AS m FROM products AS p LIMIT 1")
+        assert result.to_rows()[0]["m"] == pytest.approx(5.0)
+
+    def test_dtype_inference(self, margin_udf, products_table):
+        expr = Func("margin", (col("price"),))
+        assert infer_dtype(expr, products_table.schema) == DataType.FLOAT64
+
+    def test_string_udf(self):
+        register_udf("shout", lambda s: s.upper() + "!", DataType.STRING,
+                     replace=True)
+        try:
+            table = Table.from_dict({"s": ["hi", "yo"]})
+            values = Func("shout", (col("s"),)).evaluate(table)
+            assert values.tolist() == ["HI!", "YO!"]
+        finally:
+            unregister_udf("shout")
+
+    def test_cost_annotation_visible(self, margin_udf):
+        expr = (Func("margin", (col("price"),)) > 10) & (col("x") > 1)
+        assert expression_udf_cost(expr) == 25.0
+        assert udf_info("margin").cost_per_row == 25.0
+
+    def test_cost_model_reads_udf_cost(self, margin_udf, catalog,
+                                       registry):
+        from repro.optimizer.cardinality import CardinalityEstimator
+        from repro.optimizer.cost import CostModel
+        from repro.relational.logical import FilterNode
+
+        estimator = CardinalityEstimator(catalog, registry)
+        cost_model = CostModel(estimator)
+        scan = ScanNode("products", catalog.get("products").schema,
+                        qualifier="p")
+        cheap = FilterNode(scan, col("p.price") > 10)
+        expensive = FilterNode(scan,
+                               Func("margin", (col("p.price"),)) > 10)
+        assert cost_model.node_cost(expensive).cpu > \
+            cost_model.node_cost(cheap).cpu * 5
+
+    def test_duplicate_registration_rejected(self, margin_udf):
+        with pytest.raises(ExpressionError):
+            register_udf("margin", lambda x: x, DataType.FLOAT64)
+
+    def test_bad_compute_class(self):
+        with pytest.raises(ExpressionError):
+            register_udf("bad", lambda x: x, DataType.FLOAT64,
+                         compute_class="quantum")
+
+    def test_unknown_function_message(self):
+        with pytest.raises(ExpressionError, match="unknown function"):
+            Func("nonexistent", (col("x"),))
+
+
+class TestSemanticContains:
+    def test_matches_token_inside_text(self, cache):
+        values = ["great pair of sneakers for running",
+                  "the report was late",
+                  "warm parka for winter", None]
+        mask, scores = semantic_contains_mask(values, "clothes", cache,
+                                              0.7)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_whole_value_mode_misses_free_text(self, cache):
+        """Whole-string embedding dilutes the signal the contains mode
+        keeps — the reason the mode exists."""
+        from repro.semantic.select import semantic_select_mask
+
+        values = ["great pair of sneakers for running all day long"]
+        whole_mask, _ = semantic_select_mask(values, "shoes", cache, 0.7)
+        contains_mask, _ = semantic_contains_mask(values, "shoes", cache,
+                                                  0.7)
+        assert not whole_mask[0]
+        assert contains_mask[0]
+
+    def test_contains_node_end_to_end(self, context, catalog):
+        reviews = Table.from_dict({
+            "rid": [1, 2, 3],
+            "text": ["lovely sneakers arrived today",
+                     "package was damaged",
+                     "this parka is warm"],
+        })
+        catalog.register("reviews", reviews)
+        scan = ScanNode("reviews", reviews.schema, qualifier="r")
+        plan = SemanticFilterNode(scan, "r.text", "clothes", "wiki-ft-100",
+                                  0.7, mode="contains")
+        result = execute_plan(plan, context)
+        assert sorted(result.column("r.rid").tolist()) == [1, 3]
+
+    def test_mode_validation(self, products_table):
+        scan = ScanNode("products", products_table.schema)
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            SemanticFilterNode(scan, "ptype", "x", "m", 0.5, mode="regex")
+
+    def test_builder_exposes_mode(self, products_table):
+        from repro.engine.session import Session
+
+        session = Session(seed=7)
+        session.register_table("reviews", Table.from_dict({
+            "text": ["nice sneakers", "boring meeting"],
+        }))
+        rows = (session.table("reviews")
+                .semantic_filter("text", "shoes", threshold=0.7,
+                                 mode="contains")
+                .to_rows())
+        assert len(rows) == 1
+
+
+class TestModelPersistence:
+    def test_round_trip_bit_exact(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model.npz")
+        loaded = load_model(path)
+        assert loaded.name == model.name
+        assert loaded.vocab == model.vocab
+        assert np.array_equal(loaded.word_vectors, model.word_vectors)
+        assert np.array_equal(loaded.bucket_vectors, model.bucket_vectors)
+
+    def test_loaded_model_behaves_identically(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model.npz")
+        loaded = load_model(path)
+        for word in ["dog", "sneakers", "golden retriever", "sneekers"]:
+            assert np.allclose(loaded.embed(word), model.embed(word),
+                               atol=1e-7)
+
+    def test_suffix_appended(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_model(tmp_path / "ghost.npz")
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.ones(3))
+        with pytest.raises(ModelError):
+            load_model(path)

@@ -1,0 +1,101 @@
+"""Tests for repro.utils: rng derivation, timing, text helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.text import ngrams, normalize_token, tokenize
+from repro.utils.timing import Timer, timed
+
+
+class TestRng:
+    def test_make_rng_from_int_is_deterministic(self):
+        a = make_rng(42).standard_normal(8)
+        b = make_rng(42).standard_normal(8)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_passthrough_generator(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(7, "leaf", "dog") == derive_seed(7, "leaf", "dog")
+
+    def test_derive_seed_path_sensitive(self):
+        assert derive_seed(7, "leaf", "dog") != derive_seed(7, "leaf", "cat")
+        assert derive_seed(7, "leaf") != derive_seed(7, "hyper")
+
+    def test_derive_seed_parent_sensitive(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    def test_derive_seed_accepts_ints(self):
+        assert derive_seed(7, 1, 2) != derive_seed(7, 12)
+
+    def test_derive_seed_in_valid_range(self):
+        seed = derive_seed(999, "anything")
+        assert 0 <= seed < 2**63
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        with timer.measure():
+            pass
+        assert timer.calls == 2
+        assert timer.elapsed >= 0.0
+        assert timer.last <= timer.elapsed + 1e-9
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.calls == 0
+        assert timer.elapsed == 0.0
+
+    def test_timed_sink(self):
+        sink = {}
+        with timed(sink, "step"):
+            pass
+        with timed(sink, "step"):
+            pass
+        assert sink["step"] >= 0.0
+
+
+class TestText:
+    def test_normalize_lowercases(self):
+        assert normalize_token("Golden Retriever") == "golden retriever"
+
+    def test_normalize_collapses_whitespace(self):
+        assert normalize_token("  a   b ") == "a b"
+
+    def test_tokenize_basic(self):
+        assert tokenize("The Cat sat.") == ["the", "cat", "sat"]
+
+    def test_tokenize_keeps_hyphens(self):
+        assert tokenize("buy lace-ups now") == ["buy", "lace-ups", "now"]
+
+    def test_tokenize_keeps_apostrophes(self):
+        assert tokenize("it's fine") == ["it's", "fine"]
+
+    def test_ngrams_boundary_markers(self):
+        grams = ngrams("cat", 3, 3)
+        assert "<ca" in grams
+        assert "at>" in grams
+
+    def test_ngrams_no_boundary(self):
+        assert ngrams("cat", 3, 3, boundary=False) == ["cat"]
+
+    def test_ngrams_range(self):
+        grams = ngrams("dog", 3, 5)
+        assert "<dog>" in grams
+        assert all(3 <= len(g) <= 5 for g in grams)
+
+    def test_ngrams_short_word(self):
+        # decorated 'a' -> '<a>' has length 3
+        assert ngrams("a", 3, 5) == ["<a>"]
+
+    def test_ngrams_longer_than_word(self):
+        assert ngrams("ab", 5, 6) == []

@@ -1,0 +1,149 @@
+"""Tests for the vector indexes: exactness, recall, interface contracts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.vector.bruteforce import BruteForceIndex
+from repro.vector.hnsw import HNSWIndex
+from repro.vector.ivf import IVFFlatIndex
+from repro.vector.lsh import LSHIndex
+
+
+@pytest.fixture(scope="module")
+def clustered_vectors():
+    """Vectors with clear cluster structure (realistic embedding shape)."""
+    rng = np.random.default_rng(17)
+    anchors = rng.standard_normal((8, 32))
+    anchors /= np.linalg.norm(anchors, axis=1, keepdims=True)
+    rows = []
+    for anchor in anchors:
+        for _ in range(40):
+            noise = rng.standard_normal(32) * 0.15
+            rows.append(anchor + noise)
+    return np.asarray(rows, dtype=np.float32)
+
+
+@pytest.fixture(scope="module")
+def queries(clustered_vectors):
+    rng = np.random.default_rng(23)
+    picks = rng.choice(clustered_vectors.shape[0], size=20, replace=False)
+    return clustered_vectors[picks] + 0.01
+
+
+def _recall(approx_ids, exact_ids) -> float:
+    if len(exact_ids) == 0:
+        return 1.0
+    return len(set(approx_ids.tolist()) & set(exact_ids.tolist())) / len(
+        exact_ids)
+
+
+class TestBruteForce:
+    def test_topk_exact(self, clustered_vectors):
+        index = BruteForceIndex().build(clustered_vectors)
+        query = clustered_vectors[0]
+        result = index.search(query, 5)
+        normalized = index.vectors
+        q = query / np.linalg.norm(query)
+        scores = normalized @ q
+        expected = np.argsort(-scores)[:5]
+        assert set(result.ids.tolist()) == set(expected.tolist())
+
+    def test_self_is_top1(self, clustered_vectors):
+        index = BruteForceIndex().build(clustered_vectors)
+        result = index.search(clustered_vectors[7], 1)
+        assert result.ids[0] == 7
+
+    def test_range_search_threshold(self, clustered_vectors):
+        index = BruteForceIndex().build(clustered_vectors)
+        result = index.range_search(clustered_vectors[0], 0.9)
+        assert np.all(result.scores >= 0.9)
+        assert 0 in result.ids
+
+    def test_range_search_sorted(self, clustered_vectors):
+        index = BruteForceIndex().build(clustered_vectors)
+        result = index.range_search(clustered_vectors[0], 0.5)
+        assert np.all(np.diff(result.scores) <= 1e-6)
+
+    def test_query_before_build_raises(self):
+        with pytest.raises(IndexError_):
+            BruteForceIndex().search(np.ones(4), 1)
+
+    def test_bad_query_dim(self, clustered_vectors):
+        index = BruteForceIndex().build(clustered_vectors)
+        with pytest.raises(IndexError_):
+            index.search(np.ones(5), 1)
+
+    def test_empty_build_raises(self):
+        with pytest.raises(IndexError_):
+            BruteForceIndex().build(np.empty((0, 8)))
+
+
+@pytest.mark.parametrize("index_factory,min_recall", [
+    (lambda: LSHIndex(n_tables=12, n_bits=10, seed=3), 0.6),
+    (lambda: IVFFlatIndex(n_lists=8, n_probes=3, seed=3), 0.6),
+    (lambda: HNSWIndex(m=12, ef_construction=96, ef_search=64, seed=3), 0.8),
+])
+class TestApproximateIndexes:
+    def test_recall_at_10(self, clustered_vectors, queries, index_factory,
+                          min_recall):
+        exact = BruteForceIndex().build(clustered_vectors)
+        approx = index_factory().build(clustered_vectors)
+        recalls = []
+        for query in queries:
+            exact_ids = exact.search(query, 10).ids
+            approx_ids = approx.search(query, 10).ids
+            recalls.append(_recall(approx_ids, exact_ids))
+        assert np.mean(recalls) >= min_recall
+
+    def test_scores_are_exact_for_returned_ids(self, clustered_vectors,
+                                               queries, index_factory,
+                                               min_recall):
+        """Approximate indexes may miss ids but must not fake scores."""
+        index = index_factory().build(clustered_vectors)
+        query = queries[0] / np.linalg.norm(queries[0])
+        result = index.search(query, 5)
+        for vector_id, score in zip(result.ids, result.scores):
+            expected = float(index.vectors[vector_id] @ query)
+            assert score == pytest.approx(expected, abs=1e-5)
+
+    def test_range_search_respects_threshold(self, clustered_vectors,
+                                             queries, index_factory,
+                                             min_recall):
+        index = index_factory().build(clustered_vectors)
+        result = index.range_search(queries[1], 0.85)
+        assert np.all(result.scores >= 0.85)
+
+    def test_size_property(self, clustered_vectors, index_factory,
+                           min_recall):
+        index = index_factory().build(clustered_vectors)
+        assert index.size == clustered_vectors.shape[0]
+
+
+class TestLshSpecifics:
+    def test_deterministic_given_seed(self, clustered_vectors):
+        a = LSHIndex(seed=5).build(clustered_vectors)
+        b = LSHIndex(seed=5).build(clustered_vectors)
+        query = clustered_vectors[3]
+        assert np.array_equal(a.search(query, 5).ids, b.search(query, 5).ids)
+
+    def test_multiprobe_expands_candidates(self, clustered_vectors):
+        narrow = LSHIndex(n_tables=2, n_bits=14, seed=5, multiprobe_flips=0)
+        wide = LSHIndex(n_tables=2, n_bits=14, seed=5, multiprobe_flips=1)
+        narrow.build(clustered_vectors)
+        wide.build(clustered_vectors)
+        query = clustered_vectors[10]
+        assert len(wide.search(query, 50)) >= len(narrow.search(query, 50))
+
+
+class TestHnswSpecifics:
+    def test_single_element(self):
+        index = HNSWIndex(seed=1).build(np.ones((1, 4), dtype=np.float32))
+        result = index.search(np.ones(4), 3)
+        assert result.ids.tolist() == [0]
+
+    def test_duplicate_vectors(self):
+        vectors = np.tile(np.array([[1.0, 0.0]], dtype=np.float32), (5, 1))
+        index = HNSWIndex(seed=1).build(vectors)
+        result = index.search(np.array([1.0, 0.0]), 5)
+        assert len(result) == 5

@@ -1,0 +1,126 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.storage.catalog import Catalog
+from repro.storage.types import date_to_int
+from repro.workloads.labels import DirtyLabelWorkload
+from repro.workloads.logs import EVENT_TEMPLATES, LogWorkload
+from repro.workloads.retail import RetailWorkload
+from repro.workloads.wiki_strings import WikiStringWorkload
+
+
+class TestWikiStrings:
+    def test_deterministic(self):
+        a = WikiStringWorkload(n=100, seed=5).side("left")
+        b = WikiStringWorkload(n=100, seed=5).side("left")
+        assert a.column("text").tolist() == b.column("text").tolist()
+
+    def test_sides_differ(self):
+        workload = WikiStringWorkload(n=100, seed=5)
+        left, right = workload.pair()
+        assert left.column("text").tolist() != right.column("text").tolist()
+
+    def test_selectivity_cutoff(self):
+        workload = WikiStringWorkload(n=20_000, seed=5, selectivity=0.01)
+        side = workload.side("left")
+        passing = (side.column("views") >= workload.views_cutoff).mean()
+        assert passing == pytest.approx(0.01, abs=0.005)
+
+    def test_concept_fraction(self, thesaurus):
+        workload = WikiStringWorkload(n=5_000, seed=5,
+                                      concept_fraction=0.5)
+        side = workload.side("left")
+        forms = set(thesaurus.all_forms())
+        fraction = np.mean([t in forms for t in side.column("text")])
+        assert fraction == pytest.approx(0.5, abs=0.05)
+
+
+class TestRetail:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return RetailWorkload(n_products=50, n_users=20, n_transactions=100,
+                              n_images=30, seed=11)
+
+    def test_products_use_thesaurus_forms(self, workload, thesaurus):
+        products = workload.products()
+        forms = set(thesaurus.all_forms())
+        assert all(t in forms for t in products.column("ptype"))
+
+    def test_transactions_reference_valid_ids(self, workload):
+        transactions = workload.transactions()
+        assert transactions.column("pid").max() < 50
+        assert transactions.column("uid").max() < 20
+
+    def test_kb_labels_are_hypernym_categories(self, workload, thesaurus):
+        kb = workload.knowledge_base()
+        categories = {t.obj for t in kb.query(predicate="category")}
+        hypernym_forms = {c.canonical for c in thesaurus.hypernyms}
+        assert categories <= hypernym_forms
+
+    def test_image_dates_in_range(self, workload):
+        store = workload.image_store()
+        lo = date_to_int(workload.start_date)
+        hi = date_to_int(workload.end_date)
+        for image in store.images:
+            assert lo <= image.date_taken <= hi
+
+    def test_register_into_catalog(self, workload):
+        catalog = Catalog()
+        workload.register_into(catalog)
+        assert catalog.get("products").num_rows == 50
+        assert catalog.get("images.detections").num_rows > 0
+
+    def test_deterministic(self):
+        a = RetailWorkload(n_products=20, seed=3).products()
+        b = RetailWorkload(n_products=20, seed=3).products()
+        assert a.column("ptype").tolist() == b.column("ptype").tolist()
+
+
+class TestDirtyLabels:
+    def test_truth_covers_all_labels(self):
+        labels, truth = DirtyLabelWorkload(n=200, seed=9).generate()
+        assert set(labels) <= set(truth)
+
+    def test_truth_maps_to_concepts(self, thesaurus):
+        _, truth = DirtyLabelWorkload(n=200, seed=9).generate()
+        for concept_name in truth.values():
+            assert concept_name in thesaurus
+
+    def test_dirtiness_produces_variants(self):
+        labels, truth = DirtyLabelWorkload(
+            n=500, seed=9, synonym_rate=0.3, misspell_rate=0.3).generate()
+        # misspellings should produce labels outside the thesaurus
+        from repro.embeddings.thesaurus import default_thesaurus
+
+        forms = set(default_thesaurus().all_forms())
+        out_of_vocab = [l for l in labels if l.lower().strip() not in forms]
+        assert len(out_of_vocab) > 50
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            DirtyLabelWorkload(synonym_rate=0.9, misspell_rate=0.9)
+
+    def test_deterministic(self):
+        a = DirtyLabelWorkload(n=100, seed=9).generate()[0]
+        b = DirtyLabelWorkload(n=100, seed=9).generate()[0]
+        assert a == b
+
+
+class TestLogs:
+    def test_messages_from_templates(self):
+        table = LogWorkload(n=100, seed=3).generate()
+        all_variants = {v for variants in EVENT_TEMPLATES.values()
+                        for v in variants}
+        assert all(m in all_variants for m in table.column("message"))
+
+    def test_true_category_consistent(self):
+        table = LogWorkload(n=100, seed=3).generate()
+        for row in table.to_rows():
+            assert row["message"] in EVENT_TEMPLATES[row["true_category"]]
+
+    def test_timestamps_increasing(self):
+        table = LogWorkload(n=50, seed=3).generate()
+        timestamps = table.column("ts")
+        assert np.all(np.diff(timestamps) > 0)
