@@ -24,6 +24,13 @@ class QueryProfile:
     cache_hits: int = 0
     cache_misses: int = 0
     tokens_embedded: int = 0
+    arena_rows: int = 0
+    arena_bytes: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     @classmethod
     def from_tree(cls, root: PhysicalOperator,
@@ -42,12 +49,18 @@ class QueryProfile:
             profile.cache_hits += cache.hits
             profile.cache_misses += cache.misses
             profile.tokens_embedded += cache.model.tokens_embedded
+            profile.arena_rows += getattr(cache, "rows", len(cache))
+            profile.arena_bytes += getattr(cache, "nbytes", 0)
         return profile
 
     def pretty(self) -> str:
         lines = [f"total: {self.total_seconds * 1e3:.2f} ms  "
                  f"(cache {self.cache_hits} hits / "
                  f"{self.cache_misses} misses)"]
+        if self.arena_rows:
+            lines.append(f"arena: {self.arena_rows} rows / "
+                         f"{self.arena_bytes / 1024:.1f} KiB  "
+                         f"hit rate {self.cache_hit_rate:.1%}")
         for op in self.operators:
             lines.append(f"{'  ' * op.depth}{op.label}  "
                          f"rows={op.rows_out}  "

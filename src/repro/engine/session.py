@@ -44,6 +44,10 @@ class Session:
         self.context = ExecutionContext(
             catalog=self.catalog, models=self.models, batch_size=batch_size,
             parallelism=parallelism)
+        # The session owns one arena-backed embedding cache per model:
+        # embeddings (like vector indexes) persist across queries, so a
+        # string embedded by any query is a hit for every later one.
+        self.context.embedding_cache = {}
         self.optimizer_config = optimizer_config or OptimizerConfig()
         self.default_model_name = DEFAULT_MODEL_NAME
         self.last_profile: QueryProfile | None = None
@@ -71,6 +75,14 @@ class Session:
         self.models.register(model)
         if default:
             self.default_model_name = model.name
+
+    def embedding_cache(self, model_name: str | None = None):
+        """The session's arena cache for ``model_name`` (default model if
+        omitted), creating it on first use.  Embeddings interned here are
+        shared by every query the session executes."""
+        from repro.semantic.lowering import cache_for
+
+        return cache_for(self.context, model_name or self.default_model_name)
 
     # ------------------------------------------------------------------
     # Querying
@@ -110,6 +122,7 @@ class Session:
         root = build_physical(plan, self.context)
         result = root.execute()
         elapsed = time.perf_counter() - started
+        self.context.record_semantic_metrics()
         self.last_profile = QueryProfile.from_tree(
             root, elapsed, self.context.embedding_cache)
         return result

@@ -60,6 +60,20 @@ class ExecutionContext:
             )
         return self.models.get(name)
 
+    def record_semantic_metrics(self) -> None:
+        """Publish embedding-arena and vector-index statistics into
+        ``metrics`` (read back by the profiler and benchmarks)."""
+        caches = self.embedding_cache
+        if caches:
+            self.metrics["embedding_arena"] = {
+                name: cache.stats() for name, cache in caches.items()}
+        if self.index_cache is not None:
+            self.metrics["vector_index_cache"] = {
+                "entries": len(self.index_cache),
+                "hits": self.index_cache.hits,
+                "misses": self.index_cache.misses,
+            }
+
 
 class PhysicalOperator:
     """Base physical operator (pull-based batch iterator)."""

@@ -1,10 +1,24 @@
-"""Embedding cache / prefetcher.
+"""Arena-backed embedding cache / prefetcher.
 
 The paper's Figure-4 "prefetch" rung: "since fastText produces a hash table
 of known words, we can further try to optimize the amount of data access by
 prefetching necessary data".  The cache embeds each distinct string once
-into a contiguous float32 matrix and serves repeat requests from memory,
-tracking hit/miss counts so experiments can attribute the win.
+and serves repeat requests from memory, tracking hit/miss counts so
+experiments can attribute the win.
+
+Storage is a single contiguous ``(capacity, dim)`` float32 **arena** that
+grows by doubling.  Each distinct (normalized) string is interned to a
+stable integer **row id** — its row in the arena — so:
+
+- ``matrix(texts)`` is one id-resolution pass plus one fancy-index gather
+  (``arena[ids]``), never a Python-level row-by-row rebuild;
+- operators and vector indexes can hold ``row_ids`` and work entirely in
+  id-space (ints and gathers) instead of re-hashing strings;
+- the whole store is SIMD/BLAS-friendly: any subset of cached embeddings
+  materializes as one contiguous-destination gather.
+
+Row ids are stable for the lifetime of the cache (doubling copies rows,
+it never reorders them); ``clear()`` invalidates all ids.
 """
 
 from __future__ import annotations
@@ -14,58 +28,155 @@ import numpy as np
 from repro.embeddings.model import EmbeddingModel
 from repro.utils.text import normalize_token
 
+#: Initial arena capacity (rows); doubled whenever the store outgrows it.
+INITIAL_CAPACITY = 256
+
 
 class EmbeddingCache:
-    """Per-model memo of string -> unit embedding."""
+    """Per-model arena of unit embeddings, interned by normalized string.
 
-    def __init__(self, model: EmbeddingModel):
+    Hit/miss accounting: a string's *first* embedding in the session is
+    one miss; every later request for it (including later positions of
+    the same ``matrix``/``row_ids`` call) is one hit.  ``prefetch`` is a
+    pure warm-up: it records misses for new strings but no hits.
+    """
+
+    def __init__(self, model: EmbeddingModel,
+                 initial_capacity: int = INITIAL_CAPACITY):
         self.model = model
-        self._store: dict[str, np.ndarray] = {}
+        self._ids: dict[str, int] = {}
+        self._arena = np.empty((max(1, initial_capacity), model.dim),
+                               dtype=np.float32)
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self._ids)
 
+    @property
+    def rows(self) -> int:
+        """Number of interned strings (== rows in use)."""
+        return len(self._ids)
+
+    @property
+    def capacity(self) -> int:
+        """Allocated arena rows."""
+        return int(self._arena.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of arena actually in use."""
+        return self.rows * int(self._arena.shape[1]) * 4
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Id-space API
+    # ------------------------------------------------------------------
+    def row_ids(self, texts) -> np.ndarray:
+        """Arena row ids for ``texts``, embedding unseen strings once.
+
+        The returned ``int64`` ids stay valid for the cache's lifetime;
+        ``arena[ids]`` (or :meth:`rows_for`) gathers the vectors.
+        """
+        ids, new_count = self._resolve(texts)
+        self.misses += new_count
+        self.hits += len(texts) - new_count
+        return ids
+
+    def rows_for(self, ids: np.ndarray) -> np.ndarray:
+        """Gather arena rows for previously resolved ids (one fancy index)."""
+        return self._arena[ids]
+
+    @property
+    def arena(self) -> np.ndarray:
+        """Read-only view of the filled arena (row id == row index)."""
+        view = self._arena[:self.rows]
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # String-space API (compatible with the seed cache)
+    # ------------------------------------------------------------------
     def vector(self, text: str) -> np.ndarray:
-        """Embedding of one string, cached."""
-        token = normalize_token(text)
-        cached = self._store.get(token)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        vector = self.model.embed(token)
-        self._store[token] = vector
-        return vector
+        """Embedding of one string, cached.
+
+        Returns a copy (like ``matrix``): handing out a live arena view
+        would let callers corrupt cached rows, or see them change after
+        ``clear()`` re-interns the row.
+        """
+        ids, new_count = self._resolve([text])
+        self.misses += new_count
+        self.hits += 1 - new_count
+        return self._arena[int(ids[0])].copy()
 
     def prefetch(self, texts) -> None:
         """Bulk-embed every distinct string not yet cached."""
-        pending = []
-        seen = set()
-        for text in texts:
-            token = normalize_token(text)
-            if token not in self._store and token not in seen:
-                seen.add(token)
-                pending.append(token)
-        if not pending:
-            return
-        matrix = self.model.embed_batch(pending)
-        for token, row in zip(pending, matrix):
-            self._store[token] = row
-        self.misses += len(pending)
+        _, new_count = self._resolve(texts)
+        self.misses += new_count
 
     def matrix(self, texts) -> np.ndarray:
-        """Contiguous (n, dim) float32 matrix for ``texts`` (cached rows)."""
-        self.prefetch(texts)
-        rows = np.empty((len(texts), self.model.dim), dtype=np.float32)
-        for position, text in enumerate(texts):
-            token = normalize_token(text)
-            rows[position] = self._store[token]
-            self.hits += 1
-        return rows
+        """Contiguous ``(n, dim)`` float32 matrix for ``texts``.
+
+        Strings embedded by this very call count once, as misses — not as
+        misses *and* hits, which would inflate the hit rate the Figure-4
+        prefetch experiment reports.
+        """
+        ids, new_count = self._resolve(texts)
+        self.misses += new_count
+        self.hits += len(texts) - new_count
+        return self._arena[ids]
+
+    def stats(self) -> dict:
+        """Arena statistics for metrics/profiling."""
+        return {
+            "rows": self.rows,
+            "capacity": self.capacity,
+            "bytes": self.nbytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
 
     def clear(self) -> None:
-        self._store.clear()
+        """Drop every cached row (invalidates previously returned ids)."""
+        self._ids.clear()
         self.hits = 0
         self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve(self, texts) -> tuple[np.ndarray, int]:
+        """Intern every text; returns (row ids, count of newly added)."""
+        known = self._ids
+        ids = np.empty(len(texts), dtype=np.int64)
+        new_tokens: list[str] = []
+        for position, text in enumerate(texts):
+            token = normalize_token(text)
+            row = known.get(token)
+            if row is None:
+                row = len(known)
+                known[token] = row
+                new_tokens.append(token)
+            ids[position] = row
+        if new_tokens:
+            self._append(new_tokens)
+        return ids, len(new_tokens)
+
+    def _append(self, tokens: list[str]) -> None:
+        """Embed ``tokens`` in one batch into the next arena rows."""
+        start = len(self._ids) - len(tokens)
+        needed = start + len(tokens)
+        if needed > self._arena.shape[0]:
+            capacity = int(self._arena.shape[0])
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self._arena.shape[1]),
+                             dtype=np.float32)
+            grown[:start] = self._arena[:start]
+            self._arena = grown
+        self._arena[start:needed] = self.model.embed_batch(tokens)

@@ -53,6 +53,13 @@ def cluster_strings(values, cache: EmbeddingCache,
         leader_rows.append(row)
 
     representatives = [unique[row] for row in leader_rows]
-    label_of = {value: int(unique_labels[i]) for i, value in enumerate(unique)}
-    labels = np.asarray([label_of[value] for value in values], dtype=np.int64)
+    # broadcast unique-value labels back to every row in one vectorized
+    # inverse-gather instead of a per-row dict lookup loop
+    sorted_unique, inverse = np.unique(np.asarray(values, dtype=object),
+                                       return_inverse=True)
+    label_for_sorted = np.empty(sorted_unique.shape[0], dtype=np.int64)
+    positions = np.searchsorted(sorted_unique, np.asarray(unique,
+                                                          dtype=object))
+    label_for_sorted[positions] = unique_labels
+    labels = label_for_sorted[inverse]
     return Clustering(labels, representatives, len(representatives))

@@ -119,20 +119,8 @@ class SemanticJoinOp(PhysicalOperator):
         if ul.shape[0] == 0:
             return
 
-        left_parts: list[np.ndarray] = []
-        right_parts: list[np.ndarray] = []
-        score_parts: list[np.ndarray] = []
-        for pair_index in range(ul.shape[0]):
-            left_rows = left_groups[left_unique[int(ul[pair_index])]]
-            right_rows = right_groups[right_unique[int(ur[pair_index])]]
-            left_parts.append(np.repeat(left_rows, right_rows.shape[0]))
-            right_parts.append(np.tile(right_rows, left_rows.shape[0]))
-            score_parts.append(np.full(
-                left_rows.shape[0] * right_rows.shape[0],
-                float(scores[pair_index]), dtype=np.float64))
-        left_idx = np.concatenate(left_parts)
-        right_idx = np.concatenate(right_parts)
-        all_scores = np.concatenate(score_parts)
+        left_idx, right_idx, all_scores = _expand_pairs(
+            ul, ur, scores, left_groups, right_groups)
 
         combined_schema = Schema(list(self.schema.fields)[:-1])
         combined = _combine(left.take(left_idx), right.take(right_idx),
@@ -215,14 +203,58 @@ class SemanticGroupByOp(PhysicalOperator):
         yield Table(self.schema, columns)
 
 
-def _group_rows(values: np.ndarray) -> tuple[list[str], dict[str, np.ndarray]]:
-    """Unique non-null values and the row indices holding each."""
-    groups: dict[str, list[int]] = {}
-    for row, value in enumerate(values):
-        if value is None:
-            continue
-        groups.setdefault(value, []).append(row)
-    unique = list(groups)
-    arrays = {value: np.asarray(rows, dtype=np.int64)
-              for value, rows in groups.items()}
-    return unique, arrays
+def _group_rows(values: np.ndarray) -> tuple[list[str], list[np.ndarray]]:
+    """Unique non-null values and, aligned with them, the row indices
+    holding each — computed with one ``np.unique(return_inverse=True)``
+    pass instead of a Python dict-of-lists loop."""
+    values = np.asarray(values, dtype=object)
+    present = np.not_equal(values, None)
+    row_indices = np.nonzero(present)[0].astype(np.int64)
+    if row_indices.size == 0:
+        return [], []
+    unique, inverse = np.unique(values[present], return_inverse=True)
+    counts = np.bincount(inverse, minlength=unique.shape[0])
+    order = np.argsort(inverse, kind="stable")
+    groups = np.split(row_indices[order], np.cumsum(counts)[:-1])
+    return [str(value) for value in unique], groups
+
+
+def _expand_pairs(ul: np.ndarray, ur: np.ndarray, scores: np.ndarray,
+                  left_groups: list[np.ndarray],
+                  right_groups: list[np.ndarray],
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand matched unique-value pairs to row-level join output.
+
+    Counts-based ``np.repeat``/``np.concatenate`` expansion (no per-pair
+    Python loop): for pair ``p`` every left row repeats ``|right group|``
+    times against the right group cycled ``|left group|`` times —
+    the same (left-major, right-minor) order the join has always emitted.
+    The all-distinct case (every group a single row) is a pure gather.
+    """
+    left_counts = np.fromiter((g.shape[0] for g in left_groups),
+                              dtype=np.int64, count=len(left_groups))
+    right_counts = np.fromiter((g.shape[0] for g in right_groups),
+                               dtype=np.int64, count=len(right_groups))
+    pair_left = left_counts[ul]
+    pair_right = right_counts[ur]
+    if (pair_left == 1).all() and (pair_right == 1).all():
+        left_firsts = np.fromiter((g[0] for g in left_groups),
+                                  dtype=np.int64, count=len(left_groups))
+        right_firsts = np.fromiter((g[0] for g in right_groups),
+                                   dtype=np.int64, count=len(right_groups))
+        return (left_firsts[ul], right_firsts[ur],
+                scores.astype(np.float64))
+
+    sizes = pair_left * pair_right
+    left_cat = np.concatenate([left_groups[int(i)] for i in ul])
+    left_idx = np.repeat(left_cat, np.repeat(pair_right, pair_left))
+    right_cat = np.concatenate([right_groups[int(j)] for j in ur])
+    total = int(sizes.sum())
+    block_starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    offset_in_block = (np.arange(total, dtype=np.int64)
+                       - np.repeat(block_starts, sizes))
+    right_starts = np.concatenate(([0], np.cumsum(pair_right)[:-1]))
+    right_idx = right_cat[np.repeat(right_starts, sizes)
+                          + offset_in_block % np.repeat(pair_right, sizes)]
+    all_scores = np.repeat(scores.astype(np.float64), sizes)
+    return left_idx, right_idx, all_scores

@@ -12,6 +12,12 @@ import numpy as np
 from repro.semantic.cache import EmbeddingCache
 
 
+def _present(values) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized null mask: (object array of values, present bool mask)."""
+    array = np.asarray(values, dtype=object)
+    return array, np.not_equal(array, None)
+
+
 def semantic_select_mask(values, probe: str, cache: EmbeddingCache,
                          threshold: float) -> tuple[np.ndarray, np.ndarray]:
     """Boolean mask and scores for ``cosine(values[i], probe) >= threshold``.
@@ -19,11 +25,10 @@ def semantic_select_mask(values, probe: str, cache: EmbeddingCache,
     ``None`` values never match.
     """
     probe_vector = cache.vector(probe)
-    present = np.asarray([value is not None for value in values], dtype=bool)
-    scores = np.zeros(len(values), dtype=np.float32)
-    present_values = [value for value in values if value is not None]
-    if present_values:
-        matrix = cache.matrix(present_values)
+    array, present = _present(values)
+    scores = np.zeros(len(array), dtype=np.float32)
+    if present.any():
+        matrix = cache.matrix(array[present])
         scores[present] = matrix @ probe_vector
     mask = scores >= threshold
     return mask, scores
@@ -44,16 +49,30 @@ def semantic_contains_mask(values, probe: str, cache: EmbeddingCache,
     probe_vector = cache.vector(probe)
     tokenized = [tokenize(value) if value is not None else []
                  for value in values]
-    unique_tokens = sorted({token for tokens in tokenized
-                            for token in tokens})
-    scores = np.zeros(len(values), dtype=np.float32)
-    if unique_tokens:
-        token_matrix = cache.matrix(unique_tokens)
-        token_scores = dict(zip(unique_tokens,
-                                (token_matrix @ probe_vector).tolist()))
-        for position, tokens in enumerate(tokenized):
-            if tokens:
-                scores[position] = max(token_scores[t] for t in tokens)
+    # flatten to (row, token-id) pairs so the per-row max runs as one
+    # segmented ``np.maximum.at`` instead of a Python loop over rows
+    token_of: dict[str, int] = {}
+    flat_rows: list[int] = []
+    flat_ids: list[int] = []
+    for position, tokens in enumerate(tokenized):
+        for token in tokens:
+            token_id = token_of.setdefault(token, len(token_of))
+            flat_rows.append(position)
+            flat_ids.append(token_id)
+    scores = np.zeros(len(tokenized), dtype=np.float32)
+    if token_of:
+        token_matrix = cache.matrix(list(token_of))
+        token_scores = (token_matrix @ probe_vector).astype(np.float32)
+        flat_scores = token_scores[np.asarray(flat_ids, dtype=np.int64)]
+        # flat_rows is nondecreasing (built in row order), so the per-row
+        # max is a buffered reduceat over contiguous segments — not the
+        # much slower unbuffered np.maximum.at
+        counts = np.bincount(np.asarray(flat_rows, dtype=np.int64),
+                             minlength=len(tokenized))
+        has_tokens = counts > 0
+        starts = np.concatenate(
+            ([0], np.cumsum(counts[has_tokens])))[:-1].astype(np.intp)
+        scores[has_tokens] = np.maximum.reduceat(flat_scores, starts)
     mask = scores >= threshold
     return mask, scores
 
@@ -66,11 +85,10 @@ def semantic_any_mask(values, probes: list[str], cache: EmbeddingCache,
     predicates: one GEMM against the probe matrix, max over probes.
     """
     probe_matrix = cache.matrix(probes)
-    present = np.asarray([value is not None for value in values], dtype=bool)
-    scores = np.zeros(len(values), dtype=np.float32)
-    present_values = [value for value in values if value is not None]
-    if present_values:
-        matrix = cache.matrix(present_values)
+    array, present = _present(values)
+    scores = np.zeros(len(array), dtype=np.float32)
+    if present.any():
+        matrix = cache.matrix(array[present])
         scores[present] = (matrix @ probe_matrix.T).max(axis=1)
     mask = scores >= threshold
     return mask, scores

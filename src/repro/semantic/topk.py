@@ -18,25 +18,31 @@ JoinPairs = tuple[np.ndarray, np.ndarray, np.ndarray]
 
 def join_topk(left_matrix: np.ndarray, right_matrix: np.ndarray, k: int,
               min_score: float = -1.0) -> JoinPairs:
-    """Exact top-k join via one GEMM; optional score floor."""
+    """Exact top-k join via one GEMM; optional score floor.
+
+    The top-k selection runs batched over all probe rows at once
+    (``np.argpartition(axis=1)`` + ``take_along_axis``), not row by row.
+    """
     similarity = left_matrix @ right_matrix.T
-    left_idx: list[np.ndarray] = []
-    right_idx: list[np.ndarray] = []
-    scores: list[np.ndarray] = []
-    for row in range(similarity.shape[0]):
-        top = top_k_indices(similarity[row], k)
-        row_scores = similarity[row][top]
-        keep = row_scores >= min_score
-        top, row_scores = top[keep], row_scores[keep]
-        if top.shape[0]:
-            left_idx.append(np.full(top.shape[0], row, dtype=np.int64))
-            right_idx.append(top)
-            scores.append(row_scores.astype(np.float32))
-    if not left_idx:
+    n_left, n_right = similarity.shape
+    k = min(int(k), n_right)
+    if k <= 0 or n_left == 0:
         return (np.empty(0, np.int64), np.empty(0, np.int64),
                 np.empty(0, np.float32))
-    return (np.concatenate(left_idx), np.concatenate(right_idx),
-            np.concatenate(scores))
+    if k == n_right:
+        top = np.argsort(-similarity, axis=1, kind="stable")
+    else:
+        candidates = np.argpartition(-similarity, k - 1, axis=1)[:, :k]
+        candidate_scores = np.take_along_axis(similarity, candidates,
+                                              axis=1)
+        order = np.argsort(-candidate_scores, axis=1, kind="stable")
+        top = np.take_along_axis(candidates, order, axis=1)
+    top_scores = np.take_along_axis(similarity, top, axis=1)
+    keep = (top_scores >= min_score).ravel()
+    left_idx = np.repeat(np.arange(n_left, dtype=np.int64), k)[keep]
+    right_idx = top.ravel()[keep].astype(np.int64)
+    scores = top_scores.ravel()[keep].astype(np.float32)
+    return left_idx, right_idx, scores
 
 
 def join_topk_index(left_matrix: np.ndarray, index: VectorIndex, k: int,
