@@ -57,5 +57,5 @@ class ContextRichEngine(Session):
         if register_model and "log-model" not in self.models:
             from repro.workloads.logs import build_log_model
 
-            self.models.register(build_log_model(seed=self.seed))
+            self.register_model(build_log_model(seed=self.seed))
         return workload

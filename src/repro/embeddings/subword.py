@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.parallel import map_chunks
 from repro.utils.text import ngrams
 
 _FNV_OFFSET = 0xCBF29CE484222325
@@ -50,13 +51,16 @@ def fnv1a_batch(texts) -> np.ndarray:
                           dtype=np.int64, count=count)
     order = np.argsort(lengths, kind="stable")
     ordered = [encoded[i] for i in order.tolist()]
-    boundaries = np.searchsorted(lengths[order],
-                                 np.arange(lengths.max() + 2))
+    sorted_lengths = lengths[order]
+    # group by the lengths that actually occur (one long string must not
+    # cost an O(max_len) scan over empty groups)
+    distinct = np.unique(lengths)
+    group_starts = np.searchsorted(sorted_lengths, distinct, side="left")
+    group_stops = np.searchsorted(sorted_lengths, distinct, side="right")
     prime = np.uint64(_FNV_PRIME)
-    for length in range(int(lengths.max()) + 1):
-        start, stop = int(boundaries[length]), int(boundaries[length + 1])
-        if start == stop:
-            continue
+    for length, start, stop in zip(distinct.tolist(),
+                                   group_starts.tolist(),
+                                   group_stops.tolist()):
         if length == 0:
             out[order[start:stop]] = np.uint64(_FNV_OFFSET)
             continue
@@ -95,6 +99,7 @@ def subword_ids_batch(
     buckets: int = DEFAULT_BUCKETS,
     min_n: int = DEFAULT_MIN_N,
     max_n: int = DEFAULT_MAX_N,
+    workers: int = 1,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Bucket ids of the n-grams of every word, flattened across the batch.
 
@@ -110,11 +115,33 @@ def subword_ids_batch(
     windows of one size across the batch at once); segment sums and means
     are order-insensitive, so callers must not rely on gram order.
 
+    ``workers > 1`` splits large batches into owner-aligned chunks
+    hashed on a thread pool (:func:`repro.utils.parallel.map_chunks`;
+    the large-array ``uint64`` ops release the GIL — small batches stay
+    serial under the shared min-items gate).  The per-word result is
+    identical to the serial path, and owners stay nondecreasing because
+    chunks are concatenated in order.
+
     ASCII parts (the overwhelming case) are hashed without materializing
     per-gram strings at all: each decorated part is encoded once into a
     shared byte buffer and every n-gram window is hashed with NumPy
     ``uint64`` gathers over it.
     """
+    if workers > 1 and not isinstance(words, (list, tuple)):
+        words = list(words)   # generators have no len/slice
+    if workers > 1 and len(words) > 1:
+
+        def hash_chunk(start: int, stop: int):
+            ids, owners = subword_ids_batch(words[start:stop], buckets,
+                                            min_n, max_n)
+            return ids, owners + start
+
+        parts = map_chunks(len(words), workers, hash_chunk)
+        if len(parts) == 1:   # gated to one serial chunk: no re-copy
+            return parts[0]
+        return (np.concatenate([p[0] for p in parts]),
+                np.concatenate([p[1] for p in parts]))
+
     ascii_parts: list[bytes] = []
     ascii_owner: list[int] = []
     slow_grams: list[str] = []

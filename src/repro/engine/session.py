@@ -8,6 +8,7 @@ queries; the session optimizes, executes, and profiles them.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 from repro.embeddings.model import EmbeddingModel
 from repro.embeddings.registry import ModelRegistry
@@ -27,34 +28,53 @@ from repro.relational.physical import (
 )
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
+from repro.utils.parallel import resolve_workers
 
 DEFAULT_MODEL_NAME = "wiki-ft-100"
 
 
 class Session:
-    """A query session over registered tables, sources, and models."""
+    """A query session over registered tables, sources, and models.
+
+    ``parallelism`` is the session-wide worker count for thread-pooled
+    kernels (the parallel semantic join and the batch subword/segment-sum
+    path); ``None`` (the default) derives it from the CPUs visible to the
+    process, clamped.  The optimizer's cost model is given the same
+    number, so its parallel-vs-blocked decisions reflect the machine the
+    query actually runs on.
+    """
 
     def __init__(self, seed: int = 7, load_default_model: bool = True,
                  optimizer_config: OptimizerConfig | None = None,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 parallelism: int = 4):
+                 parallelism: int | None = None):
         self.catalog = Catalog()
         self.models = ModelRegistry()
         self.federation = Federation(self.catalog)
+        workers = resolve_workers(parallelism)
         self.context = ExecutionContext(
             catalog=self.catalog, models=self.models, batch_size=batch_size,
-            parallelism=parallelism)
+            parallelism=workers)
         # The session owns one arena-backed embedding cache per model:
         # embeddings (like vector indexes) persist across queries, so a
         # string embedded by any query is a hit for every later one.
         self.context.embedding_cache = {}
-        self.optimizer_config = optimizer_config or OptimizerConfig()
+        config = optimizer_config or OptimizerConfig()
+        if config.cost_params.workers is None:
+            # cost the parallel access path with the real worker count;
+            # an explicitly set CostParams.workers keeps its tuning.
+            # Copied, never mutated in place: a config shared across
+            # sessions must not freeze the first session's worker count
+            # into later ones.
+            config = replace(config, cost_params=replace(
+                config.cost_params, workers=workers))
+        self.optimizer_config = config
         self.default_model_name = DEFAULT_MODEL_NAME
         self.last_profile: QueryProfile | None = None
         if load_default_model:
             from repro.embeddings.pretrained import build_pretrained_model
 
-            self.models.register(build_pretrained_model(seed=seed))
+            self.register_model(build_pretrained_model(seed=seed))
 
     # ------------------------------------------------------------------
     # Registration
@@ -71,7 +91,13 @@ class Session:
 
     def register_model(self, model: EmbeddingModel,
                        default: bool = False) -> None:
-        """Register an embedding model (optionally as the session default)."""
+        """Register an embedding model (optionally as the session default).
+
+        The session's batch embeds run with its ``parallelism`` setting,
+        threaded per call through the session-owned embedding cache —
+        the model object itself is never mutated, so sharing one model
+        across sessions with different settings is safe.
+        """
         self.models.register(model)
         if default:
             self.default_model_name = model.name

@@ -54,9 +54,21 @@ class CostParams:
     #: Thread-pool setup cost and parallel efficiency for scale-up.
     parallel_setup: float = 5_000.0
     parallel_efficiency: float = 0.7
-    workers: int = 4
+    #: Worker count the "parallel" access path is costed with.  ``None``
+    #: means "unspecified": sessions fill it with their resolved
+    #: ``parallelism`` (CPU-derived by default) so the optimizer's
+    #: parallel-vs-blocked choice sees the worker count ``join_parallel``
+    #: will actually run with; bare CostParams() uses fall back to the
+    #: standalone modeling default below.  An explicit integer is always
+    #: honored.
+    workers: int | None = None
     #: Embedding dimensionality assumed by the pair costs.
     dim: int = 100
+
+
+#: Worker count assumed when CostParams.workers is left unspecified and
+#: no session filled it in (standalone cost-model studies).
+DEFAULT_MODELED_WORKERS = 4
 
 
 @dataclass
@@ -105,8 +117,17 @@ def semantic_join_method_cost(
         cpu = pairs * dim * params.pair_vector_dim * 2.5
         return Cost(cpu=cpu, model=embed)
     if method == "parallel":
+        if params.workers is None:
+            workers = DEFAULT_MODELED_WORKERS
+        elif params.workers <= 0:
+            # same convention as the kernels: non-positive = CPU-derived
+            from repro.utils.parallel import resolve_workers
+
+            workers = resolve_workers(params.workers)
+        else:
+            workers = params.workers
         cpu = (pairs * dim * params.pair_vector_dim
-               / (params.workers * params.parallel_efficiency)
+               / (workers * params.parallel_efficiency)
                + params.parallel_setup)
         return Cost(cpu=cpu, model=embed)
     if method.startswith("index:"):

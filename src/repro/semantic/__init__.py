@@ -19,6 +19,7 @@ baselines (edit distance, Jaccard) for the Figure 3 comparison.
 from repro.semantic.cache import EmbeddingCache
 from repro.semantic.index_cache import IndexCache
 from repro.semantic.join import (
+    expand_index_matches,
     join_blocked,
     join_index,
     join_nested_loop,
@@ -43,6 +44,7 @@ from repro.semantic.baselines import (
 __all__ = [
     "EmbeddingCache",
     "IndexCache",
+    "expand_index_matches",
     "join_blocked",
     "join_index",
     "join_nested_loop",

@@ -23,6 +23,9 @@ it never reorders them); ``clear()`` invalidates all ids.
 
 from __future__ import annotations
 
+import itertools
+import weakref
+
 import numpy as np
 
 from repro.embeddings.model import EmbeddingModel
@@ -30,6 +33,20 @@ from repro.utils.text import normalize_token
 
 #: Initial arena capacity (rows); doubled whenever the store outgrows it.
 INITIAL_CAPACITY = 256
+
+#: Process-wide id-space token source: every cache instance — and every
+#: ``clear()`` — draws a fresh token, so row ids from different arenas
+#: (or different lifetimes of one arena) can never alias each other in
+#: consumers that fingerprint on ids.
+_GENERATIONS = itertools.count()
+
+#: Generation tokens whose id-space is gone for good — ``clear()`` was
+#: called, or the owning cache was garbage-collected.  Consumers keying
+#: on ids (the vector index cache) may evict entries under these tokens,
+#: and only these: a token absent from this set may belong to a live
+#: sibling arena of the same model.  The set holds bare ints and grows
+#: only with clear()/instance counts, so it stays negligible.
+RETIRED_GENERATIONS: set[int] = set()
 
 
 class EmbeddingCache:
@@ -42,13 +59,29 @@ class EmbeddingCache:
     """
 
     def __init__(self, model: EmbeddingModel,
-                 initial_capacity: int = INITIAL_CAPACITY):
+                 initial_capacity: int = INITIAL_CAPACITY,
+                 parallelism: int | None = None):
         self.model = model
+        #: Worker count passed to every batch embed this cache issues
+        #: (``None`` = the model's own default).  Set by the owning
+        #: session so shared models need no in-place mutation.
+        self.parallelism = parallelism
         self._ids: dict[str, int] = {}
         self._arena = np.empty((max(1, initial_capacity), model.dim),
                                dtype=np.float32)
         self.hits = 0
         self.misses = 0
+        #: Globally unique id-space token, refreshed by clear().
+        #: Consumers that key on row ids (the vector index cache) include
+        #: it in their fingerprints, so ids from a cleared arena — or
+        #: from a *different cache instance* of the same model, whose row
+        #: ids number an unrelated string set — never alias.
+        self.generation = next(_GENERATIONS)
+        # retire the token when this cache is dropped without clear(),
+        # so index-cache entries built over it don't leak for the
+        # process lifetime
+        self._retire = weakref.finalize(self, RETIRED_GENERATIONS.add,
+                                        self.generation)
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -84,7 +117,7 @@ class EmbeddingCache:
         """
         ids, new_count = self._resolve(texts)
         self.misses += new_count
-        self.hits += len(texts) - new_count
+        self.hits += int(ids.shape[0]) - new_count
         return ids
 
     def rows_for(self, ids: np.ndarray) -> np.ndarray:
@@ -127,7 +160,7 @@ class EmbeddingCache:
         """
         ids, new_count = self._resolve(texts)
         self.misses += new_count
-        self.hits += len(texts) - new_count
+        self.hits += int(ids.shape[0]) - new_count
         return self._arena[ids]
 
     def stats(self) -> dict:
@@ -146,30 +179,54 @@ class EmbeddingCache:
         self._ids.clear()
         self.hits = 0
         self.misses = 0
+        RETIRED_GENERATIONS.add(self.generation)
+        self._retire.detach()
+        self.generation = next(_GENERATIONS)
+        self._retire = weakref.finalize(self, RETIRED_GENERATIONS.add,
+                                        self.generation)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _resolve(self, texts) -> tuple[np.ndarray, int]:
-        """Intern every text; returns (row ids, count of newly added)."""
+        """Intern every text; returns (row ids, count of newly added).
+
+        New tokens are committed to ``_ids`` only *after* their batch
+        embed succeeds: if ``embed_batch`` raises (transient OOM, a user
+        model's validation error) and the caller retries, the retry must
+        re-embed — not "hit" interned ids pointing at uninitialized
+        arena rows.
+        """
+        if not hasattr(texts, "__len__"):
+            texts = list(texts)   # accept generators, like the seed cache
         known = self._ids
+        base = len(known)
         ids = np.empty(len(texts), dtype=np.int64)
         new_tokens: list[str] = []
+        new_ids: dict[str, int] = {}
         for position, text in enumerate(texts):
             token = normalize_token(text)
             row = known.get(token)
             if row is None:
-                row = len(known)
-                known[token] = row
-                new_tokens.append(token)
+                row = new_ids.get(token)
+                if row is None:
+                    row = base + len(new_tokens)
+                    new_ids[token] = row
+                    new_tokens.append(token)
             ids[position] = row
         if new_tokens:
-            self._append(new_tokens)
+            self._append(new_tokens, base)
+            known.update(new_ids)
         return ids, len(new_tokens)
 
-    def _append(self, tokens: list[str]) -> None:
-        """Embed ``tokens`` in one batch into the next arena rows."""
-        start = len(self._ids) - len(tokens)
+    def _append(self, tokens: list[str], start: int) -> None:
+        """Embed ``tokens`` in one batch into arena rows ``[start, ...)``.
+
+        Embeds *before* touching the arena so a failure leaves the cache
+        exactly as it was (growth alone would be harmless — it only
+        raises capacity).
+        """
+        rows = self.model.embed_batch(tokens, workers=self.parallelism)
         needed = start + len(tokens)
         if needed > self._arena.shape[0]:
             capacity = int(self._arena.shape[0])
@@ -179,4 +236,4 @@ class EmbeddingCache:
                              dtype=np.float32)
             grown[:start] = self._arena[:start]
             self._arena = grown
-        self._arena[start:needed] = self.model.embed_batch(tokens)
+        self._arena[start:needed] = rows

@@ -1,20 +1,49 @@
-"""Session-level vector index cache.
+"""Session-level vector index cache, keyed by arena row-id sets.
 
 §V: model-side "index structures for expediting operations such as
 similarity or top-k searches ... have to be included in the optimization
 process equally as relational data indexes are."  Relational indexes are
 *persistent* and amortized across queries; this cache gives semantic
-operators the same property — an index built over a (model, value-set)
+operators the same property — an index built over a (model, row-id set)
 pair is reused by every later query in the session, so the cost model can
 amortize build cost exactly as it does for B-trees.
+
+Identity is the **sorted set of arena row ids** backing the indexed
+embeddings, digested with BLAKE2b.  Row ids come from the arena-backed
+:class:`~repro.semantic.cache.EmbeddingCache`, where each distinct
+normalized string has exactly one stable id, so:
+
+- lookups never re-hash string values (fingerprinting is one ``np.unique``
+  over ints plus one digest of the id bytes);
+- duplicate multiplicity and value order cannot cause spurious misses
+  (the id set is identical);
+- distinct value sets cannot collide (distinct id sets produce distinct
+  digests — unlike the earlier XOR-of-string-hashes scheme, where any
+  value appearing an even number of times cancelled out of the
+  fingerprint entirely, e.g. ``["a", "a"]`` and ``["b", "b"]`` collided).
+
+The cache key also includes the arena's ``generation`` — a globally
+unique id-space token — so ids from a cleared (re-interned) arena, or
+from a *different* :class:`EmbeddingCache` instance of the same model
+(whose row ids number an unrelated string set), never alias.
+
+Index-internal ids refer to positions in the **sorted unique row-id
+order** the index was built over.  Callers that need to map probe results
+back to their own value positions use :meth:`IndexCache.get_for_values`,
+which returns that mapping explicitly (see
+:func:`repro.semantic.join.expand_index_matches`) — the previous contract
+("ids refer to first-appearance dedup order, callers must dedup the same
+way") silently mispaired rows whenever a caller passed duplicates.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
-from repro.embeddings.subword import fnv1a
-from repro.semantic.cache import EmbeddingCache
+import numpy as np
+
+from repro.semantic.cache import RETIRED_GENERATIONS, EmbeddingCache
 from repro.vector.bruteforce import BruteForceIndex
 from repro.vector.hnsw import HNSWIndex
 from repro.vector.index import VectorIndex
@@ -29,31 +58,92 @@ _FACTORIES = {
 }
 
 
-def _fingerprint(model_name: str, kind: str, values: list[str]) -> tuple:
-    """Order-insensitive identity of an index: model + kind + value set."""
-    content_hash = 0
-    for value in values:
-        content_hash ^= fnv1a(value)
-    return (model_name, kind, len(set(values)), content_hash)
+def _digest_ids(unique_ids: np.ndarray) -> bytes:
+    """Collision-resistant digest of a sorted ``int64`` id array.
+
+    Order-insensitive by construction (input is sorted) and free of the
+    XOR pair-cancellation failure mode: BLAKE2b over the raw id bytes.
+    """
+    return hashlib.blake2b(unique_ids.tobytes(), digest_size=16).digest()
 
 
 @dataclass
 class IndexCache:
-    """Caches built vector indexes keyed by (model, kind, value set)."""
+    """Caches built vector indexes keyed by (model, kind, row-id set)."""
 
     seed: int = 0
     hits: int = 0
     misses: int = 0
     _store: dict[tuple, VectorIndex] = field(default_factory=dict)
 
+    def get_for_ids(self, kind: str, row_ids: np.ndarray,
+                    cache: EmbeddingCache
+                    ) -> tuple[VectorIndex, np.ndarray]:
+        """A built index of ``kind`` over the distinct arena rows in
+        ``row_ids`` (duplicates welcome), plus the sorted unique id array
+        the index rows correspond to.
+
+        ``index`` position ``q`` holds the embedding of arena row
+        ``unique_ids[q]``; probe results are mapped back to arena rows
+        (and from there to caller positions) through ``unique_ids``.
+        Fingerprinting is pure id arithmetic — no value string is ever
+        re-hashed.
+        """
+        self._check_kind(kind)
+        unique_ids = np.unique(np.asarray(row_ids, dtype=np.int64))
+        key = (cache.model.name, kind, cache.generation,
+               int(unique_ids.shape[0]), _digest_ids(unique_ids))
+        index = self._store.get(key)
+        if index is not None:
+            self.hits += 1
+            return index, unique_ids
+        self.misses += 1
+        # evict retired-generation entries: a cleared arena's ids can
+        # never hit again, so keeping them would leak one embedding-
+        # matrix copy per clear/rebuild cycle.  Only *retired* tokens
+        # qualify — entries of a live sibling arena (another cache
+        # instance of this model sharing this IndexCache) stay cached.
+        stale = [stored for stored in self._store
+                 if stored[2] in RETIRED_GENERATIONS]
+        for stored in stale:
+            del self._store[stored]
+        index = _FACTORIES[kind](self.seed)
+        index.build(cache.rows_for(unique_ids))
+        self._store[key] = index
+        return index, unique_ids
+
+    def get_for_values(self, kind: str, values: list[str],
+                       cache: EmbeddingCache
+                       ) -> tuple[VectorIndex, np.ndarray]:
+        """Index over the embeddings of ``values`` plus the explicit
+        value-position -> index-id mapping.
+
+        Returns ``(index, positions)`` where ``positions[v]`` is the
+        index-internal id holding the embedding of ``values[v]``.
+        Duplicate values — and distinct values that normalize to the same
+        token — share an index id; use
+        :func:`repro.semantic.join.expand_index_matches` to scatter probe
+        matches back onto value positions.
+        """
+        self._check_kind(kind)   # before embedding anything
+        row_ids = cache.row_ids(values)
+        index, unique_ids = self.get_for_ids(kind, row_ids, cache)
+        return index, np.searchsorted(unique_ids, row_ids)
+
     def get(self, kind: str, values: list[str],
             cache: EmbeddingCache) -> VectorIndex:
         """A built index of ``kind`` over the embeddings of ``values``.
 
-        Values are deduplicated in first-appearance order; the returned
-        index's ids refer to that deduplicated order (callers that need
-        the mapping should dedup the same way).
+        Compatibility entry point: identical caching behaviour to
+        :meth:`get_for_values` but discards the position mapping.  Only
+        use it when probe ids are not mapped back to ``values`` positions
+        (the index's ids refer to the sorted unique arena row-id order,
+        *not* to first-appearance order of ``values``).
         """
+        index, _ = self.get_for_values(kind, values, cache)
+        return index
+
+    def _check_kind(self, kind: str) -> None:
         if kind not in _FACTORIES:
             from repro.errors import IndexError_
 
@@ -61,17 +151,6 @@ class IndexCache:
                 f"unknown index kind {kind!r}; available: "
                 f"{sorted(_FACTORIES)}"
             )
-        unique = list(dict.fromkeys(values))
-        key = _fingerprint(cache.model.name, kind, unique)
-        index = self._store.get(key)
-        if index is not None:
-            self.hits += 1
-            return index
-        self.misses += 1
-        index = _FACTORIES[kind](self.seed)
-        index.build(cache.matrix(unique))
-        self._store[key] = index
-        return index
 
     def clear(self) -> None:
         self._store.clear()

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.embeddings.model import EmbeddingModel
 from repro.errors import ExecutionError
+from repro.utils.parallel import resolve_workers
 from repro.vector.bruteforce import BruteForceIndex
 from repro.vector.hnsw import HNSWIndex
 from repro.vector.index import VectorIndex
@@ -181,12 +182,15 @@ def join_blocked(left_matrix: np.ndarray, right_matrix: np.ndarray,
 
 def join_parallel(left_matrix: np.ndarray, right_matrix: np.ndarray,
                   threshold: float, block: int = DEFAULT_BLOCK,
-                  workers: int = 4) -> JoinPairs:
+                  workers: int | None = None) -> JoinPairs:
     """Scale-up join: blocked GEMM fanned out to a thread pool.
 
     NumPy's BLAS kernels release the GIL, so threads give genuine
     parallelism for the multiply; the threshold scan is also per-block.
+    ``workers=None`` (or <= 0) resolves to the CPU-derived session
+    default; operators pass the session ``parallelism`` setting through.
     """
+    workers = resolve_workers(workers)
     left_matrix = np.ascontiguousarray(left_matrix, dtype=np.float32)
     right_t = np.ascontiguousarray(right_matrix.astype(np.float32).T)
     starts = list(range(0, left_matrix.shape[0], block))
@@ -249,6 +253,41 @@ def join_index(left_matrix: np.ndarray, right_matrix: np.ndarray,
         return _empty_pairs()
     return (np.concatenate(left_idx), np.concatenate(right_idx),
             np.concatenate(scores))
+
+
+def expand_index_matches(left_idx: np.ndarray, index_ids: np.ndarray,
+                         scores: np.ndarray, positions: np.ndarray,
+                         n_index: int) -> JoinPairs:
+    """Scatter index-probe matches back onto caller value positions.
+
+    ``positions[v]`` is the index-internal id holding value position
+    ``v``'s embedding (the mapping :meth:`IndexCache.get_for_values`
+    returns).  An index is built over *distinct arena rows*, so duplicated
+    — or normalization-collapsed — values share one index id; treating
+    probe ids as value positions (the pre-row-id contract) silently
+    mispairs rows whenever that sharing occurs.  Here every match against
+    index id ``q`` expands to all value positions mapped to ``q``; the
+    1:1 case reduces to a pure gather.
+    """
+    left_idx = np.asarray(left_idx, dtype=np.int64)
+    index_ids = np.asarray(index_ids, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    if left_idx.shape[0] == 0:
+        return _empty_pairs()
+    counts = np.bincount(positions, minlength=n_index)
+    order = np.argsort(positions, kind="stable")
+    starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    sizes = counts[index_ids]
+    if (sizes == 1).all():
+        return (left_idx, order[starts[index_ids]],
+                scores.astype(np.float32))
+    total = int(sizes.sum())
+    block_starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    offsets = (np.arange(total, dtype=np.int64)
+               - np.repeat(block_starts, sizes))
+    value_idx = order[np.repeat(starts[index_ids], sizes) + offsets]
+    return (np.repeat(left_idx, sizes), value_idx,
+            np.repeat(scores.astype(np.float32), sizes))
 
 
 def join_quantized_reranked(left_matrix: np.ndarray,

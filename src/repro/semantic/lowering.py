@@ -32,7 +32,8 @@ def cache_for(context: ExecutionContext, model_name: str) -> EmbeddingCache:
         context.embedding_cache = {}
     caches: dict = context.embedding_cache  # type: ignore[assignment]
     if model_name not in caches:
-        caches[model_name] = EmbeddingCache(context.model(model_name))
+        caches[model_name] = EmbeddingCache(
+            context.model(model_name), parallelism=context.parallelism)
     return caches[model_name]
 
 
@@ -57,7 +58,7 @@ def build_semantic_physical(plan: LogicalPlan, context: ExecutionContext,
         return SemanticJoinOp(left, right, plan.left_column,
                               plan.right_column, cache, plan.threshold,
                               plan.score_alias, plan.schema, method=method,
-                              parallelism=max(context.parallelism, 2),
+                              parallelism=context.parallelism,
                               top_k=plan.top_k,
                               index_cache=context.index_cache)
     if isinstance(plan, SemanticGroupByNode):

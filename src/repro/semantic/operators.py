@@ -91,7 +91,7 @@ class SemanticJoinOp(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
                  left_column: str, right_column: str, cache: EmbeddingCache,
                  threshold: float, score_alias: str, schema: Schema,
-                 method: str = "blocked", parallelism: int = 4,
+                 method: str = "blocked", parallelism: int | None = None,
                  top_k: int | None = None, index_cache=None):
         super().__init__(schema, (left, right))
         self.left_column = left_column
@@ -140,12 +140,17 @@ class SemanticJoinOp(PhysicalOperator):
                                    self.cache.model, self.threshold)
         left_matrix = self.cache.matrix(left_unique)
         if self.method.startswith("index:") and self.index_cache is not None:
-            # session-level index reuse: build once per (model, value set)
-            from repro.semantic.join import join_index
+            # session-level index reuse: built once per (model, row-id
+            # set), fingerprinted on ids — no value re-hashing
+            from repro.semantic.join import expand_index_matches, join_index
 
             kind = self.method.split(":", 1)[1]
-            index = self.index_cache.get(kind, right_unique, self.cache)
-            return join_index(left_matrix, None, self.threshold, index=index)
+            index, positions = self.index_cache.get_for_values(
+                kind, right_unique, self.cache)
+            li, qi, scores = join_index(left_matrix, None, self.threshold,
+                                        index=index)
+            return expand_index_matches(li, qi, scores, positions,
+                                        index.size)
         right_matrix = self.cache.matrix(right_unique)
         if self.method == "parallel":
             return join_parallel(left_matrix, right_matrix, self.threshold,
@@ -160,17 +165,29 @@ class SemanticJoinOp(PhysicalOperator):
         return kernel(left_matrix, right_matrix, self.threshold)
 
     def _match_topk(self, left_unique: list[str], right_unique: list[str]):
+        from repro.semantic.join import expand_index_matches
         from repro.semantic.topk import join_topk, join_topk_index
 
-        left_matrix = self.cache.matrix(left_unique)
+        # both access paths select top-k in *distinct-embedding* space
+        # and expand to all value positions sharing an arena row, so the
+        # optimizer's method choice cannot change the result: values that
+        # collapse to one embedding all join (may exceed k matches)
+        cache = self.cache
+        left_matrix = cache.matrix(left_unique)
         if self.method.startswith("index:") and self.index_cache is not None:
             kind = self.method.split(":", 1)[1]
-            index = self.index_cache.get(kind, right_unique, self.cache)
-            return join_topk_index(left_matrix, index, self.top_k,
-                                   min_score=self.threshold)
-        right_matrix = self.cache.matrix(right_unique)
-        return join_topk(left_matrix, right_matrix, self.top_k,
-                         min_score=self.threshold)
+            index, positions = self.index_cache.get_for_values(
+                kind, right_unique, cache)
+            li, qi, scores = join_topk_index(left_matrix, index, self.top_k,
+                                             min_score=self.threshold)
+            return expand_index_matches(li, qi, scores, positions,
+                                        index.size)
+        unique_ids, positions = np.unique(cache.row_ids(right_unique),
+                                          return_inverse=True)
+        li, qi, scores = join_topk(left_matrix, cache.rows_for(unique_ids),
+                                   self.top_k, min_score=self.threshold)
+        return expand_index_matches(li, qi, scores, positions,
+                                    unique_ids.shape[0])
 
 
 class SemanticGroupByOp(PhysicalOperator):

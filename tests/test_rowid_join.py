@@ -1,0 +1,473 @@
+"""Row-id plumbing tests: index-cache identity on arena row-id sets, the
+explicit index-id -> value-position mapping, and the parallel subword
+kernels' parity with the serial path."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.subword import subword_ids, subword_ids_batch
+from repro.relational.logical import ScanNode, SemanticJoinNode
+from repro.relational.physical import ExecutionContext, execute_plan
+from repro.semantic.index_cache import IndexCache
+from repro.semantic.join import (
+    expand_index_matches,
+    join_blocked,
+    join_parallel,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.utils.parallel import chunk_bounds, kernel_workers, \
+    resolve_workers
+
+
+class TestIndexCacheIdentity:
+    """Fingerprints key on sorted arena row-id sets: multiplicity- and
+    order-insensitive, collision-resistant, no value re-hashing."""
+
+    def test_duplicate_multiplicity_hits(self, cache):
+        index_cache = IndexCache()
+        first = index_cache.get("brute", ["shoes", "shoes", "jacket"],
+                                cache)
+        second = index_cache.get(
+            "brute", ["jacket", "shoes", "jacket", "jacket"], cache)
+        assert first is second
+        assert index_cache.hits == 1
+        assert index_cache.misses == 1
+        assert len(index_cache) == 1
+
+    def test_no_xor_pair_cancellation_collision(self, cache):
+        # the old XOR fingerprint cancelled values appearing an even
+        # number of times: ["alpha", "alpha"] and ["beta", "beta"] both
+        # XOR-digested to 0 with equal unique counts, colliding
+        index_cache = IndexCache()
+        first = index_cache.get("brute", ["alpha", "alpha"], cache)
+        second = index_cache.get("brute", ["beta", "beta"], cache)
+        assert first is not second
+        assert index_cache.misses == 2
+        assert index_cache.hits == 0
+
+    def test_no_collision_on_cancelled_quads(self, cache):
+        # {x, y} each twice vs {p, q} each twice: both XOR to 0 with two
+        # unique values — the crafted 4-element collision of the old
+        # scheme
+        index_cache = IndexCache()
+        first = index_cache.get("brute", ["x", "y", "x", "y"], cache)
+        second = index_cache.get("brute", ["p", "q", "p", "q"], cache)
+        assert first is not second
+        assert index_cache.misses == 2
+
+    def test_order_insensitive(self, cache):
+        index_cache = IndexCache()
+        first = index_cache.get("brute", ["a", "b", "c"], cache)
+        second = index_cache.get("brute", ["c", "a", "b"], cache)
+        assert first is second
+
+    def test_normalization_collapse_shares_entry(self, cache):
+        # distinct raw strings with equal normalized tokens occupy one
+        # arena row, so they fingerprint identically
+        index_cache = IndexCache()
+        first = index_cache.get("brute", ["Dog", "cat"], cache)
+        second = index_cache.get("brute", ["dog", "  CAT  "], cache)
+        assert first is second
+        assert index_cache.hits == 1
+
+    def test_arena_clear_invalidates_entries(self, cache):
+        index_cache = IndexCache()
+        first = index_cache.get("brute", ["dog"], cache)
+        cache.clear()
+        # "bird" now interns to row id 0, the id "dog" used to hold; the
+        # generation in the fingerprint keeps the stale index unreachable
+        second = index_cache.get("brute", ["bird"], cache)
+        assert first is not second
+        assert index_cache.misses == 2
+
+    def test_distinct_cache_instances_never_alias(self, model):
+        from repro.semantic.cache import EmbeddingCache
+
+        # two fresh arenas for one model both number their strings from
+        # row id 0; the globally unique generation token keeps their
+        # (identical-looking) id sets from colliding in the key
+        index_cache = IndexCache()
+        cache_a = EmbeddingCache(model)
+        cache_b = EmbeddingCache(model)
+        first, _ = index_cache.get_for_values(
+            "brute", ["apple", "banana"], cache_a)
+        second, _ = index_cache.get_for_values(
+            "brute", ["car", "train"], cache_b)
+        assert first is not second
+        assert index_cache.misses == 2
+        assert index_cache.hits == 0
+
+    def test_arena_clear_evicts_stale_entries(self, cache):
+        index_cache = IndexCache()
+        index_cache.get("brute", ["dog"], cache)
+        index_cache.get("lsh", ["dog", "cat"], cache)
+        cache.clear()
+        # stale-generation entries can never hit again; the next build
+        # for this model drops them instead of leaking index copies
+        index_cache.get("brute", ["bird"], cache)
+        assert len(index_cache) == 1
+
+    def test_live_sibling_caches_do_not_thrash(self, model):
+        from repro.semantic.cache import EmbeddingCache
+
+        # two live arenas of one model sharing an IndexCache: eviction
+        # only targets retired generations, so the siblings' entries
+        # coexist and both keep hitting
+        index_cache = IndexCache()
+        cache_a = EmbeddingCache(model)
+        cache_b = EmbeddingCache(model)
+        first_a, _ = index_cache.get_for_values("brute", ["apple"], cache_a)
+        first_b, _ = index_cache.get_for_values("brute", ["pear"], cache_b)
+        again_a, _ = index_cache.get_for_values("brute", ["apple"], cache_a)
+        again_b, _ = index_cache.get_for_values("brute", ["pear"], cache_b)
+        assert first_a is again_a and first_b is again_b
+        assert index_cache.hits == 2
+        assert index_cache.misses == 2
+        assert len(index_cache) == 2
+
+    def test_index_rows_follow_sorted_id_order(self, cache):
+        index_cache = IndexCache()
+        # interned out of order: "b" gets a lower row id than "a"
+        cache.row_ids(["b", "a"])
+        index, unique_ids = index_cache.get_for_ids(
+            "brute", cache.row_ids(["a", "b"]), cache)
+        assert unique_ids.tolist() == sorted(unique_ids.tolist())
+        assert np.allclose(index.vectors, cache.rows_for(unique_ids),
+                           atol=1e-6)
+
+    def test_unknown_kind(self, cache):
+        with pytest.raises(Exception):
+            IndexCache().get("btree", ["a"], cache)
+
+
+class TestIndexIdMapping:
+    """Probe ids map back to caller value positions explicitly — the
+    duplicate-input contract the old first-appearance scheme silently
+    violated."""
+
+    def test_get_for_values_positions(self, cache):
+        index_cache = IndexCache()
+        values = ["shoes", "jacket", "shoes", "Jacket"]
+        index, positions = index_cache.get_for_values("brute", values,
+                                                      cache)
+        assert positions.shape == (4,)
+        assert positions[0] == positions[2]      # duplicate value
+        assert positions[1] == positions[3]      # normalization collapse
+        assert index.size == 2
+        for value, q in zip(values, positions):
+            expected = cache.rows_for(cache.row_ids([value]))[0]
+            assert np.allclose(index.vectors[int(q)], expected, atol=1e-6)
+
+    def test_expand_matches_one_to_one_gather(self):
+        positions = np.asarray([2, 0, 1], dtype=np.int64)  # a permutation
+        li = np.asarray([0, 0, 1], dtype=np.int64)
+        qi = np.asarray([0, 2, 1], dtype=np.int64)
+        scores = np.asarray([0.9, 0.8, 0.7], dtype=np.float32)
+        el, er, es = expand_index_matches(li, qi, scores, positions, 3)
+        assert el.tolist() == [0, 0, 1]
+        assert er.tolist() == [1, 0, 2]
+        assert np.allclose(es, scores)
+
+    def test_expand_matches_duplicates(self):
+        # value positions 0 and 2 share index id 0; position 1 owns id 1
+        positions = np.asarray([0, 1, 0], dtype=np.int64)
+        li = np.asarray([5, 6], dtype=np.int64)
+        qi = np.asarray([0, 1], dtype=np.int64)
+        scores = np.asarray([0.9, 0.8], dtype=np.float32)
+        el, er, es = expand_index_matches(li, qi, scores, positions, 2)
+        assert el.tolist() == [5, 5, 6]
+        assert er.tolist() == [0, 2, 1]
+        assert np.allclose(es, [0.9, 0.9, 0.8])
+
+    def test_expand_matches_empty(self):
+        el, er, es = expand_index_matches(
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            np.empty(0, np.float32), np.asarray([0, 0], np.int64), 1)
+        assert el.shape == (0,) and er.shape == (0,) and es.shape == (0,)
+
+    def test_expand_matches_random_against_loop(self, rng):
+        for _ in range(25):
+            n_values = int(rng.integers(1, 12))
+            n_index = int(rng.integers(1, n_values + 1))
+            positions = rng.integers(0, n_index, n_values).astype(np.int64)
+            # ensure every index id owns at least one value position
+            positions[:n_index] = np.arange(n_index)
+            n_matches = int(rng.integers(0, 8))
+            li = rng.integers(0, 5, n_matches).astype(np.int64)
+            qi = rng.integers(0, n_index, n_matches).astype(np.int64)
+            scores = rng.random(n_matches).astype(np.float32)
+            el, er, es = expand_index_matches(li, qi, scores, positions,
+                                              n_index)
+            expected = []
+            for m in range(n_matches):
+                for v in range(n_values):
+                    if positions[v] == qi[m]:
+                        expected.append((int(li[m]), v, float(scores[m])))
+            got = list(zip(el.tolist(), er.tolist(),
+                           [round(s, 6) for s in es.tolist()]))
+            expected = [(left, v, round(s, 6)) for left, v, s in expected]
+            assert sorted(got) == sorted(expected)
+
+    def test_operator_index_join_duplicates_match_blocked(self, registry):
+        # right side carries duplicated and normalization-collapsed
+        # values; the index path must produce exactly the blocked
+        # kernel's row-level pairs
+        catalog = Catalog()
+        left = Table.from_dict({
+            "pid": [1, 2, 3],
+            "ptype": ["sneakers", "parka", "sedan"],
+        })
+        right = Table.from_dict({
+            "kid": [10, 11, 12, 13, 14],
+            "label": ["shoes", "jacket", "shoes", "Jacket", "car"],
+        })
+        catalog.register("products", left)
+        catalog.register("kb", right)
+        context = ExecutionContext(catalog=catalog, models=registry)
+
+        def run(method):
+            plan = SemanticJoinNode(
+                ScanNode("products", left.schema, qualifier="p"),
+                ScanNode("kb", right.schema, qualifier="k"),
+                "p.ptype", "k.label", "wiki-ft-100", 0.9)
+            plan.hints["method"] = method
+            rows = execute_plan(plan, context).to_rows()
+            return sorted((r["p.pid"], r["k.kid"],
+                           round(r["similarity"], 5)) for r in rows)
+
+        reference = run("blocked")
+        assert len(reference) >= 4   # sneakers~shoes x2, parka~jacket x2
+        assert run("index:brute") == reference
+
+    def test_operator_topk_index_duplicates(self, registry):
+        catalog = Catalog()
+        left = Table.from_dict({"pid": [1], "ptype": ["sneakers"]})
+        right = Table.from_dict({
+            "kid": [10, 11, 12],
+            "label": ["shoes", "shoes", "sedan"],
+        })
+        catalog.register("products", left)
+        catalog.register("kb", right)
+        context = ExecutionContext(catalog=catalog, models=registry)
+        plan = SemanticJoinNode(
+            ScanNode("products", left.schema, qualifier="p"),
+            ScanNode("kb", right.schema, qualifier="k"),
+            "p.ptype", "k.label", "wiki-ft-100", 0.9, top_k=1)
+        plan.hints["method"] = "index:brute"
+        rows = execute_plan(plan, context).to_rows()
+        # top-1 in distinct-embedding space expands to both duplicate rows
+        assert sorted(r["k.kid"] for r in rows) == [10, 11]
+
+    def test_topk_method_consistent_under_collapse(self, registry):
+        # "Shoes" and "shoes" are raw-distinct but embedding-identical;
+        # top-k must not depend on which access path the optimizer picks
+        catalog = Catalog()
+        left = Table.from_dict({"pid": [1], "ptype": ["sneakers"]})
+        right = Table.from_dict({
+            "kid": [10, 11, 12],
+            "label": ["shoes", "Shoes", "boots"],
+        })
+        catalog.register("products", left)
+        catalog.register("kb", right)
+        context = ExecutionContext(catalog=catalog, models=registry)
+
+        def run(method):
+            plan = SemanticJoinNode(
+                ScanNode("products", left.schema, qualifier="p"),
+                ScanNode("kb", right.schema, qualifier="k"),
+                "p.ptype", "k.label", "wiki-ft-100", 0.0, top_k=2)
+            plan.hints["method"] = method
+            rows = execute_plan(plan, context).to_rows()
+            return sorted((r["p.pid"], r["k.kid"],
+                           round(r["similarity"], 5)) for r in rows)
+
+        assert run("blocked") == run("index:brute")
+
+
+class TestCacheFailureSafety:
+    def test_transient_embed_failure_does_not_poison_cache(self, model):
+        from repro.semantic.cache import EmbeddingCache
+
+        cache = EmbeddingCache(model)
+        original = model.embed_batch
+        calls = {"n": 0}
+
+        def flaky(texts, workers=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise MemoryError("transient")
+            return original(texts)
+
+        cache.model = type(model)(
+            name=model.name, vocab=model.vocab,
+            word_vectors=model.word_vectors,
+            bucket_vectors=model.bucket_vectors)
+        cache.model.embed_batch = flaky
+        with pytest.raises(MemoryError):
+            cache.matrix(["hello", "world"])
+        assert len(cache) == 0   # nothing interned by the failed call
+        retried = cache.matrix(["hello", "world"])
+        assert np.allclose(retried, model.embed_batch(["hello", "world"]),
+                           atol=1e-6)
+
+
+class TestParallelSubwordKernels:
+    def test_subword_ids_batch_worker_parity(self):
+        # 1280 words: above the shared min-items gate, so workers > 1
+        # genuinely exercises the pooled owner-aligned chunking
+        words = ["sneakers", "golden retriever", "", "a", "café latte",
+                 "xyzzy12", "q1z9", "dog dog dog"] * 160
+        serial_ids, serial_owners = subword_ids_batch(words)
+        for workers in (0, 1, 2, 4):
+            ids, owners = subword_ids_batch(words, workers=workers)
+            assert (np.diff(owners) >= 0).all()
+            assert np.array_equal(np.sort(owners), np.sort(serial_owners))
+            for index in range(16):   # spot-check the first two cycles
+                mine = np.sort(ids[owners == index])
+                assert np.array_equal(mine, np.sort(
+                    serial_ids[serial_owners == index])), (workers, index)
+                assert np.array_equal(
+                    mine, np.sort(subword_ids(words[index])))
+            # full-array multiset parity across the batch
+            assert np.array_equal(
+                np.sort(ids + owners * 1_000_003),
+                np.sort(serial_ids + serial_owners * 1_000_003))
+
+    def test_embed_batch_parallel_parity(self, model, monkeypatch):
+        import repro.embeddings.model as model_module
+
+        vocab = sorted(model.vocab)
+        texts = ([f"{a} {b}" for a, b in zip(vocab[:40], vocab[5:45])]
+                 + [w[1:] + w[:1] for w in vocab[:30]]   # misspellings
+                 + [f"{w} q{i}z" for i, w in enumerate(vocab[:30])])
+        serial = model.embed_batch(texts)
+        monkeypatch.setattr(model_module, "PARALLEL_MIN_TOKENS", 1)
+        monkeypatch.setattr(model, "parallelism", 3)
+        parallel = model.embed_batch(texts)
+        assert np.allclose(serial, parallel, atol=1e-6)
+
+    def test_embed_batch_zero_and_one_worker_edge(self, model,
+                                                  monkeypatch):
+        import repro.embeddings.model as model_module
+
+        texts = ["sneakers", "golden retriever", "sneekers", ""]
+        reference = model.embed_batch(texts)
+        monkeypatch.setattr(model_module, "PARALLEL_MIN_TOKENS", 1)
+        for workers in (0, 1):
+            monkeypatch.setattr(model, "parallelism", workers)
+            assert np.allclose(model.embed_batch(texts), reference,
+                               atol=1e-6)
+
+    def test_kernel_workers_thresholds(self):
+        assert kernel_workers(4, 10, min_items=100) == 1   # too small
+        assert kernel_workers(1, 10_000) == 1              # serial config
+        assert kernel_workers(0, 10_000) == 1
+        assert kernel_workers(4, 10_000) == 4
+        assert kernel_workers(8, 4, min_items=1) == 4      # capped by n
+
+    def test_chunk_bounds_partition(self):
+        assert chunk_bounds(0, 4) == []
+        assert chunk_bounds(5, 2) == [(0, 3), (3, 5)]
+        bounds = chunk_bounds(10, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+        assert all(stop > start for start, stop in bounds)
+        assert all(bounds[i][1] == bounds[i + 1][0]
+                   for i in range(len(bounds) - 1))
+
+
+class TestSessionParallelism:
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) == resolve_workers(None)
+        assert resolve_workers(-2) >= 1
+
+    def test_session_resolves_and_threads_parallelism(self):
+        from repro.engine.session import Session
+
+        session = Session(parallelism=3)
+        assert session.context.parallelism == 3
+        # cost model sees the real worker count (not the hardcoded 4)
+        assert session.optimizer_config.cost_params.workers == 3
+        # the session-owned cache threads it into every batch embed,
+        # without mutating the (possibly shared) model object
+        assert session.embedding_cache().parallelism == 3
+        model = session.models.get(session.default_model_name)
+        assert model.parallelism == 1
+
+    def test_session_default_is_cpu_derived(self):
+        from repro.engine.session import Session
+        from repro.utils.parallel import default_parallelism
+
+        session = Session(load_default_model=False)
+        assert session.context.parallelism == default_parallelism()
+        assert (session.optimizer_config.cost_params.workers
+                == default_parallelism())
+
+    def test_explicit_config_without_workers_still_synced(self):
+        from repro.engine.session import Session
+        from repro.optimizer.optimizer import OptimizerConfig
+
+        # a config passed to toggle rules must not silently keep the
+        # standalone modeling default worker count
+        config = OptimizerConfig(enable_dip=False)
+        session = Session(load_default_model=False,
+                          optimizer_config=config, parallelism=2)
+        assert session.optimizer_config.cost_params.workers == 2
+
+    def test_shared_config_not_mutated_across_sessions(self):
+        from repro.engine.session import Session
+        from repro.optimizer.optimizer import OptimizerConfig
+
+        shared = OptimizerConfig()
+        first = Session(load_default_model=False,
+                        optimizer_config=shared, parallelism=2)
+        second = Session(load_default_model=False,
+                         optimizer_config=shared, parallelism=5)
+        assert shared.cost_params.workers is None   # caller's object intact
+        assert first.optimizer_config.cost_params.workers == 2
+        assert second.optimizer_config.cost_params.workers == 5
+
+    def test_cache_accepts_generators(self, cache):
+        cache.prefetch(t for t in ["dog", "cat"])
+        assert cache.rows == 2
+        matrix = cache.matrix(t for t in ["dog", "cat"])
+        assert matrix.shape == (2, cache.model.dim)
+
+    def test_explicitly_tuned_workers_honored(self):
+        from repro.engine.session import Session
+        from repro.optimizer.cost import CostParams
+        from repro.optimizer.optimizer import OptimizerConfig
+
+        config = OptimizerConfig(cost_params=CostParams(workers=7))
+        session = Session(load_default_model=False,
+                          optimizer_config=config, parallelism=2)
+        assert session.optimizer_config.cost_params.workers == 7
+
+    def test_bare_cost_params_use_modeled_default(self):
+        from repro.optimizer.cost import (
+            CostParams,
+            DEFAULT_MODELED_WORKERS,
+            semantic_join_method_cost,
+        )
+
+        # standalone cost studies (workers unspecified) keep the modeled
+        # default instead of degrading to this machine's core count
+        params = CostParams()
+        explicit = CostParams(workers=DEFAULT_MODELED_WORKERS)
+        assert (semantic_join_method_cost(params, 50_000, 50_000,
+                                          "parallel").total
+                == semantic_join_method_cost(explicit, 50_000, 50_000,
+                                             "parallel").total)
+
+    def test_join_parallel_default_workers(self, model):
+        left = model.embed_batch(["sneakers", "parka"])
+        right = model.embed_batch(["shoes", "jacket", "car"])
+        reference = join_blocked(left, right, 0.9)
+        for workers in (None, 0, 1, 2):
+            li, ri, scores = join_parallel(left, right, 0.9, block=1,
+                                           workers=workers)
+            assert np.array_equal(li, reference[0])
+            assert np.array_equal(ri, reference[1])
+            assert np.allclose(scores, reference[2], atol=1e-6)
