@@ -172,7 +172,7 @@ def run(n: int, seed: int = 23) -> dict:
     }
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
                         help=f"CI smoke mode: n={QUICK_N}, no JSON unless "
@@ -183,7 +183,7 @@ def main() -> None:
     parser.add_argument("--output", type=Path, default=None,
                         help="JSON output path (default: repo root "
                              "BENCH_embedding_pipeline.json for full runs)")
-    arguments = parser.parse_args()
+    arguments = parser.parse_args(argv)
 
     n = arguments.n or (QUICK_N if arguments.quick else DEFAULT_N)
     if n < 1:

@@ -259,7 +259,7 @@ def run(n_subword: int, n_join: int, quick: bool = False) -> dict:
     return results
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke mode: reduced sizes, no JSON "
@@ -271,7 +271,7 @@ def main() -> None:
     parser.add_argument("--output", type=Path, default=None,
                         help="JSON output path (default: repo root "
                              "BENCH_rowid_join.json for full runs)")
-    arguments = parser.parse_args()
+    arguments = parser.parse_args(argv)
 
     n_subword = arguments.n or (QUICK_N_SUBWORD if arguments.quick
                                 else DEFAULT_N_SUBWORD)

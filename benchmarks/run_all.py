@@ -37,10 +37,13 @@ def main() -> None:
         bench_ablation_jit,
         bench_ablation_optimizer,
         bench_ablation_quantization,
+        bench_concurrent_serving,
+        bench_embedding_pipeline,
         bench_fig2_motivating_query,
         bench_fig3_consolidation,
         bench_fig4_optimization_ladder,
         bench_fig5_hardware_placement,
+        bench_rowid_join,
         bench_table1_semantic_matches,
     )
 
@@ -56,7 +59,18 @@ def main() -> None:
         ("Ablation — index access paths", bench_ablation_index_access),
         ("Ablation — int8 quantization", bench_ablation_quantization),
         ("Ablation — JIT specialization", bench_ablation_jit),
+        ("PR 1 — embedding pipeline", bench_embedding_pipeline),
+        ("PR 2 — row-id joins + kernels", bench_rowid_join),
+        ("PR 3 — concurrent serving", bench_concurrent_serving),
     ]
+    # the PR benchmarks take argv directly (their own argparse): run
+    # them quick at small scale — full runs rewrite the committed
+    # BENCH_*.json trajectories, which only a deliberate full-scale
+    # invocation should do
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    pr_bench_argv = ["--quick"] if scale == "small" else []
+    takes_argv = {bench_embedding_pipeline, bench_rowid_join,
+                  bench_concurrent_serving}
     total_start = time.perf_counter()
     for title, module in sections:
         banner = f"  {title}  "
@@ -65,7 +79,10 @@ def main() -> None:
         print(banner)
         print("=" * len(banner))
         started = time.perf_counter()
-        module.main()
+        if module in takes_argv:
+            module.main(pr_bench_argv)
+        else:
+            module.main()
         print(f"[section took {time.perf_counter() - started:.1f}s]")
     print(f"\nall experiments regenerated in "
           f"{time.perf_counter() - total_start:.1f}s "

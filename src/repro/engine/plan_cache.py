@@ -1,0 +1,207 @@
+"""Normalized-SQL plan cache: repeated statements skip the whole frontend.
+
+A statement's journey without this cache is lexer -> parser -> binder ->
+optimizer on *every* execution, even when the text is byte-identical to
+the previous query.  The plan cache short-circuits that at two levels:
+
+1. **Text memo** — exact text (per default model) maps straight to its
+   :class:`~repro.engine.sql.canonical.CanonicalQuery`, skipping even
+   the lexer on repeats.  Safe to key on raw text because parsing is
+   deterministic and context-free: the same text always produces the
+   same AST regardless of catalog state.
+2. **Plan store** — the canonical family digest plus the concrete
+   literal tuple, the catalog/statistics **version**, and the default
+   model name key a fully optimized logical plan (physical hints
+   annotated).  A hit goes straight to ``build_physical``; a cached
+   plan is never mutated by execution, so one entry serves any number
+   of concurrent clients.
+
+Invalidation is **versioned**, not evented: every ``register_table``,
+``drop``, or statistics refresh bumps ``Catalog.version``, and since
+the version is part of the key, stale plans simply stop matching.  A
+lazy sweep drops old-version entries whenever a newer version is first
+seen, so they do not squat in the LRU budget.
+
+The cached artifact is the *optimized logical plan*, not the physical
+operator tree: physical operators are stateful one-shot iterators
+(row counters, batch cursors), so each execution instantiates fresh
+ones from the cached plan — instantiation is microseconds, while the
+skipped parse/bind/optimize is the expensive part.
+
+A note on what a version-keyed cache does **not** promise: a query that
+runs concurrently with a ``register_table`` may execute a plan bound
+against either catalog state — the same non-snapshot semantics the
+engine always had.  The cache only guarantees a *later* lookup never
+returns a plan built before the change.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.engine.sql.canonical import CanonicalQuery
+
+#: Default number of cached plans (and memoized texts) kept.
+DEFAULT_PLAN_CACHE_CAPACITY = 256
+
+
+@dataclass
+class CachedPlan:
+    """One optimized plan plus the metadata admission control needs."""
+
+    plan: object                 # relational.logical.LogicalPlan
+    #: Optimizer's total cost estimate — the scheduler's admission
+    #: classifier reads this on a hit without re-costing anything.
+    estimated_cost: float
+    canonical: CanonicalQuery
+    catalog_version: int
+    model_name: str
+    hits: int = 0
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters the benchmarks and server metrics read."""
+
+    hits: int = 0
+    misses: int = 0
+    text_memo_hits: int = 0
+    evictions: int = 0
+    stale_evictions: int = 0
+    entries: int = 0
+    families: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "text_memo_hits": self.text_memo_hits,
+            "evictions": self.evictions,
+            "stale_evictions": self.stale_evictions,
+            "entries": self.entries,
+            "families": self.families,
+        }
+
+
+class PlanCache:
+    """LRU cache of optimized plans keyed on canonical digest + version."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self._texts: OrderedDict[tuple, CanonicalQuery] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._text_memo_hits = 0
+        self._evictions = 0
+        self._stale_evictions = 0
+        self._newest_version = -1
+
+    # -- lookups --------------------------------------------------------
+    def canonical_for(self, text: str, model_name: str
+                      ) -> CanonicalQuery | None:
+        """The memoized canonical form of ``text``, if seen before.
+
+        ``None`` means the caller must lex/parse/canonicalize (and then
+        :meth:`put` or :meth:`memo_text` the result).
+        """
+        with self._lock:
+            memo = self._texts.get((text, model_name))
+            if memo is not None:
+                self._text_memo_hits += 1
+                self._texts.move_to_end((text, model_name))
+            return memo
+
+    def get(self, canonical: CanonicalQuery, catalog_version: int,
+            model_name: str) -> CachedPlan | None:
+        """The cached plan for an exact canonical statement, or ``None``."""
+        key = (*canonical.key, catalog_version, model_name)
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            entry.hits += 1
+            self._plans.move_to_end(key)
+            return entry
+
+    # -- population -----------------------------------------------------
+    def memo_text(self, text: str, model_name: str,
+                  canonical: CanonicalQuery) -> None:
+        """Record text -> canonical so later repeats skip the lexer."""
+        with self._lock:
+            self._memo_text_locked(text, model_name, canonical)
+
+    def put(self, text: str, canonical: CanonicalQuery,
+            catalog_version: int, model_name: str, plan: object,
+            estimated_cost: float) -> CachedPlan:
+        """Insert an optimized plan (and memoize its text)."""
+        entry = CachedPlan(plan=plan, estimated_cost=estimated_cost,
+                           canonical=canonical,
+                           catalog_version=catalog_version,
+                           model_name=model_name)
+        key = (*canonical.key, catalog_version, model_name)
+        with self._lock:
+            self._sweep_stale_locked(catalog_version)
+            self._memo_text_locked(text, model_name, canonical)
+            self._plans[key] = entry
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self._evictions += 1
+            return entry
+
+    # -- maintenance ----------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached plan (text memos survive: parse output is
+        catalog-independent)."""
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            families = {key[0] for key in self._plans}
+            return PlanCacheStats(
+                hits=self._hits, misses=self._misses,
+                text_memo_hits=self._text_memo_hits,
+                evictions=self._evictions,
+                stale_evictions=self._stale_evictions,
+                entries=len(self._plans), families=len(families))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    # -- internals ------------------------------------------------------
+    def _memo_text_locked(self, text: str, model_name: str,
+                          canonical: CanonicalQuery) -> None:
+        self._texts[(text, model_name)] = canonical
+        self._texts.move_to_end((text, model_name))
+        while len(self._texts) > self.capacity:
+            self._texts.popitem(last=False)
+
+    def _sweep_stale_locked(self, version: int) -> None:
+        """Drop entries keyed under versions older than ``version``.
+
+        They can never hit again (the catalog version is monotonic), so
+        letting them age out through the LRU would waste its budget.
+        """
+        if version <= self._newest_version:
+            return
+        self._newest_version = version
+        stale = [key for key in self._plans if key[2] < version]
+        for key in stale:
+            del self._plans[key]
+            self._stale_evictions += 1

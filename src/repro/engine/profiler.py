@@ -26,6 +26,18 @@ class QueryProfile:
     tokens_embedded: int = 0
     arena_rows: int = 0
     arena_bytes: int = 0
+    # -- serving-layer fields (filled by Session.sql / the scheduler;
+    #    None/zero for builder queries and unscheduled executions) -----
+    #: Whether the statement's optimized plan came from the plan cache.
+    plan_cache_hit: bool | None = None
+    #: Seconds the query sat in an admission queue before a worker
+    #: picked it up (0.0 when executed inline).
+    queue_wait_seconds: float = 0.0
+    #: Admission lane the scheduler classified the query into
+    #: ("interactive" | "heavy"), if it went through the scheduler.
+    lane: str | None = None
+    #: Tenant the query was accounted to, if it went through the server.
+    tenant: str | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -45,7 +57,9 @@ class QueryProfile:
                 visit(child, depth + 1)
 
         visit(root, 0)
-        for cache in (embedding_caches or {}).values():
+        # snapshot: the dict may be shared with concurrently executing
+        # queries that lazily create new per-model caches
+        for cache in list((embedding_caches or {}).values()):
             profile.cache_hits += cache.hits
             profile.cache_misses += cache.misses
             profile.tokens_embedded += cache.model.tokens_embedded
@@ -57,6 +71,11 @@ class QueryProfile:
         lines = [f"total: {self.total_seconds * 1e3:.2f} ms  "
                  f"(cache {self.cache_hits} hits / "
                  f"{self.cache_misses} misses)"]
+        if self.lane is not None:
+            plan = {True: "hit", False: "miss", None: "-"}[
+                self.plan_cache_hit]
+            lines.append(f"serving: lane={self.lane}  plan-cache={plan}  "
+                         f"queue wait {self.queue_wait_seconds * 1e3:.2f} ms")
         if self.arena_rows:
             lines.append(f"arena: {self.arena_rows} rows / "
                          f"{self.arena_bytes / 1024:.1f} KiB  "

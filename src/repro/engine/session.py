@@ -3,34 +3,51 @@
 A session is what the paper's "single declarative framework" looks like to
 a user: register tables/sources/models once, then issue SQL or builder
 queries; the session optimizes, executes, and profiles them.
+
+Since the serving layer landed, ``Session`` is a thin facade over an
+:class:`~repro.engine.state.EngineState`: a stand-alone session builds a
+private state (exactly the old behaviour), while sessions handed a
+``shared_state`` — the :class:`~repro.server.EngineServer` path — share
+catalog, models, embedding arenas, the vector-index cache, and the plan
+cache with every sibling.  SQL execution consults the plan cache first:
+a repeated statement (same canonical form + literals, same catalog
+version, same default model) skips lexer/parser/binder/optimizer and
+goes straight to physical instantiation of the cached plan.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import replace
+from contextlib import ExitStack
+from typing import NamedTuple
 
 from repro.embeddings.model import EmbeddingModel
-from repro.embeddings.registry import ModelRegistry
 from repro.engine.explain import explain_plan
 from repro.engine.profiler import QueryProfile
 from repro.engine.sql.binder import Binder
+from repro.engine.sql.canonical import canonicalize
 from repro.engine.sql.parser import parse_sql
+from repro.engine.state import DEFAULT_MODEL_NAME, EngineState, plan_models
 from repro.errors import CatalogError
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
-from repro.polystore.federation import Federation
 from repro.polystore.source import DataSource
 from repro.relational.logical import LogicalPlan, ScanNode
-from repro.relational.physical import (
-    DEFAULT_BATCH_SIZE,
-    ExecutionContext,
-    build_physical,
-)
-from repro.storage.catalog import Catalog
+from repro.relational.physical import DEFAULT_BATCH_SIZE, build_physical
 from repro.storage.table import Table
-from repro.utils.parallel import resolve_workers
 
-DEFAULT_MODEL_NAME = "wiki-ft-100"
+__all__ = ["DEFAULT_MODEL_NAME", "PlannedStatement", "Session"]
+
+
+class PlannedStatement(NamedTuple):
+    """An optimized plan plus the serving metadata around it."""
+
+    plan: LogicalPlan
+    #: True when the plan came from the shared plan cache.
+    cache_hit: bool
+    #: The optimizer's total cost estimate — free on a hit (stored in
+    #: the cache entry), and what the scheduler's admission classifier
+    #: keys on.
+    estimated_cost: float
 
 
 class Session:
@@ -42,46 +59,63 @@ class Session:
     process, clamped.  The optimizer's cost model is given the same
     number, so its parallel-vs-blocked decisions reflect the machine the
     query actually runs on.
+
+    ``shared_state`` plugs the session into an existing
+    :class:`~repro.engine.state.EngineState` (the server path).  When it
+    is given, ``seed``/``load_default_model``/``optimizer_config`` are
+    ignored — that state was configured by its owner.
     """
 
     def __init__(self, seed: int = 7, load_default_model: bool = True,
                  optimizer_config: OptimizerConfig | None = None,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 parallelism: int | None = None):
-        self.catalog = Catalog()
-        self.models = ModelRegistry()
-        self.federation = Federation(self.catalog)
-        workers = resolve_workers(parallelism)
-        self.context = ExecutionContext(
-            catalog=self.catalog, models=self.models, batch_size=batch_size,
-            parallelism=workers)
-        # The session owns one arena-backed embedding cache per model:
-        # embeddings (like vector indexes) persist across queries, so a
-        # string embedded by any query is a hit for every later one.
-        self.context.embedding_cache = {}
-        config = optimizer_config or OptimizerConfig()
-        if config.cost_params.workers is None:
-            # cost the parallel access path with the real worker count;
-            # an explicitly set CostParams.workers keeps its tuning.
-            # Copied, never mutated in place: a config shared across
-            # sessions must not freeze the first session's worker count
-            # into later ones.
-            config = replace(config, cost_params=replace(
-                config.cost_params, workers=workers))
-        self.optimizer_config = config
-        self.default_model_name = DEFAULT_MODEL_NAME
+                 parallelism: int | None = None,
+                 shared_state: EngineState | None = None):
+        if shared_state is None:
+            shared_state = EngineState(
+                seed=seed, load_default_model=load_default_model,
+                optimizer_config=optimizer_config, batch_size=batch_size,
+                parallelism=parallelism)
+        self.state = shared_state
+        # shared references, not copies: mutating through any facade is
+        # visible to every session over the same state
+        self.catalog = shared_state.catalog
+        self.models = shared_state.models
+        self.federation = shared_state.federation
+        self.optimizer_config = shared_state.optimizer_config
+        self.context = shared_state.make_context(
+            parallelism=parallelism, batch_size=batch_size)
+        # no override yet: default_model_name tracks the shared state
+        # until this session picks its own (register_model(default=True))
+        self._default_model_override: str | None = None
         self.last_profile: QueryProfile | None = None
-        if load_default_model:
-            from repro.embeddings.pretrained import build_pretrained_model
 
-            self.register_model(build_pretrained_model(seed=seed))
+    @property
+    def default_model_name(self) -> str:
+        """The model unqualified semantic operators bind to.
+
+        Tracks the shared state's default — so
+        ``EngineServer.register_model(default=True)`` reaches every
+        existing client session — unless this session set its own
+        (assignment or ``register_model(default=True)``), which is a
+        session-local override, like a search path.
+        """
+        return self._default_model_override or self.state.default_model_name
+
+    @default_model_name.setter
+    def default_model_name(self, name: str) -> None:
+        self._default_model_override = name
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
     def register_table(self, name: str, table: Table,
                        replace: bool = False) -> None:
-        """Register a materialized table under ``name``."""
+        """Register a materialized table under ``name``.
+
+        Bumps the catalog version, which invalidates every cached plan
+        (they are keyed on the version, so they simply stop matching).
+        """
         self.catalog.register(name, table, replace=replace)
 
     def register_source(self, source: DataSource) -> list[str]:
@@ -125,8 +159,20 @@ class Session:
         return QueryBuilder(self, scan)
 
     def sql(self, text: str, optimize: bool = True) -> Table:
-        """Parse, bind, optimize, and execute a SQL query."""
-        return self.execute(self.sql_plan(text), optimize=optimize)
+        """Parse, bind, optimize, and execute a SQL query.
+
+        Optimized statements go through the shared plan cache: on a hit
+        the text is at most memo-probed (byte-identical repeats skip
+        even the lexer) and the cached physical-annotated plan executes
+        directly.  ``optimize=False`` always takes the uncached path.
+        """
+        if not optimize:
+            return self.execute(self.sql_plan(text), optimize=False)
+        planned = self.plan_for(text)
+        result = self.execute(planned.plan, optimize=False)
+        if self.last_profile is not None:
+            self.last_profile.plan_cache_hit = planned.cache_hit
+        return result
 
     def sql_plan(self, text: str) -> LogicalPlan:
         """Parse and bind a SQL query to an (unoptimized) logical plan."""
@@ -134,20 +180,71 @@ class Session:
         binder = Binder(self.catalog, self.default_model_name)
         return binder.bind(statement)
 
+    def plan_for(self, text: str) -> PlannedStatement:
+        """An optimized plan for ``text`` plus hit flag and cost estimate.
+
+        The cache key is (canonical AST digest, literal tuple, catalog
+        version, default model): any ``register_table``/``drop``/stats
+        refresh bumps the version and retires every older plan.  The
+        version is captured *before* binding — statistics computed
+        lazily during this very optimization bump it mid-flight, in
+        which case the entry is stored under the pre-bump version, ages
+        out on the next lookup, and the statement is re-planned once
+        against the now-stable statistics.
+        """
+        cache = self.state.plan_cache
+        if cache is None or (self.optimizer_config
+                             is not self.state.optimizer_config):
+            # no cache, or this facade's optimizer config diverged from
+            # the shared state's: cached plans would not match what this
+            # session's optimizer would produce
+            optimizer = self._optimizer()
+            plan = optimizer.optimize(self.sql_plan(text))
+            return PlannedStatement(
+                plan, False, optimizer.last_report.estimated_cost)
+        model = self.default_model_name
+        version = self.catalog.version
+        statement = None
+        canonical = cache.canonical_for(text, model)
+        if canonical is None:
+            statement = parse_sql(text)
+            canonical = canonicalize(statement)
+        entry = cache.get(canonical, version, model)
+        if entry is not None:
+            if statement is not None:
+                # a textually new spelling of a cached statement: memo it
+                # so this spelling skips the lexer next time too
+                cache.memo_text(text, model, canonical)
+            return PlannedStatement(entry.plan, True, entry.estimated_cost)
+        if statement is None:
+            statement = parse_sql(text)
+        plan = Binder(self.catalog, model).bind(statement)
+        optimizer = self._optimizer()
+        plan = optimizer.optimize(plan)
+        estimated = optimizer.last_report.estimated_cost
+        cache.put(text, canonical, version, model, plan, estimated)
+        return PlannedStatement(plan, False, estimated)
+
     def optimize(self, plan: LogicalPlan) -> LogicalPlan:
-        optimizer = Optimizer(self.catalog, self.models,
-                              config=self.optimizer_config,
-                              execution_context=self.context)
-        return optimizer.optimize(plan)
+        return self._optimizer().optimize(plan)
 
     def execute(self, plan: LogicalPlan, optimize: bool = True) -> Table:
         """Run a logical plan; stores a :class:`QueryProfile`."""
         if optimize:
             plan = self.optimize(plan)
-        started = time.perf_counter()
-        root = build_physical(plan, self.context)
-        result = root.execute()
-        elapsed = time.perf_counter() - started
+        with ExitStack() as stack:
+            # hold read stripes for every model the plan embeds with
+            # (deduped, bank order -> no double-acquire, no lock
+            # cycles), so a concurrent cache invalidation (write
+            # stripe) can never clear an arena mid-gather — same
+            # discipline as the server's scheduled path
+            for stripe in self.state.model_locks.stripes_for(
+                    plan_models(plan)):
+                stack.enter_context(stripe.read())
+            started = time.perf_counter()
+            root = build_physical(plan, self.context)
+            result = root.execute()
+            elapsed = time.perf_counter() - started
         self.context.record_semantic_metrics()
         self.last_profile = QueryProfile.from_tree(
             root, elapsed, self.context.embedding_cache)
@@ -157,9 +254,7 @@ class Session:
                 optimize: bool = True) -> str:
         """EXPLAIN a SQL string or a logical plan."""
         plan = self.sql_plan(query) if isinstance(query, str) else query
-        optimizer = Optimizer(self.catalog, self.models,
-                              config=self.optimizer_config,
-                              execution_context=self.context)
+        optimizer = self._optimizer()
         if optimize:
             plan = optimizer.optimize(plan)
         return explain_plan(plan, optimizer.estimator, optimizer.cost_model)
@@ -173,9 +268,7 @@ class Session:
         adaptive execution (§VI) acts on — here surfaced for the user.
         """
         plan = self.sql_plan(query) if isinstance(query, str) else query
-        optimizer = Optimizer(self.catalog, self.models,
-                              config=self.optimizer_config,
-                              execution_context=self.context)
+        optimizer = self._optimizer()
         if optimize:
             plan = optimizer.optimize(plan)
 
@@ -205,3 +298,11 @@ class Session:
 
         visit(plan, root, 1)
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _optimizer(self) -> Optimizer:
+        return Optimizer(self.catalog, self.models,
+                         config=self.optimizer_config,
+                         execution_context=self.context)

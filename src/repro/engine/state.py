@@ -1,0 +1,136 @@
+"""Shared engine state: the part of a session many clients can share.
+
+Before the serving layer, every :class:`~repro.engine.session.Session`
+owned a full copy of the expensive, slow-to-warm engine state — model
+registry, embedding arenas, vector-index cache — so two sessions over
+the same data paid the warm-up twice and shared no cache hits.
+:class:`EngineState` is that state extracted into one object:
+
+- **catalog** (+ federation) — registered tables and sources, versioned
+  for plan-cache invalidation;
+- **models** — the embedding model registry;
+- **embedding_caches** — one arena-backed
+  :class:`~repro.semantic.cache.EmbeddingCache` per model, shared by
+  every client so a string embedded by any query is a hit for all;
+- **index_cache** — the row-id-keyed vector-index cache (single-flight
+  builds);
+- **plan_cache** — optimized plans keyed on canonical SQL + catalog
+  version;
+- **model_locks** — striped read-write locks addressed by model name,
+  used by the server for operations that must exclude *all* readers of
+  one model's caches (e.g. dropping a model's arena).
+
+A stand-alone ``Session()`` still builds a private ``EngineState`` —
+same behaviour as before, one owner.  An
+:class:`~repro.server.EngineServer` builds one shared state and hands
+every :class:`~repro.server.ClientSession` the same instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.embeddings.registry import ModelRegistry
+from repro.engine.plan_cache import DEFAULT_PLAN_CACHE_CAPACITY, PlanCache
+from repro.optimizer.optimizer import OptimizerConfig
+from repro.polystore.federation import Federation
+from repro.relational.logical import LogicalPlan
+from repro.relational.physical import DEFAULT_BATCH_SIZE, ExecutionContext
+from repro.semantic.index_cache import IndexCache
+from repro.storage.catalog import Catalog
+from repro.utils.locks import StripedRWLock
+from repro.utils.parallel import resolve_workers
+
+DEFAULT_MODEL_NAME = "wiki-ft-100"
+
+
+def plan_models(plan: LogicalPlan) -> set[str]:
+    """Names of every embedding model a plan's semantic nodes use.
+
+    Executors acquire the read stripe of each returned model before
+    running the plan, so cache invalidation (the write stripe) can
+    never clear an arena out from under a running gather.
+    """
+    models: set[str] = set()
+
+    def visit(node: LogicalPlan) -> None:
+        name = getattr(node, "model_name", None)
+        if name:
+            models.add(name)
+        for child in node.children:
+            visit(child)
+
+    visit(plan)
+    return models
+
+
+class EngineState:
+    """Read-mostly engine state shareable across client sessions."""
+
+    def __init__(self, seed: int = 7, load_default_model: bool = True,
+                 optimizer_config: OptimizerConfig | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 parallelism: int | None = None,
+                 plan_cache_capacity: int | None = None):
+        self.seed = seed
+        self.catalog = Catalog()
+        self.models = ModelRegistry()
+        self.federation = Federation(self.catalog)
+        self.workers = resolve_workers(parallelism)
+        self.batch_size = batch_size
+        #: model name -> EmbeddingCache; created lazily and race-safely
+        #: by :func:`repro.semantic.lowering.cache_for`.
+        self.embedding_caches: dict = {}
+        # seed 0 matches what lazy creation in semantic.lowering always
+        # used, so index randomization is unchanged by the extraction
+        self.index_cache = IndexCache()
+        self.model_locks = StripedRWLock()
+        self.default_model_name = DEFAULT_MODEL_NAME
+        self.plan_cache = PlanCache(
+            plan_cache_capacity or DEFAULT_PLAN_CACHE_CAPACITY)
+        config = optimizer_config or OptimizerConfig()
+        if config.cost_params.workers is None:
+            # cost the parallel access path with the real worker count;
+            # an explicitly set CostParams.workers keeps its tuning.
+            # Copied, never mutated in place: a config shared across
+            # sessions must not freeze the first session's worker count
+            # into later ones.
+            config = replace(config, cost_params=replace(
+                config.cost_params, workers=self.workers))
+        self.optimizer_config = config
+        if load_default_model:
+            from repro.embeddings.pretrained import build_pretrained_model
+
+            self.models.register(build_pretrained_model(seed=seed))
+
+    def make_context(self, parallelism: int | None = None,
+                     batch_size: int | None = None) -> ExecutionContext:
+        """A fresh execution context wired to the shared caches.
+
+        Contexts are cheap per-client (or per-query) objects: they share
+        the catalog, model registry, embedding arenas, and index cache,
+        but carry their own ``metrics`` dict and parallelism setting so
+        concurrent executions never write into each other's telemetry.
+        """
+        workers = self.workers if parallelism is None \
+            else resolve_workers(parallelism)
+        return ExecutionContext(
+            catalog=self.catalog, models=self.models,
+            batch_size=batch_size or self.batch_size,
+            parallelism=workers,
+            # caches outlive the query that happens to create them, so
+            # their embed parallelism is the machine-wide budget — not
+            # whatever share that one query was leased
+            cache_parallelism=self.workers,
+            embedding_cache=self.embedding_caches,
+            index_cache=self.index_cache)
+
+    def arena_stats(self) -> dict:
+        """Per-model embedding-arena statistics (metrics surface).
+
+        Snapshots the dict first (atomic C-level copy): a concurrent
+        query's ``cache_for`` may be inserting a new model's cache.
+        """
+        return {name: cache.stats()
+                for name, cache
+                in sorted(self.embedding_caches.copy().items())}

@@ -66,3 +66,11 @@ class HardwareError(ReproError):
 
 class SourceError(ReproError):
     """A polystore data source failed or was misused."""
+
+
+class ServerError(ReproError):
+    """The serving layer was misused (closed server, bad configuration)."""
+
+
+class AdmissionError(ServerError):
+    """The scheduler refused a query: its admission queue is full."""

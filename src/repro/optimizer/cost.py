@@ -177,6 +177,17 @@ class CostModel:
             children = children + self.cost(child)
         return children + self.node_cost(plan)
 
+    def estimate_total(self, plan: LogicalPlan) -> float:
+        """Scalar plan-cost estimate.
+
+        This is the number the serving layer's admission control
+        classifies on (interactive vs. heavy lane): the optimizer
+        writes it into ``OptimizationReport.estimated_cost``, the
+        session stores it in each plan-cache entry, and a cache hit is
+        admitted without re-costing anything.
+        """
+        return self.cost(plan).total
+
     def node_cost(self, plan: LogicalPlan) -> Cost:
         """Cost of the node itself, given estimated input cardinalities."""
         params = self.params

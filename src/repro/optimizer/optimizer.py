@@ -96,6 +96,6 @@ class Optimizer:
             report.physical_decisions = selector.decisions
 
         report.rules_applied = dict(rule_ctx.applied)
-        report.estimated_cost = self.cost_model.cost(plan).total
+        report.estimated_cost = self.cost_model.estimate_total(plan)
         self.last_report = report
         return plan

@@ -50,6 +50,14 @@ class ExecutionContext:
     embedding_cache: object | None = None
     index_cache: object | None = None  # semantic.index_cache.IndexCache
     parallelism: int = 1
+    #: Worker count baked into embedding caches *created through this
+    #: context* (``None`` = use ``parallelism``).  Under the serving
+    #: layer ``parallelism`` is a per-query share of the machine, but a
+    #: cache created by one query outlives it and serves every client —
+    #: so the server pins this to the machine-wide budget instead.
+    #: Safe even under concurrency: the cache serializes embeds behind
+    #: its write lock, so at most one machine-wide embed runs per model.
+    cache_parallelism: int | None = None
     metrics: dict = field(default_factory=dict)
 
     def model(self, name: str):
@@ -65,8 +73,11 @@ class ExecutionContext:
         ``metrics`` (read back by the profiler and benchmarks)."""
         caches = self.embedding_cache
         if caches:
+            # the cache dict may be shared across concurrent queries
+            # (serving layer); snapshot before iterating
             self.metrics["embedding_arena"] = {
-                name: cache.stats() for name, cache in caches.items()}
+                name: cache.stats()
+                for name, cache in dict(caches).items()}
         if self.index_cache is not None:
             self.metrics["vector_index_cache"] = {
                 "entries": len(self.index_cache),

@@ -19,16 +19,39 @@ stable integer **row id** — its row in the arena — so:
 
 Row ids are stable for the lifetime of the cache (doubling copies rows,
 it never reorders them); ``clear()`` invalidates all ids.
+
+Concurrency
+-----------
+The cache is thread-safe under the serving layer's share-everything
+model.  Reads that hit (``matrix``/``row_ids``/``rows_for`` over interned
+strings) take a shared read lock and run concurrently; any call that
+must embed takes the write lock, so growth, interning, and the embed
+itself are exclusive — N threads missing on the same strings coalesce
+into one embed (single-flight by serialization).
+
+**Snapshot semantics.**  Arena growth is *publish-safe*: new rows are
+written into the grown buffer **before** ``self._arena`` is rebound, so
+no reader — including one holding an :attr:`arena` snapshot across a
+concurrent ``embed_batch`` — can observe a partially initialized row.
+A snapshot returned by :attr:`arena` is a read-only view pinned to the
+buffer that backed the arena at call time: rows already in it are never
+rewritten (the arena is append-only), appends past its length are
+invisible to it, and a growth that swaps buffers leaves it intact but
+*stale* (it keeps the old buffer alive; re-call :attr:`arena` for the
+current rows).  ``matrix``/``rows_for``/``vector`` return fresh copies
+and are immune to staleness entirely.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import weakref
 
 import numpy as np
 
 from repro.embeddings.model import EmbeddingModel
+from repro.utils.locks import RWLock
 from repro.utils.text import normalize_token
 
 #: Initial arena capacity (rows); doubled whenever the store outgrows it.
@@ -71,6 +94,12 @@ class EmbeddingCache:
                                dtype=np.float32)
         self.hits = 0
         self.misses = 0
+        #: Readers (all-hit resolves, gathers) share; embeds/growth/clear
+        #: are exclusive.  See the module docstring for the full model.
+        self._lock = RWLock()
+        #: Leaf mutex for the hit/miss counters (readers on the shared
+        #: path still mutate them; ``+=`` on attributes is not atomic).
+        self._stats_lock = threading.Lock()
         #: Globally unique id-space token, refreshed by clear().
         #: Consumers that key on row ids (the vector index cache) include
         #: it in their fingerprints, so ids from a cleared arena — or
@@ -116,18 +145,30 @@ class EmbeddingCache:
         ``arena[ids]`` (or :meth:`rows_for`) gathers the vectors.
         """
         ids, new_count = self._resolve(texts)
-        self.misses += new_count
-        self.hits += int(ids.shape[0]) - new_count
+        self._count(hits=int(ids.shape[0]) - new_count, misses=new_count)
         return ids
 
     def rows_for(self, ids: np.ndarray) -> np.ndarray:
-        """Gather arena rows for previously resolved ids (one fancy index)."""
+        """Gather arena rows for previously resolved ids (one fancy index).
+
+        Lock-free by design: the buffer reference is grabbed once, and
+        publish-safe growth guarantees any published id's row is fully
+        written in every buffer published at or after the id was handed
+        out.  The gather returns a copy, never a live view.
+        """
         return self._arena[ids]
 
     @property
     def arena(self) -> np.ndarray:
-        """Read-only view of the filled arena (row id == row index)."""
-        view = self._arena[:self.rows]
+        """Read-only **snapshot** of the filled arena (row id == row index).
+
+        The view is pinned to the buffer current at call time: it never
+        mutates (rows are append-only and growth swaps to a new buffer),
+        but it also never grows — concurrent ``embed_batch`` calls leave
+        it stale, not torn.  Re-read the property for a fresh snapshot.
+        """
+        rows = self.rows
+        view = self._arena[:rows]
         view.flags.writeable = False
         return view
 
@@ -142,14 +183,13 @@ class EmbeddingCache:
         ``clear()`` re-interns the row.
         """
         ids, new_count = self._resolve([text])
-        self.misses += new_count
-        self.hits += 1 - new_count
+        self._count(hits=1 - new_count, misses=new_count)
         return self._arena[int(ids[0])].copy()
 
     def prefetch(self, texts) -> None:
         """Bulk-embed every distinct string not yet cached."""
         _, new_count = self._resolve(texts)
-        self.misses += new_count
+        self._count(hits=0, misses=new_count)
 
     def matrix(self, texts) -> np.ndarray:
         """Contiguous ``(n, dim)`` float32 matrix for ``texts``.
@@ -159,8 +199,7 @@ class EmbeddingCache:
         prefetch experiment reports.
         """
         ids, new_count = self._resolve(texts)
-        self.misses += new_count
-        self.hits += int(ids.shape[0]) - new_count
+        self._count(hits=int(ids.shape[0]) - new_count, misses=new_count)
         return self._arena[ids]
 
     def stats(self) -> dict:
@@ -176,20 +215,59 @@ class EmbeddingCache:
 
     def clear(self) -> None:
         """Drop every cached row (invalidates previously returned ids)."""
-        self._ids.clear()
-        self.hits = 0
-        self.misses = 0
-        RETIRED_GENERATIONS.add(self.generation)
-        self._retire.detach()
-        self.generation = next(_GENERATIONS)
-        self._retire = weakref.finalize(self, RETIRED_GENERATIONS.add,
-                                        self.generation)
+        with self._lock.write():
+            self._ids = {}
+            # rebind a FRESH buffer: post-clear embeds restart at row 0,
+            # and writing them into the old buffer would rewrite rows a
+            # pre-clear snapshot/gather still aliases — the torn read
+            # the publish-safety contract rules out
+            self._arena = np.empty_like(self._arena)
+            with self._stats_lock:
+                self.hits = 0
+                self.misses = 0
+            RETIRED_GENERATIONS.add(self.generation)
+            self._retire.detach()
+            self.generation = next(_GENERATIONS)
+            self._retire = weakref.finalize(self, RETIRED_GENERATIONS.add,
+                                            self.generation)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _count(self, hits: int, misses: int) -> None:
+        with self._stats_lock:
+            self.hits += hits
+            self.misses += misses
+
     def _resolve(self, texts) -> tuple[np.ndarray, int]:
         """Intern every text; returns (row ids, count of newly added).
+
+        Fast path: if every token is already interned, the resolve runs
+        under the shared read lock and embeds nothing, so concurrent
+        hits never serialize.  Otherwise the write lock is taken and the
+        resolve re-runs exclusively — tokens interned by a racing thread
+        in the window between the two passes are simply hits on retry,
+        which is what makes concurrent misses on the same strings embed
+        once (single-flight by serialization).
+        """
+        if not hasattr(texts, "__len__"):
+            texts = list(texts)   # accept generators, like the seed cache
+        tokens = [normalize_token(text) for text in texts]
+        with self._lock.read():
+            known = self._ids
+            ids = np.empty(len(tokens), dtype=np.int64)
+            for position, token in enumerate(tokens):
+                row = known.get(token)
+                if row is None:
+                    break
+                ids[position] = row
+            else:
+                return ids, 0
+        with self._lock.write():
+            return self._resolve_exclusive(tokens)
+
+    def _resolve_exclusive(self, tokens: list[str]) -> tuple[np.ndarray, int]:
+        """The write-locked resolve: intern and embed whatever is missing.
 
         New tokens are committed to ``_ids`` only *after* their batch
         embed succeeds: if ``embed_batch`` raises (transient OOM, a user
@@ -197,15 +275,12 @@ class EmbeddingCache:
         re-embed — not "hit" interned ids pointing at uninitialized
         arena rows.
         """
-        if not hasattr(texts, "__len__"):
-            texts = list(texts)   # accept generators, like the seed cache
         known = self._ids
         base = len(known)
-        ids = np.empty(len(texts), dtype=np.int64)
+        ids = np.empty(len(tokens), dtype=np.int64)
         new_tokens: list[str] = []
         new_ids: dict[str, int] = {}
-        for position, text in enumerate(texts):
-            token = normalize_token(text)
+        for position, token in enumerate(tokens):
             row = known.get(token)
             if row is None:
                 row = new_ids.get(token)
@@ -225,6 +300,14 @@ class EmbeddingCache:
         Embeds *before* touching the arena so a failure leaves the cache
         exactly as it was (growth alone would be harmless — it only
         raises capacity).
+
+        Growth is **publish-safe**: the grown buffer is fully written —
+        old rows copied, new rows stored — *before* ``self._arena`` is
+        rebound, so a lock-free reader gathering through the attribute
+        sees either the old buffer (complete for every published id) or
+        the new one (also complete), never a half-initialized row.  The
+        no-growth branch writes only rows ``>= start``, which no
+        published id or snapshot can reference yet.
         """
         rows = self.model.embed_batch(tokens, workers=self.parallelism)
         needed = start + len(tokens)
@@ -235,5 +318,7 @@ class EmbeddingCache:
             grown = np.empty((capacity, self._arena.shape[1]),
                              dtype=np.float32)
             grown[:start] = self._arena[:start]
+            grown[start:needed] = rows
             self._arena = grown
-        self._arena[start:needed] = rows
+        else:
+            self._arena[start:needed] = rows

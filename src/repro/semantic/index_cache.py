@@ -39,6 +39,7 @@ way") silently mispaired rows whenever a caller passed duplicates.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -69,12 +70,32 @@ def _digest_ids(unique_ids: np.ndarray) -> bytes:
 
 @dataclass
 class IndexCache:
-    """Caches built vector indexes keyed by (model, kind, row-id set)."""
+    """Caches built vector indexes keyed by (model, kind, row-id set).
+
+    Thread-safe with **single-flight builds**: when N threads miss on
+    the same key concurrently, exactly one builds the index while the
+    other N-1 wait on a per-key event and then hit the finished entry
+    (counted in ``single_flight_waits``, and as hits — they were served
+    without building).  ``builds`` counts actual index constructions, so
+    under any concurrency ``builds`` equals the number of distinct keys
+    ever built; a duplicate build is a bug the stress tests assert
+    against.  If a build fails, one waiter is promoted to builder and
+    retries — an exception never wedges the key.
+    """
 
     seed: int = 0
     hits: int = 0
     misses: int = 0
+    #: Number of indexes actually constructed (one per distinct key,
+    #: regardless of how many threads raced on the miss).
+    builds: int = 0
+    #: Concurrent misses that coalesced onto another thread's build.
+    single_flight_waits: int = 0
     _store: dict[tuple, VectorIndex] = field(default_factory=dict)
+    #: key -> Event set when the in-flight build for that key finishes.
+    _building: dict[tuple, threading.Event] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
 
     def get_for_ids(self, kind: str, row_ids: np.ndarray,
                     cache: EmbeddingCache
@@ -93,24 +114,48 @@ class IndexCache:
         unique_ids = np.unique(np.asarray(row_ids, dtype=np.int64))
         key = (cache.model.name, kind, cache.generation,
                int(unique_ids.shape[0]), _digest_ids(unique_ids))
-        index = self._store.get(key)
-        if index is not None:
-            self.hits += 1
+        coalesced = False
+        while True:
+            with self._lock:
+                index = self._store.get(key)
+                if index is not None:
+                    self.hits += 1
+                    return index, unique_ids
+                event = self._building.get(key)
+                if event is None:
+                    # this thread builds; racers wait on the event
+                    event = threading.Event()
+                    self._building[key] = event
+                    self.misses += 1
+                    break
+                if not coalesced:
+                    coalesced = True
+                    self.single_flight_waits += 1
+            event.wait()
+            # builder finished (or failed): re-check the store; on
+            # failure the first waiter through becomes the new builder
+        try:
+            with self._lock:
+                # evict retired-generation entries: a cleared arena's
+                # ids can never hit again, so keeping them would leak
+                # one embedding-matrix copy per clear/rebuild cycle.
+                # Only *retired* tokens qualify — entries of a live
+                # sibling arena (another cache instance of this model
+                # sharing this IndexCache) stay cached.
+                stale = [stored for stored in self._store
+                         if stored[2] in RETIRED_GENERATIONS]
+                for stored in stale:
+                    del self._store[stored]
+            index = _FACTORIES[kind](self.seed)
+            index.build(cache.rows_for(unique_ids))
+            with self._lock:
+                self._store[key] = index
+                self.builds += 1
             return index, unique_ids
-        self.misses += 1
-        # evict retired-generation entries: a cleared arena's ids can
-        # never hit again, so keeping them would leak one embedding-
-        # matrix copy per clear/rebuild cycle.  Only *retired* tokens
-        # qualify — entries of a live sibling arena (another cache
-        # instance of this model sharing this IndexCache) stay cached.
-        stale = [stored for stored in self._store
-                 if stored[2] in RETIRED_GENERATIONS]
-        for stored in stale:
-            del self._store[stored]
-        index = _FACTORIES[kind](self.seed)
-        index.build(cache.rows_for(unique_ids))
-        self._store[key] = index
-        return index, unique_ids
+        finally:
+            with self._lock:
+                del self._building[key]
+            event.set()
 
     def get_for_values(self, kind: str, values: list[str],
                        cache: EmbeddingCache
@@ -153,9 +198,24 @@ class IndexCache:
             )
 
     def clear(self) -> None:
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+            self.builds = 0
+            self.single_flight_waits = 0
+
+    def stats(self) -> dict:
+        """Counters for metrics/profiling (one consistent snapshot)."""
+        with self._lock:
+            return {
+                "entries": len(self._store),
+                "hits": self.hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "single_flight_waits": self.single_flight_waits,
+            }
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)

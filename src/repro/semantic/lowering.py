@@ -6,6 +6,8 @@ lazily (relational never depends on semantic at import time).
 
 from __future__ import annotations
 
+import threading
+
 from repro.relational.logical import (
     LogicalPlan,
     SemanticFilterNode,
@@ -25,16 +27,32 @@ from repro.semantic.operators import (
 #: Default physical strategy when the optimizer left no hint.
 DEFAULT_JOIN_METHOD = "blocked"
 
+#: Guards first-use creation of per-model caches.  The cache dict may be
+#: shared by every client session of an :class:`~repro.server.EngineServer`,
+#: and two clients missing on the same model concurrently must end up
+#: with ONE arena — a lost update here would split the id-space and
+#: defeat index reuse across clients.  Creation is rare (once per model
+#: per server), so a process-wide mutex costs nothing.
+_CACHE_CREATE_LOCK = threading.Lock()
+
 
 def cache_for(context: ExecutionContext, model_name: str) -> EmbeddingCache:
-    """Session-lifetime embedding cache per model."""
+    """Session-lifetime embedding cache per model (double-checked)."""
     if context.embedding_cache is None:
         context.embedding_cache = {}
     caches: dict = context.embedding_cache  # type: ignore[assignment]
-    if model_name not in caches:
-        caches[model_name] = EmbeddingCache(
-            context.model(model_name), parallelism=context.parallelism)
-    return caches[model_name]
+    cache = caches.get(model_name)
+    if cache is None:
+        with _CACHE_CREATE_LOCK:
+            cache = caches.get(model_name)
+            if cache is None:
+                workers = context.cache_parallelism
+                if workers is None:
+                    workers = context.parallelism
+                cache = EmbeddingCache(
+                    context.model(model_name), parallelism=workers)
+                caches[model_name] = cache
+    return cache
 
 
 def build_semantic_physical(plan: LogicalPlan, context: ExecutionContext,
@@ -54,7 +72,11 @@ def build_semantic_physical(plan: LogicalPlan, context: ExecutionContext,
         if context.index_cache is None:
             from repro.semantic.index_cache import IndexCache
 
-            context.index_cache = IndexCache()
+            # double-checked for the same reason as cache_for: contexts
+            # sharing one index cache must not lose it to a racing create
+            with _CACHE_CREATE_LOCK:
+                if context.index_cache is None:
+                    context.index_cache = IndexCache()
         return SemanticJoinOp(left, right, plan.left_column,
                               plan.right_column, cache, plan.threshold,
                               plan.score_alias, plan.schema, method=method,

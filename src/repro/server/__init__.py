@@ -1,0 +1,43 @@
+"""Concurrent serving layer: multi-session engine server.
+
+Turns the single-user engine into a query-serving system:
+
+- :class:`~repro.server.server.EngineServer` owns one shared
+  :class:`~repro.engine.state.EngineState` (tables, models, embedding
+  arenas, vector-index cache, plan cache) and hands out lightweight
+  :class:`~repro.server.server.ClientSession` facades that share it;
+- :class:`~repro.server.plan_cache.PlanCache` lets repeated SQL skip
+  the lexer/parser/binder/optimizer entirely;
+- :class:`~repro.server.scheduler.Scheduler` admission-controls a
+  bounded worker pool, classifying queries into interactive vs. heavy
+  lanes by the cost model's estimate.
+
+See ``docs/serving.md`` for the architecture and lock hierarchy.
+"""
+
+from repro.server.plan_cache import (
+    DEFAULT_PLAN_CACHE_CAPACITY,
+    CachedPlan,
+    PlanCache,
+    PlanCacheStats,
+)
+from repro.server.scheduler import (
+    AdmissionError,
+    QueryTicket,
+    Scheduler,
+    SchedulerConfig,
+)
+from repro.server.server import ClientSession, EngineServer
+
+__all__ = [
+    "AdmissionError",
+    "CachedPlan",
+    "ClientSession",
+    "DEFAULT_PLAN_CACHE_CAPACITY",
+    "EngineServer",
+    "PlanCache",
+    "PlanCacheStats",
+    "QueryTicket",
+    "Scheduler",
+    "SchedulerConfig",
+]

@@ -1,0 +1,23 @@
+"""Public serving-layer home of the plan cache.
+
+The implementation lives in :mod:`repro.engine.plan_cache` — it depends
+only on :mod:`repro.engine.sql.canonical`, and the engine's shared
+state (:class:`~repro.engine.state.EngineState`) constructs one, so the
+engine layer must not import upward into ``repro.server``.  This module
+re-exports it under the serving-layer namespace where the feature is
+documented.
+"""
+
+from repro.engine.plan_cache import (
+    DEFAULT_PLAN_CACHE_CAPACITY,
+    CachedPlan,
+    PlanCache,
+    PlanCacheStats,
+)
+
+__all__ = [
+    "CachedPlan",
+    "DEFAULT_PLAN_CACHE_CAPACITY",
+    "PlanCache",
+    "PlanCacheStats",
+]

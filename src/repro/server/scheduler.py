@@ -1,0 +1,314 @@
+"""Admission-controlled query scheduler: bounded pool, two lanes.
+
+The serving layer cannot just hand every incoming query a thread — a
+burst of heavy semantic joins would seize every core and interactive
+dashboards would stall behind them.  The scheduler therefore:
+
+1. **Bounds concurrency.**  A fixed worker pool sized by the same
+   ``utils.parallel`` budget the kernels use executes queries; a query
+   admitted while all workers are busy waits in a queue, and queue
+   depth is bounded — past the bound, :class:`AdmissionError` tells the
+   client to back off *now* instead of letting latency grow without
+   limit (load shedding, not buffering).
+2. **Classifies by estimated cost.**  The optimizer's cost estimate —
+   free on a plan-cache hit, computed anyway on a miss — sorts queries
+   into an ``interactive`` or ``heavy`` lane at admission.  Workers
+   prefer the interactive lane so cheap queries overtake expensive
+   ones, with a periodic forced pick from the heavy lane so it can
+   never starve outright.
+3. **Budgets intra-query parallelism.**  Each running query leases a
+   kernel-worker share from the shared
+   :class:`~repro.utils.parallel.WorkerBudget`, so one query on an idle
+   server fans its kernels across the whole machine while sixteen
+   concurrent queries get one worker each — instead of 16 x 16 threads.
+
+Per-query and per-tenant telemetry (queue wait, run time, lane, plan
+cache hits) aggregates in the scheduler and surfaces through
+``EngineServer.metrics()`` and each query's ``QueryProfile``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.errors import AdmissionError, ServerError
+from repro.utils.parallel import WorkerBudget
+
+#: Estimated-cost boundary between the interactive and heavy lanes, in
+#: the cost model's abstract units.  Calibration: a full relational
+#: aggregate over ~100k rows sits near 2.5e5; a blocked semantic join of
+#: 1k x 1k distinct strings costs ~1.4e6.  Everything up to "small
+#: semantic work" stays interactive; big semantic joins go heavy.
+INTERACTIVE_COST_THRESHOLD = 1_000_000.0
+
+#: Every Nth dispatch prefers the heavy lane even when interactive work
+#: is waiting, so a steady interactive stream cannot starve heavy
+#: queries forever.
+HEAVY_PICK_EVERY = 4
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs for the admission scheduler."""
+
+    #: Worker threads executing queries; ``None`` = the machine budget
+    #: (``utils.parallel.resolve_workers``), shared with the kernels.
+    workers: int | None = None
+    #: Queries allowed to wait per lane before admission refuses.
+    max_queue_depth: int = 128
+    #: Lane classification boundary (cost-model units).
+    interactive_cost_threshold: float = INTERACTIVE_COST_THRESHOLD
+    #: Anti-starvation period for the heavy lane.
+    heavy_pick_every: int = HEAVY_PICK_EVERY
+
+
+@dataclass
+class QueryTicket:
+    """One admitted query: its future, lane, and timing telemetry."""
+
+    future: Future
+    lane: str
+    tenant: str
+    estimated_cost: float
+    queued_at: float
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Kernel-worker share leased from the budget while running.
+    kernel_workers: int = 0
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.queued_at
+
+    @property
+    def run_seconds(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    def result(self, timeout: float | None = None):
+        """Block until the query finishes; returns its result table."""
+        return self.future.result(timeout=timeout)
+
+
+@dataclass
+class _TenantMetrics:
+    queries: int = 0
+    failures: int = 0
+    queue_wait_seconds: float = 0.0
+    run_seconds: float = 0.0
+    plan_cache_hits: int = 0
+    by_lane: dict = field(default_factory=lambda: {"interactive": 0,
+                                                   "heavy": 0})
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "failures": self.failures,
+            "queue_wait_seconds": round(self.queue_wait_seconds, 6),
+            "run_seconds": round(self.run_seconds, 6),
+            "plan_cache_hits": self.plan_cache_hits,
+            "by_lane": dict(self.by_lane),
+        }
+
+
+class Scheduler:
+    """Bounded worker pool with cost-classified admission queues."""
+
+    def __init__(self, config: SchedulerConfig | None = None,
+                 budget: WorkerBudget | None = None):
+        self.config = config or SchedulerConfig()
+        #: Shared machine budget; the pool size and every query's kernel
+        #: share both derive from it.
+        self.budget = budget or WorkerBudget(self.config.workers)
+        self._lanes: dict[str, deque] = {"interactive": deque(),
+                                         "heavy": deque()}
+        self._mutex = threading.Lock()
+        self._work_ready = threading.Condition(self._mutex)
+        self._idle = threading.Condition(self._mutex)
+        self._running = 0
+        self._dispatches = 0
+        self._closed = False
+        self._admitted = 0
+        self._rejected = 0
+        self._tenants: dict[str, _TenantMetrics] = {}
+        self._queue_wait_total = 0.0
+        self._queue_wait_max = 0.0
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-query-worker-{index}",
+                             daemon=True)
+            for index in range(self.budget.total)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def classify(self, estimated_cost: float) -> str:
+        """Lane for a query with the given cost estimate."""
+        if estimated_cost <= self.config.interactive_cost_threshold:
+            return "interactive"
+        return "heavy"
+
+    def submit(self, run, estimated_cost: float,
+               tenant: str = "default",
+               plan_cache_hit: bool | None = None) -> QueryTicket:
+        """Admit one query; returns its ticket (``.result()`` blocks).
+
+        ``run`` is called on a worker thread as ``run(ticket, workers)``
+        where ``workers`` is the kernel-worker share leased for this
+        query.  Raises :class:`AdmissionError` when the target lane is
+        already at ``max_queue_depth``.
+        """
+        lane = self.classify(estimated_cost)
+        ticket = QueryTicket(future=Future(), lane=lane, tenant=tenant,
+                             estimated_cost=estimated_cost,
+                             queued_at=time.perf_counter())
+        with self._mutex:
+            if self._closed:
+                raise ServerError("scheduler is closed")
+            queue = self._lanes[lane]
+            if len(queue) >= self.config.max_queue_depth:
+                self._rejected += 1
+                raise AdmissionError(
+                    f"{lane} lane at max queue depth "
+                    f"({self.config.max_queue_depth}); retry later")
+            self._admitted += 1
+            metrics = self._tenants.setdefault(tenant, _TenantMetrics())
+            metrics.queries += 1
+            metrics.by_lane[lane] += 1
+            if plan_cache_hit:
+                metrics.plan_cache_hits += 1
+            queue.append((ticket, run))
+            self._work_ready.notify()
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _pop_locked(self) -> tuple[QueryTicket, object] | None:
+        interactive = self._lanes["interactive"]
+        heavy = self._lanes["heavy"]
+        if not interactive and not heavy:
+            return None
+        self._dispatches += 1
+        prefer_heavy = bool(heavy) and (
+            not interactive
+            or self._dispatches % self.config.heavy_pick_every == 0)
+        return (heavy if prefer_heavy else interactive).popleft()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._mutex:
+                item = self._pop_locked()
+                while item is None and not self._closed:
+                    self._work_ready.wait()
+                    item = self._pop_locked()
+                if item is None:   # closed and drained
+                    return
+                self._running += 1
+            ticket, run = item
+            if not ticket.future.set_running_or_notify_cancel():
+                self._finish(ticket, cancelled=True)
+                continue
+            ticket.started_at = time.perf_counter()
+            ticket.kernel_workers = self.budget.acquire()
+            try:
+                result = run(ticket, ticket.kernel_workers)
+            except BaseException as error:  # noqa: BLE001 — future carries it
+                ticket.finished_at = time.perf_counter()
+                ticket.future.set_exception(error)
+                self._finish(ticket, failed=True)
+            else:
+                ticket.finished_at = time.perf_counter()
+                ticket.future.set_result(result)
+                self._finish(ticket)
+            finally:
+                self.budget.release()
+
+    def _finish(self, ticket: QueryTicket, failed: bool = False,
+                cancelled: bool = False) -> None:
+        with self._mutex:
+            self._running -= 1
+            if not cancelled:
+                metrics = self._tenants.setdefault(ticket.tenant,
+                                                   _TenantMetrics())
+                metrics.queue_wait_seconds += ticket.queue_wait_seconds
+                metrics.run_seconds += ticket.run_seconds
+                if failed:
+                    metrics.failures += 1
+                self._queue_wait_total += ticket.queue_wait_seconds
+                self._queue_wait_max = max(self._queue_wait_max,
+                                           ticket.queue_wait_seconds)
+            if (self._running == 0
+                    and not any(self._lanes.values())):
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted query has finished.
+
+        Returns ``False`` on timeout.  New submissions during the wait
+        extend it — drain is a quiesce point, not a barrier.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._mutex:
+            while self._running or any(self._lanes.values()):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(timeout=remaining)
+        return True
+
+    def stats(self) -> dict:
+        with self._mutex:
+            queries = self._admitted
+            return {
+                "workers": self.budget.total,
+                "admitted": queries,
+                "rejected": self._rejected,
+                "running": self._running,
+                "queued": {lane: len(queue)
+                           for lane, queue in self._lanes.items()},
+                "queue_wait_seconds_total": round(self._queue_wait_total, 6),
+                "queue_wait_seconds_max": round(self._queue_wait_max, 6),
+                "queue_wait_seconds_mean": round(
+                    self._queue_wait_total / queries, 6) if queries else 0.0,
+                "tenants": {tenant: metrics.as_dict()
+                            for tenant, metrics
+                            in sorted(self._tenants.items())},
+            }
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for queued queries."""
+        with self._mutex:
+            if self._closed:
+                return
+            if not wait:
+                # cancel whatever has not started yet
+                for queue in self._lanes.values():
+                    while queue:
+                        ticket, _ = queue.popleft()
+                        ticket.future.cancel()
+            self._closed = True
+            self._work_ready.notify_all()
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

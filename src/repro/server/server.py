@@ -1,0 +1,263 @@
+"""EngineServer: shared engine state + plan cache + scheduler in one box.
+
+The server owns exactly one :class:`~repro.engine.state.EngineState` —
+catalog, models, per-model embedding arenas, vector-index cache, plan
+cache — and hands out :class:`ClientSession` facades that *share* it.
+What used to cost every session its own model load and cold caches now
+warms once and serves everyone: a string embedded by any client is an
+arena hit for all of them, an index built for one query is reused by
+the next, and a statement planned once executes plan-cache-hot from
+every connection.
+
+Execution is admission-controlled: ``submit`` plans the statement in
+the calling thread (plan-cache first), classifies it by the optimizer's
+cost estimate, and enqueues it on the
+:class:`~repro.server.scheduler.Scheduler`'s bounded pool.  Each
+running query leases a kernel-worker share from the machine-wide
+:class:`~repro.utils.parallel.WorkerBudget` and executes with a
+per-query :class:`~repro.relational.physical.ExecutionContext`, so
+concurrent queries share caches but never each other's telemetry.
+
+Model-cache invalidation uses the striped read-write locks: queries
+hold read stripes for every model their plan touches, so
+:meth:`EngineServer.invalidate_model` (write stripe) can never clear an
+arena out from under a running gather.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import ExitStack
+
+from repro.engine.profiler import QueryProfile
+from repro.engine.session import PlannedStatement, Session
+from repro.engine.state import EngineState, plan_models
+from repro.errors import ServerError
+from repro.optimizer.optimizer import OptimizerConfig
+from repro.relational.physical import DEFAULT_BATCH_SIZE, build_physical
+from repro.server.scheduler import QueryTicket, Scheduler, SchedulerConfig
+from repro.storage.table import Table
+from repro.utils.parallel import WorkerBudget
+
+
+class EngineServer:
+    """A concurrent, multi-session serving layer over one shared engine.
+
+    ``parallelism`` budgets *both* the scheduler's worker pool and the
+    kernel workers of every running query (one
+    :class:`~repro.utils.parallel.WorkerBudget` backs both), defaulting
+    to the CPUs visible to the process.  Use as a context manager or
+    call :meth:`close` to stop the worker pool.
+    """
+
+    def __init__(self, seed: int = 7, load_default_model: bool = True,
+                 optimizer_config: OptimizerConfig | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 parallelism: int | None = None,
+                 plan_cache_capacity: int | None = None,
+                 scheduler_config: SchedulerConfig | None = None):
+        self.state = EngineState(
+            seed=seed, load_default_model=load_default_model,
+            optimizer_config=optimizer_config, batch_size=batch_size,
+            parallelism=parallelism,
+            plan_cache_capacity=plan_cache_capacity)
+        config = scheduler_config or SchedulerConfig()
+        if config.workers is None:
+            # one budget backs the pool and the kernels; an explicit
+            # scheduler worker count decouples them on purpose
+            budget = WorkerBudget(parallelism)
+        else:
+            budget = WorkerBudget(config.workers)
+        self.scheduler = Scheduler(config, budget=budget)
+        self._closed = False
+        # the admin session plans statements submitted without a client
+        # session (server.sql / server.submit convenience paths)
+        self._admin = ClientSession(self, tenant="admin")
+
+    # ------------------------------------------------------------------
+    # Registration (shared state, versioned invalidation)
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Table,
+                       replace: bool = False) -> None:
+        """Register/replace a table for every client session.
+
+        The catalog bumps its version, so every cached plan over the old
+        contents stops matching — queries already executing may see
+        either version (the engine's usual non-snapshot semantics).
+        """
+        self.state.catalog.register(name, table, replace=replace)
+
+    def register_model(self, model, default: bool = False) -> None:
+        """Register an embedding model for every client session."""
+        self.state.models.register(model)
+        if default:
+            self.state.default_model_name = model.name
+
+    def register_source(self, source) -> list[str]:
+        """Federate a polystore source; returns registered table names."""
+        self.state.federation.add_source(source)
+        return self.state.federation.registered_tables(source.name)
+
+    def invalidate_model(self, model_name: str) -> None:
+        """Clear a model's embedding arena (and, transitively, its
+        vector-index entries via generation retirement).
+
+        Takes the model's write stripe, so it blocks until no running
+        query holds the model's read stripe — an arena is never cleared
+        mid-gather.
+        """
+        with self.state.model_locks.write(model_name):
+            cache = self.state.embedding_caches.get(model_name)
+            if cache is not None:
+                cache.clear()
+
+    # ------------------------------------------------------------------
+    # Sessions and execution
+    # ------------------------------------------------------------------
+    def session(self, tenant: str = "default",
+                batch_size: int | None = None) -> "ClientSession":
+        """A lightweight client session sharing this server's state."""
+        self._check_open()
+        return ClientSession(self, tenant=tenant, batch_size=batch_size)
+
+    def submit(self, text: str, session: "ClientSession | None" = None,
+               tenant: str | None = None) -> QueryTicket:
+        """Plan ``text`` now, queue its execution; returns the ticket.
+
+        Planning (plan-cache lookup, or parse/bind/optimize on a miss)
+        happens in the calling thread so the admission decision can use
+        the optimizer's cost estimate; execution happens on the worker
+        pool.  ``ticket.result()`` blocks for the table.
+        """
+        self._check_open()
+        client = session if session is not None else self._admin
+        tenant = tenant if tenant is not None else client.tenant
+        planned = client.plan_for(text)
+
+        def run(ticket: QueryTicket, workers: int) -> Table:
+            return self._execute(client, planned, ticket, workers)
+
+        return self.scheduler.submit(
+            run, estimated_cost=planned.estimated_cost, tenant=tenant,
+            plan_cache_hit=planned.cache_hit)
+
+    def sql(self, text: str, tenant: str = "admin") -> Table:
+        """Blocking convenience: submit and wait for the result."""
+        return self.submit(text, tenant=tenant).result()
+
+    def _arena_counters(self) -> dict[str, tuple[int, int, int]]:
+        """(hits, misses, tokens_embedded) per model, for delta-snapshots.
+
+        Iterates a ``.copy()`` of the shared dict: ``cache_for`` on a
+        concurrent query may insert a new model's cache mid-iteration,
+        and a plain dict iteration would raise RuntimeError (the copy
+        is one C-level call, atomic under the GIL).
+        """
+        return {name: (cache.hits, cache.misses,
+                       cache.model.tokens_embedded)
+                for name, cache
+                in self.state.embedding_caches.copy().items()}
+
+    def _execute(self, client: "ClientSession", planned: PlannedStatement,
+                 ticket: QueryTicket, workers: int) -> Table:
+        """Run one admitted query on a worker thread."""
+        # fresh context per query: shared caches, private metrics dict,
+        # kernel parallelism = this query's leased share of the budget
+        context = self.state.make_context(
+            parallelism=workers, batch_size=client.context.batch_size)
+        before = self._arena_counters()
+        with ExitStack() as stack:
+            # hold read stripes for every model the plan embeds with
+            # (deduped, bank order — see StripedRWLock.stripes_for)
+            for stripe in self.state.model_locks.stripes_for(
+                    plan_models(planned.plan)):
+                stack.enter_context(stripe.read())
+            started = time.perf_counter()
+            root = build_physical(planned.plan, context)
+            result = root.execute()
+            elapsed = time.perf_counter() - started
+        context.record_semantic_metrics()
+        # the shared arenas accumulate counters across every client, so
+        # a profile built from their absolutes would report the whole
+        # server's history; delta-snapshot instead.  Concurrent queries
+        # interleave their deltas, so under contention the attribution
+        # is approximate — but bounded by what actually ran while this
+        # query did, never the server's lifetime.
+        profile = QueryProfile.from_tree(root, elapsed)
+        for name, (hits, misses, tokens) in self._arena_counters().items():
+            hits0, misses0, tokens0 = before.get(name, (0, 0, 0))
+            profile.cache_hits += hits - hits0
+            profile.cache_misses += misses - misses0
+            profile.tokens_embedded += tokens - tokens0
+        for cache in list(self.state.embedding_caches.values()):
+            profile.arena_rows += cache.rows      # gauges, not counters
+            profile.arena_bytes += cache.nbytes
+        profile.plan_cache_hit = planned.cache_hit
+        profile.queue_wait_seconds = ticket.queue_wait_seconds
+        profile.lane = ticket.lane
+        profile.tenant = ticket.tenant
+        client.last_profile = profile
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """One aggregate metrics snapshot across every subsystem."""
+        return {
+            "plan_cache": self.state.plan_cache.stats().as_dict(),
+            "scheduler": self.scheduler.stats(),
+            "embedding_arenas": self.state.arena_stats(),
+            "vector_index_cache": self.state.index_cache.stats(),
+            "catalog_version": self.state.catalog.version,
+        }
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every admitted query has finished."""
+        return self.scheduler.drain(timeout=timeout)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the worker pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close(wait=wait)
+
+    def __enter__(self) -> "EngineServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServerError("server is closed")
+
+
+class ClientSession(Session):
+    """A session facade sharing an :class:`EngineServer`'s state.
+
+    Construction is cheap — no model load, no new caches — because all
+    heavy state lives in the server.  ``sql`` routes through the
+    server's plan cache *and* scheduler (admission control applies);
+    builder queries and ``execute`` run inline in the calling thread,
+    same as a stand-alone session.
+    """
+
+    def __init__(self, server: EngineServer, tenant: str = "default",
+                 batch_size: int | None = None):
+        super().__init__(shared_state=server.state, batch_size=batch_size
+                         or server.state.batch_size)
+        self.server = server
+        self.tenant = tenant
+
+    def sql(self, text: str, optimize: bool = True) -> Table:
+        """Execute through the server's scheduler (blocking)."""
+        if not optimize:
+            # uncached, unscheduled debug path — identical to Session
+            return super().sql(text, optimize=False)
+        return self.submit(text).result()
+
+    def submit(self, text: str) -> QueryTicket:
+        """Non-blocking execute; returns the scheduler ticket."""
+        return self.server.submit(text, session=self)

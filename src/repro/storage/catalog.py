@@ -1,6 +1,26 @@
-"""Catalog: name -> table (+ cached statistics) within a session."""
+"""Catalog: name -> table (+ cached statistics) within a session.
+
+The catalog is shared state under the serving layer — many client
+sessions read it concurrently while ``register_table`` / ``drop`` /
+statistics refreshes mutate it — so every public method is serialized
+on an internal reentrant mutex, and every mutation that can change what
+the optimizer would produce bumps a monotonically increasing
+**version**.  The plan cache keys cached plans on this version: a bump
+is the invalidation signal, so stale plans age out without the catalog
+knowing the plan cache exists.
+
+Version-bumping events:
+
+- ``register`` (new table *or* replacement of an existing name),
+- ``drop``,
+- statistics (re)computation — first lazy computation included, since
+  fresh statistics change cardinality estimates and therefore the plan
+  the optimizer would pick for the same SQL text.
+"""
 
 from __future__ import annotations
+
+import threading
 
 from repro.errors import CatalogError
 from repro.storage.statistics import TableStats, compute_table_stats
@@ -13,39 +33,73 @@ class Catalog:
     def __init__(self):
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
+        self._version = 0
+        self._lock = threading.RLock()
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of schema/statistics changes.
+
+        Consumers that cache anything derived from catalog contents
+        (bound plans, cardinality estimates) include this in their cache
+        key; any registration, drop, or statistics refresh bumps it.
+        """
+        with self._lock:
+            return self._version
 
     def register(self, name: str, table: Table, replace: bool = False) -> None:
-        if name in self._tables and not replace:
-            raise CatalogError(f"table {name!r} already registered")
-        self._tables[name] = table
-        self._stats.pop(name, None)
+        with self._lock:
+            if name in self._tables and not replace:
+                raise CatalogError(f"table {name!r} already registered")
+            self._tables[name] = table
+            self._stats.pop(name, None)
+            self._version += 1
 
     def get(self, name: str) -> Table:
-        try:
-            return self._tables[name]
-        except KeyError:
-            known = ", ".join(sorted(self._tables)) or "<none>"
-            raise CatalogError(
-                f"unknown table {name!r}; registered tables: {known}"
-            ) from None
+        with self._lock:
+            try:
+                return self._tables[name]
+            except KeyError:
+                known = ", ".join(sorted(self._tables)) or "<none>"
+                raise CatalogError(
+                    f"unknown table {name!r}; registered tables: {known}"
+                ) from None
 
     def drop(self, name: str) -> None:
-        if name not in self._tables:
-            raise CatalogError(f"cannot drop unknown table {name!r}")
-        del self._tables[name]
-        self._stats.pop(name, None)
+        with self._lock:
+            if name not in self._tables:
+                raise CatalogError(f"cannot drop unknown table {name!r}")
+            del self._tables[name]
+            self._stats.pop(name, None)
+            self._version += 1
 
     def stats(self, name: str) -> TableStats:
-        """Statistics for ``name``, computed on first request and cached."""
-        if name not in self._stats:
-            self._stats[name] = compute_table_stats(self.get(name))
-        return self._stats[name]
+        """Statistics for ``name``, computed on first request and cached.
+
+        The first computation bumps :attr:`version`: statistics change
+        the optimizer's estimates, so plans cached before stats existed
+        must not be served afterwards.
+        """
+        with self._lock:
+            if name not in self._stats:
+                self._stats[name] = compute_table_stats(self.get(name))
+                self._version += 1
+            return self._stats[name]
+
+    def refresh_stats(self, name: str) -> TableStats:
+        """Force statistics recomputation for ``name`` (version bump)."""
+        with self._lock:
+            self._stats.pop(name, None)
+            return self.stats(name)
 
     def names(self) -> list[str]:
-        return sorted(self._tables)
+        with self._lock:
+            return sorted(self._tables)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._tables
+        with self._lock:
+            return name in self._tables
 
     def __len__(self) -> int:
-        return len(self._tables)
+        with self._lock:
+            return len(self._tables)

@@ -11,6 +11,7 @@ stages; the clamp keeps tiny containers and huge hosts both sane.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, TypeVar
 
@@ -76,6 +77,57 @@ def map_chunks(n_items: int, workers: int,
         return [fn(start, stop) for start, stop in bounds]
     with ThreadPoolExecutor(max_workers=effective) as pool:
         return list(pool.map(lambda bound: fn(*bound), bounds))
+
+
+class WorkerBudget:
+    """One machine-wide worker budget shared by the serving layer's
+    scheduler and the intra-query kernels.
+
+    The problem it solves: the scheduler runs up to W queries at once,
+    and each query's kernels (parallel semantic join, batch subword
+    path) would *also* spin up W threads — oversubscribing the machine
+    W-fold exactly when it is busiest.  The budget hands each admitted
+    query a kernel-worker share of ``max(1, total // active)``: a lone
+    query gets the whole machine, sixteen concurrent queries get one
+    worker each, and the sum of kernel workers never exceeds ~2x total
+    (shares are not retroactively shrunk when later queries arrive —
+    a deliberate simplification; shares are short-lived).
+
+    ``acquire()`` never blocks — admission control (queue bounds) lives
+    in the scheduler; the budget only divides the machine among queries
+    the scheduler already admitted.
+    """
+
+    def __init__(self, total: int | None = None):
+        #: Machine-wide worker count (resolved like session parallelism).
+        self.total = resolve_workers(total)
+        self._active = 0
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> int:
+        """Queries currently holding a share."""
+        with self._lock:
+            return self._active
+
+    def acquire(self) -> int:
+        """Register one running query; returns its kernel-worker share."""
+        with self._lock:
+            self._active += 1
+            return max(1, self.total // self._active)
+
+    def release(self) -> None:
+        """Return a share acquired with :meth:`acquire`."""
+        with self._lock:
+            if self._active <= 0:
+                raise RuntimeError("WorkerBudget.release() without acquire()")
+            self._active -= 1
+
+    def __enter__(self) -> int:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 def chunk_bounds(n_items: int, chunks: int) -> list[tuple[int, int]]:
