@@ -99,8 +99,15 @@ def client_statements(repeats: int) -> list[str]:
 
 def run_serial(workload: RetailWorkload, model, repeats: int,
                total_clients: int) -> dict:
-    """Single-session baseline over the whole multi-client query list."""
-    session = Session(load_default_model=False)
+    """Single-session baseline over the whole multi-client query list.
+
+    The result cache is pinned OFF (here and in the concurrent runs):
+    this benchmark measures *concurrent execution* throughput, and a
+    repeated-statement workload would otherwise degenerate into cache
+    lookups on both sides — the execution-skip win is measured and
+    gated by ``bench_result_cache.py`` instead.
+    """
+    session = Session(load_default_model=False, result_cache_bytes=0)
     session.register_model(model, default=True)
     workload.register_into(session.catalog, detect=False)
     # Warm in FULL passes over the statement list, not per statement:
@@ -127,7 +134,10 @@ def run_serial(workload: RetailWorkload, model, repeats: int,
 def run_concurrent(workload: RetailWorkload, model, n_clients: int,
                    repeats: int, reference: dict) -> dict:
     """One server, ``n_clients`` threads, the repeated workload."""
-    with EngineServer(load_default_model=False) as server:
+    # result cache off: execution throughput is what's measured (see
+    # run_serial)
+    with EngineServer(load_default_model=False,
+                      result_cache_bytes=0) as server:
         server.register_model(model, default=True)
         workload.register_into(server.state.catalog, detect=False)
         admin = server.session("warmup")

@@ -39,6 +39,7 @@ def main() -> None:
         bench_ablation_quantization,
         bench_concurrent_serving,
         bench_embedding_pipeline,
+        bench_result_cache,
         bench_fig2_motivating_query,
         bench_fig3_consolidation,
         bench_fig4_optimization_ladder,
@@ -62,6 +63,7 @@ def main() -> None:
         ("PR 1 — embedding pipeline", bench_embedding_pipeline),
         ("PR 2 — row-id joins + kernels", bench_rowid_join),
         ("PR 3 — concurrent serving", bench_concurrent_serving),
+        ("PR 4 — cross-statement result cache", bench_result_cache),
     ]
     # the PR benchmarks take argv directly (their own argparse): run
     # them quick at small scale — full runs rewrite the committed
@@ -70,7 +72,7 @@ def main() -> None:
     scale = os.environ.get("REPRO_BENCH_SCALE", "small")
     pr_bench_argv = ["--quick"] if scale == "small" else []
     takes_argv = {bench_embedding_pipeline, bench_rowid_join,
-                  bench_concurrent_serving}
+                  bench_concurrent_serving, bench_result_cache}
     total_start = time.perf_counter()
     for title, module in sections:
         banner = f"  {title}  "

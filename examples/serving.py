@@ -41,6 +41,7 @@ def client_loop(server: EngineServer, tenant: str, rounds: int) -> None:
     profile = client.last_profile
     print(f"  {tenant}: last query lane={profile.lane} "
           f"plan-cache-hit={profile.plan_cache_hit} "
+          f"result-cache-hit={profile.result_cache_hit} "
           f"queue-wait={profile.queue_wait_seconds * 1e3:.2f} ms")
 
 
@@ -76,6 +77,13 @@ def main() -> None:
         print(f"  plan cache: {plan['hits']} hits / {plan['misses']} "
               f"misses (hit rate {plan['hit_rate']:.1%}, "
               f"{plan['entries']} entries, {plan['families']} families)")
+        results = metrics["result_cache"]
+        print(f"  result cache: {results['hits']} hits / "
+              f"{results['misses']} misses "
+              f"(hit rate {results['hit_rate']:.1%}, "
+              f"{results['entries']} entries, {results['bytes']} bytes, "
+              f"{results['stale_evictions']} stale-swept); "
+              f"{sched['result_cache_noops']} executions skipped")
         print(f"  scheduler: {sched['admitted']} admitted on "
               f"{sched['workers']} worker(s), mean queue wait "
               f"{sched['queue_wait_seconds_mean'] * 1e3:.2f} ms")

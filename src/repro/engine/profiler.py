@@ -30,6 +30,11 @@ class QueryProfile:
     #    None/zero for builder queries and unscheduled executions) -----
     #: Whether the statement's optimized plan came from the plan cache.
     plan_cache_hit: bool | None = None
+    #: Whether the statement's *result* came from the cross-statement
+    #: result cache (execution skipped entirely).  ``None`` when the
+    #: result cache was not consulted (disabled, builder query, or the
+    #: uncacheable planning path).
+    result_cache_hit: bool | None = None
     #: Seconds the query sat in an admission queue before a worker
     #: picked it up (0.0 when executed inline).
     queue_wait_seconds: float = 0.0
@@ -72,9 +77,10 @@ class QueryProfile:
                  f"(cache {self.cache_hits} hits / "
                  f"{self.cache_misses} misses)"]
         if self.lane is not None:
-            plan = {True: "hit", False: "miss", None: "-"}[
-                self.plan_cache_hit]
-            lines.append(f"serving: lane={self.lane}  plan-cache={plan}  "
+            flag = {True: "hit", False: "miss", None: "-"}
+            lines.append(f"serving: lane={self.lane}  "
+                         f"plan-cache={flag[self.plan_cache_hit]}  "
+                         f"result-cache={flag[self.result_cache_hit]}  "
                          f"queue wait {self.queue_wait_seconds * 1e3:.2f} ms")
         if self.arena_rows:
             lines.append(f"arena: {self.arena_rows} rows / "

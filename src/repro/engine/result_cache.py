@@ -1,0 +1,326 @@
+"""Cross-statement result cache: repeated statements skip execution.
+
+The plan cache (PR 3) made a repeated statement skip the frontend —
+lexer, parser, binder, optimizer — but every hit still re-executed the
+full operator tree, so the expensive part of a repeated semantic join
+was paid on every repetition.  This cache closes that gap: a statement
+whose **canonical identity and inputs** are unchanged returns a
+defensive snapshot of the previous result and executes nothing.
+
+Key structure (:class:`ResultKey`) — everything a result is a pure
+function of:
+
+- **canonical digest + literal tuple** — the statement's identity under
+  :mod:`repro.engine.sql.canonical`: whitespace, keyword case, and
+  formatting differences share one entry; a different literal is a
+  different result and misses;
+- **catalog version** — the same signal the plan cache keys on: any
+  ``register_table``/``drop``/statistics refresh bumps it, so results
+  computed over old contents simply stop matching;
+- **default model name** — unqualified semantic operators bind through
+  it, exactly as in the plan-cache key;
+- **arena generations** — one ``(model, generation)`` pair per model
+  the plan embeds with.  ``EngineServer.invalidate_model`` (or any
+  ``EmbeddingCache.clear``) refreshes the generation token, so results
+  that involved a since-invalidated model never serve again — the
+  signal a model *replacement* needs, which the catalog version cannot
+  see;
+- **index-cache generation** — bumped by ``IndexCache.clear()``, same
+  discipline.
+
+Invalidation is **versioned and lazy**, mirroring
+:mod:`repro.engine.plan_cache`: nothing is evicted at mutation time;
+stale entries stop matching immediately (their key embeds the old
+version/generation) and are swept out of the byte budget the next time
+a put observes a newer version or a retired arena generation.
+
+**Snapshot semantics.**  The cache never shares array storage with
+callers in either direction: ``put`` stores a deep column-copy of the
+result, and ``get`` returns a fresh deep copy per hit.  A caller that
+mutates a returned table (or the original result it handed in) can
+therefore never poison later hits — the regression tests mutate a hit
+in place and re-fetch.
+
+**Budgeting** is by *estimated result bytes*, not entry count: results
+range from one aggregate row to a large join, so an LRU over counts
+would let a handful of giant results squat.  An entry larger than the
+whole budget is not cached at all (``oversize_skips``).
+
+Generation capture discipline: the key is built **before** execution
+(at lookup time) and the same key is used for the post-execution
+``put``.  An invalidation that lands mid-execution therefore leaves the
+entry stored under the *pre*-invalidation generation, where it can
+never match a later lookup — the same "captured before, aged out after"
+pattern ``plan_for`` uses for mid-flight statistics bumps.  The cost is
+one extra miss for the first statement that lazily creates a model's
+arena (its pre-execution key carries the ``-1`` "no arena yet" sentinel
+and is refused dead-on-arrival); the second execution stores under the
+live generation and the third hits, analogous to the two-pass
+statistics warm-up.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.semantic.cache import RETIRED_GENERATIONS
+from repro.storage.table import Table
+
+#: Default byte budget for cached result snapshots (64 MiB).
+DEFAULT_RESULT_CACHE_BYTES = 64 * 1024 * 1024
+
+#: Estimated Python-object overhead per cached string element.
+_OBJECT_OVERHEAD = 56
+
+
+class ResultKey(NamedTuple):
+    """Everything a statement's result is a pure function of."""
+
+    #: Canonical-template digest (statement family).
+    digest: str
+    #: Concrete literal tuple, in template order.
+    parameters: tuple
+    #: Catalog version the statement was planned under.
+    catalog_version: int
+    #: Default model name the statement was bound with.
+    model_name: str
+    #: ``IndexCache.generation`` at key-build time.
+    index_generation: int
+    #: Sorted ``(model, EmbeddingCache.generation)`` per plan model;
+    #: ``-1`` marks a model whose arena does not exist yet.
+    arena_generations: tuple
+
+
+def estimate_table_bytes(table: Table) -> int:
+    """Estimated resident bytes of a table's column arrays.
+
+    Numeric columns are exact (``nbytes``); object columns add a
+    per-element overhead plus the string payload, which is close enough
+    for budget enforcement — the budget bounds memory growth, it is not
+    an allocator.
+    """
+    total = 0
+    for arr in table.columns.values():
+        if arr.dtype == object:
+            total += int(arr.shape[0]) * _OBJECT_OVERHEAD
+            total += sum(len(str(value)) for value in arr)
+        else:
+            total += int(arr.nbytes)
+    return total
+
+
+def snapshot_table(table: Table) -> Table:
+    """A deep column-copy sharing no array storage with ``table``.
+
+    Element objects (strings) are shared — they are immutable — but
+    every ndarray buffer is fresh, so in-place mutation of either side
+    cannot reach the other.
+    """
+    return Table(table.schema,
+                 {name: arr.copy() for name, arr in table.columns.items()})
+
+
+@dataclass
+class CachedResult:
+    """One cached result snapshot plus its accounting."""
+
+    table: Table          # private snapshot; never handed out directly
+    nbytes: int
+    hits: int = 0
+
+
+@dataclass
+class ResultCacheStats:
+    """Counters the benchmarks and server metrics read."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    stale_evictions: int = 0
+    invalidations: int = 0
+    oversize_skips: int = 0
+    entries: int = 0
+    bytes: int = 0
+    max_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "stale_evictions": self.stale_evictions,
+            "invalidations": self.invalidations,
+            "oversize_skips": self.oversize_skips,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+        }
+
+
+class ResultCache:
+    """Byte-budgeted LRU of result snapshots keyed by :class:`ResultKey`.
+
+    Thread-safe: one leaf mutex guards the store and counters; snapshot
+    copies happen outside the lock (a :class:`CachedResult`'s table is
+    immutable once stored, so a concurrent eviction only drops the dict
+    reference, never the data a hit is copying).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_RESULT_CACHE_BYTES):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._store: OrderedDict[ResultKey, CachedResult] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+        self._stale_evictions = 0
+        self._invalidations = 0
+        self._oversize_skips = 0
+        self._newest_version = -1
+        self._newest_index_generation = -1
+        # size of RETIRED_GENERATIONS at the last sweep: the set only
+        # grows, so an unchanged size means no new retirements to scan
+        self._retired_seen = 0
+
+    # -- lookups --------------------------------------------------------
+    def get(self, key: ResultKey) -> Table | None:
+        """A fresh snapshot of the cached result for ``key``, or ``None``.
+
+        Every hit returns its own copy: mutating it cannot poison the
+        cache or any other caller's hit.
+        """
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            entry.hits += 1
+            self._store.move_to_end(key)
+        return snapshot_table(entry.table)
+
+    # -- population -----------------------------------------------------
+    def put(self, key: ResultKey, table: Table) -> bool:
+        """Store a snapshot of ``table`` under ``key``.
+
+        Returns ``False`` (and caches nothing) when the key is already
+        dead on arrival — below the observed version/generation
+        watermark or carrying the ``-1`` sentinel, e.g. an invalidation
+        landed while the query ran — so a never-matchable entry cannot
+        evict live ones, or when the result alone exceeds the byte
+        budget.  The gates run cheapest-first: the key-only refusal
+        costs no table scan, and the byte estimate runs before the
+        defensive copy, so no rejected put pays a memcpy.  Storing
+        sweeps entries that can never match again, then evicts LRU
+        entries until the budget holds.
+        """
+        with self._lock:
+            self._sweep_stale_locked(key)
+            if self._dead_on_arrival_locked(key):
+                return False
+        nbytes = estimate_table_bytes(table)
+        if nbytes > self.max_bytes:
+            with self._lock:
+                self._oversize_skips += 1
+            return False
+        snapshot = snapshot_table(table)
+        with self._lock:
+            # re-check: the watermark may have advanced while copying
+            if self._dead_on_arrival_locked(key):
+                return False
+            previous = self._store.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
+            self._store[key] = CachedResult(table=snapshot, nbytes=nbytes)
+            self._bytes += nbytes
+            self._puts += 1
+            while self._bytes > self.max_bytes:
+                _, evicted = self._store.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
+            return True
+
+    # -- maintenance ----------------------------------------------------
+    def invalidate(self) -> int:
+        """Drop every cached result; returns the number dropped."""
+        with self._lock:
+            dropped = len(self._store)
+            self._store.clear()
+            self._bytes = 0
+            self._invalidations += dropped
+            return dropped
+
+    def stats(self) -> ResultCacheStats:
+        with self._lock:
+            return ResultCacheStats(
+                hits=self._hits, misses=self._misses, puts=self._puts,
+                evictions=self._evictions,
+                stale_evictions=self._stale_evictions,
+                invalidations=self._invalidations,
+                oversize_skips=self._oversize_skips,
+                entries=len(self._store), bytes=self._bytes,
+                max_bytes=self.max_bytes)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    # -- internals ------------------------------------------------------
+    def _dead_on_arrival_locked(self, key: ResultKey) -> bool:
+        """True when ``key`` can never match a future lookup: it sits
+        below the version/generation watermark (an invalidation landed
+        while the query ran), references a retired arena, or carries the
+        ``-1`` "no arena yet" sentinel (the arena was created during the
+        very execution that produced this result, so every later lookup
+        carries the real generation)."""
+        return (key.catalog_version < self._newest_version
+                or key.index_generation < self._newest_index_generation
+                or any(generation == -1 or generation in RETIRED_GENERATIONS
+                       for _, generation in key.arena_generations))
+
+    def _sweep_stale_locked(self, key: ResultKey) -> None:
+        """Drop entries that can never hit again.
+
+        Catalog versions and index-cache generations are monotonic, so
+        anything below the newest observed value is dead; an arena
+        generation in :data:`RETIRED_GENERATIONS` (cleared or collected
+        cache) is dead regardless of ordering.
+        """
+        advanced = False
+        if key.catalog_version > self._newest_version:
+            self._newest_version = key.catalog_version
+            advanced = True
+        if key.index_generation > self._newest_index_generation:
+            self._newest_index_generation = key.index_generation
+            advanced = True
+        if len(RETIRED_GENERATIONS) != self._retired_seen:
+            self._retired_seen = len(RETIRED_GENERATIONS)
+            advanced = True
+        if not advanced:
+            return
+        stale = [stored for stored in self._store
+                 if self._dead_on_arrival_locked(stored)]
+        for stored in stale:
+            entry = self._store.pop(stored)
+            self._bytes -= entry.nbytes
+            self._stale_evictions += 1

@@ -25,7 +25,7 @@ from repro.embeddings.model import EmbeddingModel
 from repro.engine.explain import explain_plan
 from repro.engine.profiler import QueryProfile
 from repro.engine.sql.binder import Binder
-from repro.engine.sql.canonical import canonicalize
+from repro.engine.sql.canonical import CanonicalQuery, canonicalize
 from repro.engine.sql.parser import parse_sql
 from repro.engine.state import DEFAULT_MODEL_NAME, EngineState, plan_models
 from repro.errors import CatalogError
@@ -48,6 +48,15 @@ class PlannedStatement(NamedTuple):
     #: the cache entry), and what the scheduler's admission classifier
     #: keys on.
     estimated_cost: float
+    #: Canonical form of the statement (digest + literal tuple) — the
+    #: result cache keys on it.  ``None`` on the uncacheable path (no
+    #: plan cache, or a facade with a diverged optimizer config).
+    canonical: CanonicalQuery | None = None
+    #: Catalog version the statement was planned under (captured before
+    #: binding, like the plan cache's key).
+    catalog_version: int = -1
+    #: Default model name the statement was bound with.
+    model_name: str = ""
 
 
 class Session:
@@ -60,22 +69,29 @@ class Session:
     number, so its parallel-vs-blocked decisions reflect the machine the
     query actually runs on.
 
+    ``result_cache_bytes`` budgets the cross-statement result cache
+    (``None`` = default 64 MiB, ``0`` disables it so every statement
+    executes).
+
     ``shared_state`` plugs the session into an existing
     :class:`~repro.engine.state.EngineState` (the server path).  When it
-    is given, ``seed``/``load_default_model``/``optimizer_config`` are
-    ignored — that state was configured by its owner.
+    is given, ``seed``/``load_default_model``/``optimizer_config``/
+    ``result_cache_bytes`` are ignored — that state was configured by
+    its owner.
     """
 
     def __init__(self, seed: int = 7, load_default_model: bool = True,
                  optimizer_config: OptimizerConfig | None = None,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  parallelism: int | None = None,
-                 shared_state: EngineState | None = None):
+                 shared_state: EngineState | None = None,
+                 result_cache_bytes: int | None = None):
         if shared_state is None:
             shared_state = EngineState(
                 seed=seed, load_default_model=load_default_model,
                 optimizer_config=optimizer_config, batch_size=batch_size,
-                parallelism=parallelism)
+                parallelism=parallelism,
+                result_cache_bytes=result_cache_bytes)
         self.state = shared_state
         # shared references, not copies: mutating through any facade is
         # visible to every session over the same state
@@ -164,14 +180,31 @@ class Session:
         Optimized statements go through the shared plan cache: on a hit
         the text is at most memo-probed (byte-identical repeats skip
         even the lexer) and the cached physical-annotated plan executes
-        directly.  ``optimize=False`` always takes the uncached path.
+        directly.  A repeated statement whose result-cache key still
+        matches (same canonical form + literals, catalog version, and
+        model/arena/index generations) skips execution entirely and
+        returns a defensive snapshot of the cached result.
+        ``optimize=False`` always takes the uncached, unscheduled path.
         """
         if not optimize:
             return self.execute(self.sql_plan(text), optimize=False)
         planned = self.plan_for(text)
+        key = self.state.result_key(planned)   # captured pre-execution
+        started = time.perf_counter()
+        cached = self.state.fetch_result(key)
+        if cached is not None:
+            profile = QueryProfile(
+                total_seconds=time.perf_counter() - started)
+            profile.plan_cache_hit = planned.cache_hit
+            profile.result_cache_hit = True
+            self.last_profile = profile
+            return cached
         result = self.execute(planned.plan, optimize=False)
         if self.last_profile is not None:
             self.last_profile.plan_cache_hit = planned.cache_hit
+            if key is not None:
+                self.last_profile.result_cache_hit = False
+        self.state.store_result(key, result)
         return result
 
     def sql_plan(self, text: str) -> LogicalPlan:
@@ -202,6 +235,8 @@ class Session:
             plan = optimizer.optimize(self.sql_plan(text))
             return PlannedStatement(
                 plan, False, optimizer.last_report.estimated_cost)
+        # (canonical stays None above: without the shared-cache key
+        # discipline the statement is not result-cacheable either)
         model = self.default_model_name
         version = self.catalog.version
         statement = None
@@ -215,7 +250,10 @@ class Session:
                 # a textually new spelling of a cached statement: memo it
                 # so this spelling skips the lexer next time too
                 cache.memo_text(text, model, canonical)
-            return PlannedStatement(entry.plan, True, entry.estimated_cost)
+            return PlannedStatement(entry.plan, True, entry.estimated_cost,
+                                    canonical=canonical,
+                                    catalog_version=version,
+                                    model_name=model)
         if statement is None:
             statement = parse_sql(text)
         plan = Binder(self.catalog, model).bind(statement)
@@ -223,7 +261,9 @@ class Session:
         plan = optimizer.optimize(plan)
         estimated = optimizer.last_report.estimated_cost
         cache.put(text, canonical, version, model, plan, estimated)
-        return PlannedStatement(plan, False, estimated)
+        return PlannedStatement(plan, False, estimated,
+                                canonical=canonical, catalog_version=version,
+                                model_name=model)
 
     def optimize(self, plan: LogicalPlan) -> LogicalPlan:
         return self._optimizer().optimize(plan)

@@ -16,6 +16,10 @@ the same data paid the warm-up twice and shared no cache hits.
   builds);
 - **plan_cache** — optimized plans keyed on canonical SQL + catalog
   version;
+- **result_cache** — byte-budgeted result snapshots keyed on canonical
+  SQL + catalog version + model/arena/index generations, so a repeated
+  statement skips execution entirely (see
+  :mod:`repro.engine.result_cache`);
 - **model_locks** — striped read-write locks addressed by model name,
   used by the server for operations that must exclude *all* readers of
   one model's caches (e.g. dropping a model's arena).
@@ -32,6 +36,11 @@ from dataclasses import replace
 
 from repro.embeddings.registry import ModelRegistry
 from repro.engine.plan_cache import DEFAULT_PLAN_CACHE_CAPACITY, PlanCache
+from repro.engine.result_cache import (
+    DEFAULT_RESULT_CACHE_BYTES,
+    ResultCache,
+    ResultKey,
+)
 from repro.optimizer.optimizer import OptimizerConfig
 from repro.polystore.federation import Federation
 from repro.relational.logical import LogicalPlan
@@ -71,7 +80,8 @@ class EngineState:
                  optimizer_config: OptimizerConfig | None = None,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  parallelism: int | None = None,
-                 plan_cache_capacity: int | None = None):
+                 plan_cache_capacity: int | None = None,
+                 result_cache_bytes: int | None = None):
         self.seed = seed
         self.catalog = Catalog()
         self.models = ModelRegistry()
@@ -88,6 +98,12 @@ class EngineState:
         self.default_model_name = DEFAULT_MODEL_NAME
         self.plan_cache = PlanCache(
             plan_cache_capacity or DEFAULT_PLAN_CACHE_CAPACITY)
+        # result_cache_bytes=0 disables cross-statement result caching
+        # (every statement executes); None takes the default budget
+        if result_cache_bytes is None:
+            result_cache_bytes = DEFAULT_RESULT_CACHE_BYTES
+        self.result_cache = (ResultCache(result_cache_bytes)
+                             if result_cache_bytes else None)
         config = optimizer_config or OptimizerConfig()
         if config.cost_params.workers is None:
             # cost the parallel access path with the real worker count;
@@ -124,6 +140,60 @@ class EngineState:
             cache_parallelism=self.workers,
             embedding_cache=self.embedding_caches,
             index_cache=self.index_cache)
+
+    def result_key(self, planned) -> ResultKey | None:
+        """The result-cache key for a planned statement, or ``None``.
+
+        ``None`` means the statement is not result-cacheable: the result
+        cache is disabled, or the statement bypassed the plan-cache
+        machinery (no canonical form — e.g. a facade whose optimizer
+        config diverged from the shared state's).
+
+        Generations are read *now*, at lookup time, and the caller
+        stores the post-execution result under this same key — see the
+        capture discipline in :mod:`repro.engine.result_cache`.  Models
+        whose arena does not exist yet record generation ``-1``; the
+        cache refuses such keys at store time (the arena is created by
+        the very execution that produced the result, so the key could
+        never match again).
+        """
+        if self.result_cache is None or planned.canonical is None:
+            return None
+        caches = self.embedding_caches
+        arena_generations = tuple(
+            (name, cache.generation if (cache := caches.get(name))
+             is not None else -1)
+            for name in sorted(plan_models(planned.plan)))
+        return ResultKey(
+            digest=planned.canonical.digest,
+            parameters=planned.canonical.parameters,
+            catalog_version=planned.catalog_version,
+            model_name=planned.model_name,
+            index_generation=self.index_cache.generation,
+            arena_generations=arena_generations)
+
+    def fetch_result(self, key: ResultKey | None):
+        """A defensive snapshot of the cached result for ``key``, or
+        ``None`` (also when the key is ``None`` or the cache disabled).
+
+        Both execution paths — ``Session.sql`` inline and
+        ``EngineServer.submit`` — consult through here so the key
+        discipline lives in one place.
+        """
+        if key is None or self.result_cache is None:
+            return None
+        return self.result_cache.get(key)
+
+    def store_result(self, key: ResultKey | None, table) -> None:
+        """Insert a result under the **pre-execution** key from
+        :meth:`result_key` (no-op when ``None``/disabled).
+
+        The captured key is what makes invalidation-during-execution
+        safe: a register/clear that landed mid-run leaves this key
+        below the watermark, and the cache refuses it dead-on-arrival.
+        """
+        if key is not None and self.result_cache is not None:
+            self.result_cache.put(key, table)
 
     def arena_stats(self) -> dict:
         """Per-model embedding-arena statistics (metrics surface).

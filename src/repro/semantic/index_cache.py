@@ -86,6 +86,11 @@ class IndexCache:
     seed: int = 0
     hits: int = 0
     misses: int = 0
+    #: Monotonic id-space token for consumers that cache *derived*
+    #: artifacts (the cross-statement result cache keys on it):
+    #: ``clear()`` bumps it, so anything computed against the dropped
+    #: indexes lazily stops matching.
+    generation: int = 0
     #: Number of indexes actually constructed (one per distinct key,
     #: regardless of how many threads raced on the miss).
     builds: int = 0
@@ -200,6 +205,7 @@ class IndexCache:
     def clear(self) -> None:
         with self._lock:
             self._store.clear()
+            self.generation += 1
             self.hits = 0
             self.misses = 0
             self.builds = 0

@@ -8,6 +8,9 @@ Turns the single-user engine into a query-serving system:
   :class:`~repro.server.server.ClientSession` facades that share it;
 - :class:`~repro.server.plan_cache.PlanCache` lets repeated SQL skip
   the lexer/parser/binder/optimizer entirely;
+- :class:`~repro.server.result_cache.ResultCache` lets a repeated
+  statement skip *execution* entirely, returning a defensive snapshot
+  of the previous result (versioned + generation-keyed invalidation);
 - :class:`~repro.server.scheduler.Scheduler` admission-controls a
   bounded worker pool, classifying queries into interactive vs. heavy
   lanes by the cost model's estimate.
@@ -21,6 +24,13 @@ from repro.server.plan_cache import (
     PlanCache,
     PlanCacheStats,
 )
+from repro.server.result_cache import (
+    DEFAULT_RESULT_CACHE_BYTES,
+    CachedResult,
+    ResultCache,
+    ResultCacheStats,
+    ResultKey,
+)
 from repro.server.scheduler import (
     AdmissionError,
     QueryTicket,
@@ -32,12 +42,17 @@ from repro.server.server import ClientSession, EngineServer
 __all__ = [
     "AdmissionError",
     "CachedPlan",
+    "CachedResult",
     "ClientSession",
     "DEFAULT_PLAN_CACHE_CAPACITY",
+    "DEFAULT_RESULT_CACHE_BYTES",
     "EngineServer",
     "PlanCache",
     "PlanCacheStats",
     "QueryTicket",
+    "ResultCache",
+    "ResultCacheStats",
+    "ResultKey",
     "Scheduler",
     "SchedulerConfig",
 ]

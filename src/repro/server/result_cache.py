@@ -1,0 +1,30 @@
+"""Public serving-layer home of the cross-statement result cache.
+
+The implementation lives in :mod:`repro.engine.result_cache` — it
+depends only on the storage layer and the arena generation registry,
+and the engine's shared state
+(:class:`~repro.engine.state.EngineState`) constructs one, so the
+engine layer must not import upward into ``repro.server``.  This module
+re-exports it under the serving-layer namespace where the feature is
+documented (``docs/serving.md`` § "Result cache").
+"""
+
+from repro.engine.result_cache import (
+    DEFAULT_RESULT_CACHE_BYTES,
+    CachedResult,
+    ResultCache,
+    ResultCacheStats,
+    ResultKey,
+    estimate_table_bytes,
+    snapshot_table,
+)
+
+__all__ = [
+    "CachedResult",
+    "DEFAULT_RESULT_CACHE_BYTES",
+    "ResultCache",
+    "ResultCacheStats",
+    "ResultKey",
+    "estimate_table_bytes",
+    "snapshot_table",
+]

@@ -104,6 +104,7 @@ class _TenantMetrics:
     queue_wait_seconds: float = 0.0
     run_seconds: float = 0.0
     plan_cache_hits: int = 0
+    result_cache_hits: int = 0
     by_lane: dict = field(default_factory=lambda: {"interactive": 0,
                                                    "heavy": 0})
 
@@ -114,6 +115,7 @@ class _TenantMetrics:
             "queue_wait_seconds": round(self.queue_wait_seconds, 6),
             "run_seconds": round(self.run_seconds, 6),
             "plan_cache_hits": self.plan_cache_hits,
+            "result_cache_hits": self.result_cache_hits,
             "by_lane": dict(self.by_lane),
         }
 
@@ -137,6 +139,7 @@ class Scheduler:
         self._closed = False
         self._admitted = 0
         self._rejected = 0
+        self._result_cache_noops = 0
         self._tenants: dict[str, _TenantMetrics] = {}
         self._queue_wait_total = 0.0
         self._queue_wait_max = 0.0
@@ -191,19 +194,64 @@ class Scheduler:
             self._work_ready.notify()
         return ticket
 
+    def complete_cached(self, result, tenant: str = "default",
+                        estimated_cost: float = 0.0,
+                        plan_cache_hit: bool | None = None) -> QueryTicket:
+        """Account a result-cache hit as an interactive-lane no-op.
+
+        The result is already in hand (execution was skipped entirely),
+        so the query never enters a queue or occupies a worker — but it
+        *was* a served query, so tenant metrics count it, with zero
+        queue wait and zero run time.  Returns a ticket whose future is
+        already resolved with ``result``.
+        """
+        now = time.perf_counter()
+        ticket = QueryTicket(future=Future(), lane="interactive",
+                             tenant=tenant, estimated_cost=estimated_cost,
+                             queued_at=now, started_at=now, finished_at=now)
+        with self._mutex:
+            if self._closed:
+                raise ServerError("scheduler is closed")
+            self._result_cache_noops += 1
+            metrics = self._tenants.setdefault(tenant, _TenantMetrics())
+            metrics.queries += 1
+            metrics.by_lane["interactive"] += 1
+            metrics.result_cache_hits += 1
+            if plan_cache_hit:
+                metrics.plan_cache_hits += 1
+        ticket.future.set_result(result)
+        return ticket
+
     # ------------------------------------------------------------------
     # Worker pool
     # ------------------------------------------------------------------
+    @staticmethod
+    def pick_lane(dispatch: int, interactive_waiting: bool,
+                  heavy_waiting: bool, heavy_pick_every: int) -> str | None:
+        """The lane dispatch number ``dispatch`` (1-based) serves.
+
+        Pure policy, extracted so the anti-starvation tests can drive it
+        deterministically: prefer interactive work, but every
+        ``heavy_pick_every``-th dispatch takes from the heavy lane even
+        when interactive work is waiting.  ``None`` when both lanes are
+        empty.
+        """
+        if not interactive_waiting and not heavy_waiting:
+            return None
+        prefer_heavy = heavy_waiting and (
+            not interactive_waiting
+            or dispatch % heavy_pick_every == 0)
+        return "heavy" if prefer_heavy else "interactive"
+
     def _pop_locked(self) -> tuple[QueryTicket, object] | None:
         interactive = self._lanes["interactive"]
         heavy = self._lanes["heavy"]
-        if not interactive and not heavy:
+        lane = self.pick_lane(self._dispatches + 1, bool(interactive),
+                              bool(heavy), self.config.heavy_pick_every)
+        if lane is None:
             return None
         self._dispatches += 1
-        prefer_heavy = bool(heavy) and (
-            not interactive
-            or self._dispatches % self.config.heavy_pick_every == 0)
-        return (heavy if prefer_heavy else interactive).popleft()
+        return self._lanes[lane].popleft()
 
     def _worker_loop(self) -> None:
         while True:
@@ -279,6 +327,7 @@ class Scheduler:
                 "workers": self.budget.total,
                 "admitted": queries,
                 "rejected": self._rejected,
+                "result_cache_noops": self._result_cache_noops,
                 "running": self._running,
                 "queued": {lane: len(queue)
                            for lane, queue in self._lanes.items()},

@@ -55,12 +55,14 @@ class EngineServer:
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  parallelism: int | None = None,
                  plan_cache_capacity: int | None = None,
+                 result_cache_bytes: int | None = None,
                  scheduler_config: SchedulerConfig | None = None):
         self.state = EngineState(
             seed=seed, load_default_model=load_default_model,
             optimizer_config=optimizer_config, batch_size=batch_size,
             parallelism=parallelism,
-            plan_cache_capacity=plan_cache_capacity)
+            plan_cache_capacity=plan_cache_capacity,
+            result_cache_bytes=result_cache_bytes)
         config = scheduler_config or SchedulerConfig()
         if config.workers is None:
             # one budget backs the pool and the kernels; an explicit
@@ -111,6 +113,18 @@ class EngineServer:
             if cache is not None:
                 cache.clear()
 
+    def invalidate_results(self) -> int:
+        """Drop every cached result snapshot; returns the count dropped.
+
+        The result cache invalidates itself lazily on catalog/model
+        changes; this is the explicit admin override for mutations the
+        engine cannot see — e.g. a table's arrays modified in place
+        (tables are immutable by convention, not enforcement).
+        """
+        if self.state.result_cache is None:
+            return 0
+        return self.state.result_cache.invalidate()
+
     # ------------------------------------------------------------------
     # Sessions and execution
     # ------------------------------------------------------------------
@@ -133,9 +147,30 @@ class EngineServer:
         client = session if session is not None else self._admin
         tenant = tenant if tenant is not None else client.tenant
         planned = client.plan_for(text)
+        # result cache before admission: a hit skips execution entirely,
+        # so it never competes for a worker — the scheduler records it
+        # as an interactive-lane no-op.  The key (catalog version +
+        # model/arena/index generations) is captured here, pre-execution,
+        # and reused for the post-execution store on a miss.
+        key = self.state.result_key(planned)
+        started = time.perf_counter()
+        cached = self.state.fetch_result(key)
+        if cached is not None:
+            ticket = self.scheduler.complete_cached(
+                cached, tenant=tenant,
+                estimated_cost=planned.estimated_cost,
+                plan_cache_hit=planned.cache_hit)
+            profile = QueryProfile(
+                total_seconds=time.perf_counter() - started)
+            profile.plan_cache_hit = planned.cache_hit
+            profile.result_cache_hit = True
+            profile.lane = ticket.lane
+            profile.tenant = ticket.tenant
+            client.last_profile = profile
+            return ticket
 
         def run(ticket: QueryTicket, workers: int) -> Table:
-            return self._execute(client, planned, ticket, workers)
+            return self._execute(client, planned, ticket, workers, key)
 
         return self.scheduler.submit(
             run, estimated_cost=planned.estimated_cost, tenant=tenant,
@@ -159,7 +194,8 @@ class EngineServer:
                 in self.state.embedding_caches.copy().items()}
 
     def _execute(self, client: "ClientSession", planned: PlannedStatement,
-                 ticket: QueryTicket, workers: int) -> Table:
+                 ticket: QueryTicket, workers: int,
+                 result_key=None) -> Table:
         """Run one admitted query on a worker thread."""
         # fresh context per query: shared caches, private metrics dict,
         # kernel parallelism = this query's leased share of the budget
@@ -196,6 +232,9 @@ class EngineServer:
         profile.queue_wait_seconds = ticket.queue_wait_seconds
         profile.lane = ticket.lane
         profile.tenant = ticket.tenant
+        if result_key is not None:
+            profile.result_cache_hit = False
+            self.state.store_result(result_key, result)
         client.last_profile = profile
         return result
 
@@ -206,6 +245,9 @@ class EngineServer:
         """One aggregate metrics snapshot across every subsystem."""
         return {
             "plan_cache": self.state.plan_cache.stats().as_dict(),
+            "result_cache": (self.state.result_cache.stats().as_dict()
+                             if self.state.result_cache is not None
+                             else None),
             "scheduler": self.scheduler.stats(),
             "embedding_arenas": self.state.arena_stats(),
             "vector_index_cache": self.state.index_cache.stats(),

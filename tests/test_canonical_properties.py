@@ -1,0 +1,251 @@
+"""Property-based tests of SQL canonicalization equivalence classes.
+
+The plan and result caches both trust :mod:`repro.engine.sql.canonical`
+to define statement identity, so its equivalence classes are
+load-bearing: two spellings in one class **must** answer identically
+(or the result cache serves the wrong rows), and anything that can
+change an answer **must** leave the class (digest/parameters) or be
+carried in the rest of the key (catalog version, generations).
+
+Randomized here (hypothesis, derandomized for CI stability):
+
+- *Spelling noise* — keyword casing, inter-token whitespace — must not
+  change digest, parameters, or results; byte-different spellings of
+  one statement must share a single plan-cache entry and hit the
+  result cache.
+- *Literal values* — any generated literal set parameterizes into the
+  same family digest; different literals produce different parameter
+  tuples (distinct result keys).
+- *Select-list order* — a different column order is a different
+  statement (different digest): canonicalization must never
+  over-merge.
+- *Catalog mutation* — after any register/replace/drop+register/stats
+  refresh, a cached result is never served: the catalog version in
+  the key changed, so equal digests now carry different keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.session import Session
+from repro.engine.sql.canonical import canonicalize
+from repro.engine.sql.parser import parse_sql
+from repro.storage.table import Table
+
+SETTINGS = settings(max_examples=30, deadline=None, derandomize=True,
+                    suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                           HealthCheck.too_slow])
+
+#: Keywords the spelling strategy may re-case.
+_KEYWORDS = ("select", "from", "where", "and", "or", "order", "by",
+             "limit", "asc", "desc")
+
+_COLUMNS = ("a", "b", "price")
+
+_ws = st.sampled_from([" ", "  ", "\t", "\n ", "   "])
+_case = st.sampled_from(["lower", "upper", "title"])
+
+
+@st.composite
+def query_specs(draw):
+    """An abstract query over t(a int, b str, price float)."""
+    columns = draw(st.permutations(_COLUMNS))
+    n_columns = draw(st.integers(1, len(_COLUMNS)))
+    int_literal = draw(st.integers(-5, 15))
+    # halves only: plain decimal spellings the SQL lexer accepts
+    # (no scientific-notation reprs)
+    float_literal = draw(st.integers(0, 200).map(lambda i: i / 2))
+    comparison = draw(st.sampled_from([">", "<", ">=", "<=", "=", "!="]))
+    use_where = draw(st.booleans())
+    use_float_predicate = draw(st.booleans())
+    order_column = draw(st.sampled_from(_COLUMNS))
+    ascending = draw(st.booleans())
+    use_order = draw(st.booleans())
+    limit = draw(st.one_of(st.none(), st.integers(1, 10)))
+    return {
+        "columns": list(columns[:n_columns]),
+        "where_column": ("price" if use_float_predicate else "a")
+        if use_where else None,
+        "comparison": comparison,
+        "literal": (float_literal if use_float_predicate else int_literal)
+        if use_where else None,
+        "order": (f"{order_column} {'ASC' if ascending else 'DESC'}"
+                  if use_order else None),
+        "limit": limit,
+    }
+
+
+def bump_literals(spec) -> dict:
+    """The same statement shape with every literal value changed."""
+    bumped = dict(spec)
+    if bumped["literal"] is not None:
+        bumped["literal"] = bumped["literal"] + (
+            0.125 if isinstance(bumped["literal"], float) else 23)
+    if bumped["limit"] is not None:
+        bumped["limit"] += 7
+    return bumped
+
+
+def render(spec) -> str:
+    """Deterministic reference spelling of a query spec."""
+    parts = ["select", ", ".join(spec["columns"]), "from", "t"]
+    if spec["where_column"] is not None:
+        parts += ["where", f"{spec['where_column']} {spec['comparison']} "
+                           f"{spec['literal']!r}"]
+    if spec["order"]:
+        parts += ["order", "by", spec["order"]]
+    if spec["limit"] is not None:
+        parts += ["limit", str(spec["limit"])]
+    return " ".join(parts)
+
+
+@st.composite
+def spellings(draw, spec):
+    """A random spelling of ``spec``: noisy case and whitespace."""
+    text = render(spec)
+    tokens = text.split(" ")
+    noisy = []
+    for token in tokens:
+        if token.rstrip(",") in _KEYWORDS:
+            style = draw(_case)
+            token = getattr(token, style)()
+        noisy.append(token)
+    separators = [draw(_ws) for _ in range(len(noisy) - 1)]
+    out = noisy[0]
+    for separator, token in zip(separators, noisy[1:]):
+        out += separator + token
+    return out
+
+
+def make_session(model) -> Session:
+    session = Session(load_default_model=False)
+    session.register_model(model, default=True)
+    session.register_table("t", Table.from_dict({
+        "a": list(range(12)),
+        "b": [f"w{i % 5}" for i in range(12)],
+        "price": [float(i) * 3.5 for i in range(12)],
+    }))
+    return session
+
+
+def rows(table: Table) -> list[tuple]:
+    return sorted((tuple(row.items()) for row in table.to_rows()),
+                  key=repr)
+
+
+@pytest.fixture(scope="module")
+def session(model):
+    """One warmed session for every example: statistics settle once, so
+    examples exercise the caches, not the lazy-stats version bump."""
+    session = make_session(model)
+    session.sql("SELECT a FROM t")
+    session.sql("SELECT a FROM t")
+    return session
+
+
+class TestSpellingEquivalence:
+    @SETTINGS
+    @given(data=st.data())
+    def test_spellings_share_digest_and_parameters(self, data):
+        spec = data.draw(query_specs())
+        one = data.draw(spellings(spec))
+        two = data.draw(spellings(spec))
+        a = canonicalize(parse_sql(one))
+        b = canonicalize(parse_sql(two))
+        assert a.digest == b.digest
+        assert a.parameters == b.parameters
+        assert a.template == b.template
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_equal_digests_imply_equal_results(self, data, session):
+        """The property the result cache stakes correctness on."""
+        spec = data.draw(query_specs())
+        one = data.draw(spellings(spec))
+        two = data.draw(spellings(spec))
+        first = rows(session.sql(one))
+        hit_expected = session.last_profile.result_cache_hit
+        second = rows(session.sql(two))
+        assert first == second
+        # the second spelling canonicalizes onto the first's entry:
+        # whatever path the first took, the repeat must be a hit
+        if hit_expected is not None:
+            assert session.last_profile.result_cache_hit is True
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_different_literals_same_family_different_keys(self, data):
+        spec = data.draw(query_specs())
+        if spec["limit"] is None and spec["literal"] is None:
+            return                      # no literal to vary
+        a = canonicalize(parse_sql(render(spec)))
+        b = canonicalize(parse_sql(render(bump_literals(spec))))
+        assert a.digest == b.digest     # one family
+        assert a.parameters != b.parameters
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_column_order_is_a_different_statement(self, data):
+        spec = data.draw(query_specs())
+        if len(spec["columns"]) < 2:
+            return
+        reordered = dict(spec)
+        reordered["columns"] = list(reversed(spec["columns"]))
+        a = canonicalize(parse_sql(render(spec)))
+        b = canonicalize(parse_sql(render(reordered)))
+        assert a.digest != b.digest
+
+
+class TestCatalogMutationInvalidates:
+    """Any catalog mutation ⇒ stale entries never serve again."""
+
+    MUTATIONS = ("replace", "drop_reregister", "refresh_stats",
+                 "register_other")
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_mutation_always_yields_fresh_results(self, data, model):
+        spec = data.draw(query_specs())
+        mutation = data.draw(st.sampled_from(self.MUTATIONS))
+        session = make_session(model)
+        text = render(spec)
+        session.sql(text)
+        version_before = session.catalog.version
+        reference = rows(session.sql(text))
+
+        replacement = Table.from_dict({
+            "a": [100 + i for i in range(3)],
+            "b": ["zzz"] * 3,
+            "price": [999.0, 998.0, 997.0],
+        })
+        if mutation == "replace":
+            session.register_table("t", replacement, replace=True)
+        elif mutation == "drop_reregister":
+            session.catalog.drop("t")
+            session.register_table("t", replacement)
+        elif mutation == "refresh_stats":
+            session.catalog.refresh_stats("t")
+        else:
+            session.register_table("other", replacement)
+        assert session.catalog.version > version_before
+
+        result = session.sql(text)
+        # never served from cache across the mutation
+        assert session.last_profile.result_cache_hit is False
+        if mutation in ("replace", "drop_reregister"):
+            expected = make_fresh_reference(model, replacement, text)
+            assert rows(result) == expected
+        else:
+            # contents unchanged: same answer, freshly computed
+            assert rows(result) == reference
+
+
+def make_fresh_reference(model, table: Table, text: str) -> list[tuple]:
+    """Ground truth from a brand-new session over ``table``."""
+    fresh = Session(load_default_model=False)
+    fresh.register_model(model, default=True)
+    fresh.register_table("t", table)
+    return rows(fresh.sql(text))

@@ -1,0 +1,285 @@
+"""Deterministic scheduler coverage: lane policy, admission, telemetry.
+
+``test_server.py`` exercises the scheduler incidentally, through whole
+servers and thread storms.  These tests pin down the paths on their
+own terms:
+
+- the **anti-starvation policy** is a pure function
+  (:meth:`Scheduler.pick_lane`), driven here dispatch-by-dispatch with
+  no threads at all, plus one end-to-end ordering test where a single
+  blocked worker makes the dispatch sequence fully deterministic;
+- every **AdmissionError** path: per-lane bounds (one full lane does
+  not poison the other), the rejected counter, admitted count
+  unchanged, the error message, and submit-after-close;
+- **ticket telemetry** with stubbed clock values — no sleeps, no
+  wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.errors import AdmissionError, ServerError
+from repro.server import Scheduler, SchedulerConfig
+from repro.server.scheduler import QueryTicket
+
+
+def make_scheduler(**overrides) -> Scheduler:
+    defaults = dict(workers=1, max_queue_depth=2,
+                    interactive_cost_threshold=100.0, heavy_pick_every=3)
+    defaults.update(overrides)
+    return Scheduler(SchedulerConfig(**defaults))
+
+
+def blocked_worker(scheduler: Scheduler):
+    """Occupy every worker; returns (release_event, started_event)."""
+    release, started = threading.Event(), threading.Event()
+
+    def block(ticket, workers):
+        started.set()
+        assert release.wait(timeout=10)
+        return "blocked-done"
+
+    tickets = [scheduler.submit(block, estimated_cost=1.0)
+               for _ in range(scheduler.budget.total)]
+    assert started.wait(timeout=10)
+    return release, tickets
+
+
+# ---------------------------------------------------------------------------
+# Lane policy as a pure function (no threads)
+# ---------------------------------------------------------------------------
+class TestPickLanePolicy:
+    def test_both_empty_is_none(self):
+        assert Scheduler.pick_lane(1, False, False, 4) is None
+
+    def test_only_interactive(self):
+        assert Scheduler.pick_lane(4, True, False, 4) == "interactive"
+
+    def test_only_heavy(self):
+        assert Scheduler.pick_lane(1, False, True, 4) == "heavy"
+
+    def test_interactive_preferred_off_period(self):
+        for dispatch in (1, 2, 3, 5, 6, 7):
+            assert Scheduler.pick_lane(dispatch, True, True, 4) \
+                == "interactive"
+
+    def test_heavy_forced_every_period(self):
+        for dispatch in (4, 8, 12, 400):
+            assert Scheduler.pick_lane(dispatch, True, True, 4) == "heavy"
+
+    def test_policy_over_a_simulated_burst(self):
+        """Across any window of heavy_pick_every dispatches with both
+        lanes waiting, exactly one heavy pick happens — the starvation
+        bound the docs promise."""
+        every = 5
+        picks = [Scheduler.pick_lane(d, True, True, every)
+                 for d in range(1, 51)]
+        for start in range(0, 50, every):
+            window = picks[start:start + every]
+            assert window.count("heavy") == 1
+
+
+# ---------------------------------------------------------------------------
+# Anti-starvation end to end (single worker ⇒ deterministic order)
+# ---------------------------------------------------------------------------
+class TestAntiStarvation:
+    def test_dispatch_order_interleaves_heavy(self):
+        """One worker, a blocked head, 6 interactive + 2 heavy queued.
+
+        The blocked head consumed dispatch 1, so the drain issues
+        dispatches 2..9 with heavy_pick_every=3: heavy at dispatches 3
+        and 6, interactive everywhere else."""
+        scheduler = make_scheduler(max_queue_depth=16)
+        order: list[str] = []
+
+        def record(tag):
+            def run(ticket, workers):
+                order.append(tag)
+                return tag
+            return run
+
+        release, head = blocked_worker(scheduler)
+        for i in range(6):
+            scheduler.submit(record(f"i{i}"), estimated_cost=1.0)
+        for i in range(2):
+            scheduler.submit(record(f"h{i}"), estimated_cost=1e9)
+        release.set()
+        assert scheduler.drain(timeout=10)
+        assert order == ["i0", "h0", "i1", "i2", "h1", "i3", "i4", "i5"]
+        scheduler.close()
+
+    def test_heavy_only_backlog_drains_in_order(self):
+        scheduler = make_scheduler(max_queue_depth=16)
+        order: list[int] = []
+        release, _ = blocked_worker(scheduler)
+        for i in range(4):
+            scheduler.submit(
+                lambda ticket, workers, i=i: order.append(i),
+                estimated_cost=1e9)
+        release.set()
+        assert scheduler.drain(timeout=10)
+        assert order == [0, 1, 2, 3]
+        scheduler.close()
+
+
+# ---------------------------------------------------------------------------
+# Admission errors
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def test_classify_boundary_is_inclusive(self):
+        scheduler = make_scheduler()
+        try:
+            assert scheduler.classify(100.0) == "interactive"
+            assert scheduler.classify(100.0001) == "heavy"
+        finally:
+            scheduler.close()
+
+    def test_full_interactive_lane_rejects_with_message(self):
+        scheduler = make_scheduler()
+        release, _ = blocked_worker(scheduler)
+        try:
+            scheduler.submit(lambda t, w: None, estimated_cost=1.0)
+            scheduler.submit(lambda t, w: None, estimated_cost=1.0)
+            with pytest.raises(AdmissionError, match="interactive lane"):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0)
+            assert scheduler.stats()["rejected"] == 1
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_full_lane_does_not_poison_the_other(self):
+        scheduler = make_scheduler()
+        release, _ = blocked_worker(scheduler)
+        try:
+            for _ in range(2):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0)
+            with pytest.raises(AdmissionError):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0)
+            # the heavy lane still admits
+            ticket = scheduler.submit(lambda t, w: "heavy-ok",
+                                      estimated_cost=1e9)
+            assert ticket.lane == "heavy"
+            with pytest.raises(AdmissionError, match="heavy lane"):
+                for _ in range(3):
+                    scheduler.submit(lambda t, w: None, estimated_cost=1e9)
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_rejected_submission_is_not_counted_admitted(self):
+        scheduler = make_scheduler()
+        release, _ = blocked_worker(scheduler)
+        try:
+            for _ in range(2):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0)
+            admitted = scheduler.stats()["admitted"]
+            tenants = scheduler.stats()["tenants"]["default"]["queries"]
+            with pytest.raises(AdmissionError):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0)
+            assert scheduler.stats()["admitted"] == admitted
+            assert scheduler.stats()["tenants"]["default"]["queries"] \
+                == tenants
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_rejection_leaves_queues_drainable(self):
+        scheduler = make_scheduler()
+        release, _ = blocked_worker(scheduler)
+        for _ in range(2):
+            scheduler.submit(lambda t, w: "ok", estimated_cost=1.0)
+        with pytest.raises(AdmissionError):
+            scheduler.submit(lambda t, w: None, estimated_cost=1.0)
+        release.set()
+        assert scheduler.drain(timeout=10)
+        scheduler.close()
+
+    def test_submit_after_close_raises_server_error(self):
+        scheduler = make_scheduler()
+        scheduler.close()
+        with pytest.raises(ServerError):
+            scheduler.submit(lambda t, w: None, estimated_cost=1.0)
+
+    def test_complete_cached_after_close_raises(self):
+        scheduler = make_scheduler()
+        scheduler.close()
+        with pytest.raises(ServerError):
+            scheduler.complete_cached("x")
+
+    def test_drain_times_out_while_blocked_then_succeeds(self):
+        scheduler = make_scheduler()
+        release, tickets = blocked_worker(scheduler)
+        try:
+            assert scheduler.drain(timeout=0.05) is False
+            release.set()
+            assert scheduler.drain(timeout=10) is True
+            assert tickets[0].result(timeout=10) == "blocked-done"
+        finally:
+            scheduler.close()
+
+
+# ---------------------------------------------------------------------------
+# Ticket telemetry with a stub clock (no sleeps)
+# ---------------------------------------------------------------------------
+class TestTicketTelemetry:
+    def make_ticket(self, queued_at, started_at, finished_at):
+        return QueryTicket(future=Future(), lane="interactive",
+                           tenant="t", estimated_cost=1.0,
+                           queued_at=queued_at, started_at=started_at,
+                           finished_at=finished_at)
+
+    def test_queue_wait_and_run_seconds(self):
+        ticket = self.make_ticket(10.0, 12.5, 20.0)
+        assert ticket.queue_wait_seconds == pytest.approx(2.5)
+        assert ticket.run_seconds == pytest.approx(7.5)
+
+    def test_unstarted_ticket_reports_zero(self):
+        ticket = self.make_ticket(10.0, None, None)
+        assert ticket.queue_wait_seconds == 0.0
+        assert ticket.run_seconds == 0.0
+
+    def test_started_unfinished_reports_zero_run(self):
+        ticket = self.make_ticket(10.0, 11.0, None)
+        assert ticket.queue_wait_seconds == pytest.approx(1.0)
+        assert ticket.run_seconds == 0.0
+
+    def test_cached_noop_ticket_has_zero_waits(self):
+        scheduler = make_scheduler()
+        try:
+            ticket = scheduler.complete_cached(
+                "result", tenant="acme", estimated_cost=5.0,
+                plan_cache_hit=True)
+            assert ticket.result(timeout=1) == "result"
+            assert ticket.lane == "interactive"
+            assert ticket.queue_wait_seconds == 0.0
+            assert ticket.run_seconds == 0.0
+            stats = scheduler.stats()
+            assert stats["result_cache_noops"] == 1
+            acme = stats["tenants"]["acme"]
+            assert acme["queries"] == 1
+            assert acme["result_cache_hits"] == 1
+            assert acme["plan_cache_hits"] == 1
+            assert acme["by_lane"]["interactive"] == 1
+            # no-ops never occupy a worker or a queue slot
+            assert stats["admitted"] == 0
+        finally:
+            scheduler.close()
+
+    def test_failure_counted_per_tenant(self):
+        scheduler = make_scheduler()
+        try:
+            def boom(ticket, workers):
+                raise RuntimeError("kaput")
+
+            ticket = scheduler.submit(boom, estimated_cost=1.0,
+                                      tenant="acme")
+            with pytest.raises(RuntimeError, match="kaput"):
+                ticket.result(timeout=10)
+            assert scheduler.drain(timeout=10)
+            assert scheduler.stats()["tenants"]["acme"]["failures"] == 1
+        finally:
+            scheduler.close()

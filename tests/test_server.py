@@ -466,7 +466,11 @@ class TestRaces:
         # single-flight: every build corresponds to a distinct key
         assert index_stats["builds"] == index_stats["entries"]
         metrics = server.metrics()
-        assert metrics["scheduler"]["admitted"] >= N_THREADS * 4
+        # repeated statements may be served as result-cache no-ops that
+        # never occupy a worker; every query is one or the other
+        served = (metrics["scheduler"]["admitted"]
+                  + metrics["scheduler"]["result_cache_noops"])
+        assert served >= N_THREADS * 4
         assert not metrics["scheduler"]["queued"]["interactive"]
         assert not metrics["scheduler"]["queued"]["heavy"]
 
