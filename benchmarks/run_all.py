@@ -45,6 +45,7 @@ def main() -> None:
         bench_fig4_optimization_ladder,
         bench_fig5_hardware_placement,
         bench_rowid_join,
+        bench_semantic_reuse,
         bench_table1_semantic_matches,
     )
 
@@ -64,6 +65,7 @@ def main() -> None:
         ("PR 2 — row-id joins + kernels", bench_rowid_join),
         ("PR 3 — concurrent serving", bench_concurrent_serving),
         ("PR 4 — cross-statement result cache", bench_result_cache),
+        ("PR 5 — semantic subsumption reuse", bench_semantic_reuse),
     ]
     # the PR benchmarks take argv directly (their own argparse): run
     # them quick at small scale — full runs rewrite the committed
@@ -72,7 +74,8 @@ def main() -> None:
     scale = os.environ.get("REPRO_BENCH_SCALE", "small")
     pr_bench_argv = ["--quick"] if scale == "small" else []
     takes_argv = {bench_embedding_pipeline, bench_rowid_join,
-                  bench_concurrent_serving, bench_result_cache}
+                  bench_concurrent_serving, bench_result_cache,
+                  bench_semantic_reuse}
     total_start = time.perf_counter()
     for title, module in sections:
         banner = f"  {title}  "
@@ -89,6 +92,58 @@ def main() -> None:
     print(f"\nall experiments regenerated in "
           f"{time.perf_counter() - total_start:.1f}s "
           f"(scale={os.environ.get('REPRO_BENCH_SCALE', 'small')})")
+    print_committed_gates()
+
+
+#: Gate-carrying keys surfaced in the committed-trajectory summary, in
+#: display order; each BENCH_*.json reports whichever subset it has.
+_GATE_KEYS = (
+    "parity", "parity_atol_1e-6", "join_parity", "invalidation_ok",
+    "all_parity_answers_residual", "approximate_index_fell_back",
+    "speedup_enforced", "workload_speedup", "refinement_speedup",
+    "speedup", "idspace_gather_speedup", "speedup_target",
+)
+
+
+def print_committed_gates() -> None:
+    """One-line summary per committed ``BENCH_*.json`` trajectory.
+
+    The quick-mode sections above never rewrite the committed files, so
+    this table shows what the last *full* runs recorded — the numbers a
+    regression would be judged against.
+    """
+    import json
+
+    root = Path(__file__).resolve().parent.parent
+    trajectories = sorted(root.glob("BENCH_*.json"))
+    print("\ncommitted benchmark trajectories "
+          f"({len(trajectories)} files):")
+    if not trajectories:
+        print("  (none)")
+        return
+    for path in trajectories:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"  {path.name}: unreadable ({error})")
+            continue
+        shown = []
+        for key in _GATE_KEYS:
+            if key not in data:
+                continue
+            value = data[key]
+            if isinstance(value, dict):
+                # nested sections (e.g. rowid join_parity) surface only
+                # their boolean parity flags
+                for sub, flag in value.items():
+                    if "parity" in sub and isinstance(flag, bool):
+                        shown.append(f"{key}.{sub}={flag}")
+                continue
+            shown.append(f"{key}={value}")
+        cpu = data.get("cpu_count")
+        if cpu is not None:
+            shown.append(f"cpus={cpu}")
+        print(f"  {path.name}: " + ", ".join(shown))
 
 
 if __name__ == "__main__":

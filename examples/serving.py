@@ -70,6 +70,15 @@ def main() -> None:
         for thread in threads:
             thread.join()
 
+        # interactive refinement: tightening a warmed semantic filter is
+        # answered residually from the cached super-result (subsumption),
+        # not by re-running the embedding kernels
+        analyst = server.session("analyst")
+        analyst.sql("SELECT name FROM products WHERE ptype ~ 'shoes' "
+                    "THRESHOLD 0.85 ORDER BY name")
+        print(f"\n  analyst: refined threshold 0.8 -> 0.85, "
+              f"reuse-hit={analyst.last_profile.reuse_hit}")
+
         metrics = server.metrics()
         plan = metrics["plan_cache"]
         sched = metrics["scheduler"]
@@ -84,6 +93,11 @@ def main() -> None:
               f"{results['entries']} entries, {results['bytes']} bytes, "
               f"{results['stale_evictions']} stale-swept); "
               f"{sched['result_cache_noops']} executions skipped")
+        reuse = metrics["reuse"]
+        print(f"  semantic reuse: {reuse['hits']} residual answers / "
+              f"{reuse['probes']} probes ({reuse['entries']} entries "
+              f"in {reuse['families']} families, "
+              f"{reuse['fallbacks']} fallbacks)")
         print(f"  scheduler: {sched['admitted']} admitted on "
               f"{sched['workers']} worker(s), mean queue wait "
               f"{sched['queue_wait_seconds_mean'] * 1e3:.2f} ms")

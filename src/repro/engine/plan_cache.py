@@ -58,6 +58,9 @@ class CachedPlan:
     canonical: CanonicalQuery
     catalog_version: int
     model_name: str
+    #: Subsumption spec (repro.reuse.analysis.ReuseSpec) when the plan
+    #: was augmented for semantic reuse; None otherwise.
+    reuse: object | None = None
     hits: int = 0
 
 
@@ -146,12 +149,13 @@ class PlanCache:
 
     def put(self, text: str, canonical: CanonicalQuery,
             catalog_version: int, model_name: str, plan: object,
-            estimated_cost: float) -> CachedPlan:
+            estimated_cost: float, reuse: object | None = None
+            ) -> CachedPlan:
         """Insert an optimized plan (and memoize its text)."""
         entry = CachedPlan(plan=plan, estimated_cost=estimated_cost,
                            canonical=canonical,
                            catalog_version=catalog_version,
-                           model_name=model_name)
+                           model_name=model_name, reuse=reuse)
         key = (*canonical.key, catalog_version, model_name)
         with self._lock:
             self._sweep_stale_locked(catalog_version)

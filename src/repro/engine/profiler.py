@@ -35,6 +35,12 @@ class QueryProfile:
     #: result cache was not consulted (disabled, builder query, or the
     #: uncacheable planning path).
     result_cache_hit: bool | None = None
+    #: Whether the result was derived from a *containing* cached
+    #: statement by the semantic-reuse subsystem (threshold/top-k
+    #: refinement, extra predicate, or projection subset answered
+    #: residually — no embedding/join execution).  ``None`` when the
+    #: reuse registry was not consulted.
+    reuse_hit: bool | None = None
     #: Seconds the query sat in an admission queue before a worker
     #: picked it up (0.0 when executed inline).
     queue_wait_seconds: float = 0.0
@@ -81,6 +87,7 @@ class QueryProfile:
             lines.append(f"serving: lane={self.lane}  "
                          f"plan-cache={flag[self.plan_cache_hit]}  "
                          f"result-cache={flag[self.result_cache_hit]}  "
+                         f"reuse={flag[self.reuse_hit]}  "
                          f"queue wait {self.queue_wait_seconds * 1e3:.2f} ms")
         if self.arena_rows:
             lines.append(f"arena: {self.arena_rows} rows / "

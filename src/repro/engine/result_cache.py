@@ -75,6 +75,11 @@ DEFAULT_RESULT_CACHE_BYTES = 64 * 1024 * 1024
 #: Estimated Python-object overhead per cached string element.
 _OBJECT_OVERHEAD = 56
 
+#: Object columns longer than this are size-estimated from a strided
+#: sample instead of a full pass — measuring every string of a large
+#: result cost more than the residual/store work around it.
+_ESTIMATE_SAMPLE = 512
+
 
 class ResultKey(NamedTuple):
     """Everything a statement's result is a pure function of."""
@@ -100,13 +105,21 @@ def estimate_table_bytes(table: Table) -> int:
     Numeric columns are exact (``nbytes``); object columns add a
     per-element overhead plus the string payload, which is close enough
     for budget enforcement — the budget bounds memory growth, it is not
-    an allocator.
+    an allocator.  Large object columns extrapolate the payload from a
+    deterministic strided sample: a full per-string pass over a big
+    result cost more than the snapshot copy it was budgeting.
     """
     total = 0
     for arr in table.columns.values():
         if arr.dtype == object:
-            total += int(arr.shape[0]) * _OBJECT_OVERHEAD
-            total += sum(len(str(value)) for value in arr)
+            n = int(arr.shape[0])
+            total += n * _OBJECT_OVERHEAD
+            if n <= _ESTIMATE_SAMPLE:
+                total += sum(len(str(value)) for value in arr)
+            else:
+                sample = arr[::max(1, n // _ESTIMATE_SAMPLE)]
+                sampled = sum(len(str(value)) for value in sample)
+                total += int(sampled * (n / sample.shape[0]))
         else:
             total += int(arr.nbytes)
     return total
@@ -123,12 +136,34 @@ def snapshot_table(table: Table) -> Table:
                  {name: arr.copy() for name, arr in table.columns.items()})
 
 
+def strip_columns(table: Table, names: tuple) -> Table:
+    """``table`` without the ``names`` columns (arrays shared, not
+    copied — callers copy when they need isolation)."""
+    if not names:
+        return table
+    drop = set(names)
+    from repro.storage.schema import Schema
+
+    fields = [field_ for field_ in table.schema.fields
+              if field_.name not in drop]
+    return Table(Schema(fields),
+                 {field_.name: table.columns[field_.name]
+                  for field_ in fields})
+
+
 @dataclass
 class CachedResult:
-    """One cached result snapshot plus its accounting."""
+    """One cached result snapshot plus its accounting.
+
+    ``aux_names`` lists reuse-internal columns embedded in ``table``
+    (per-row semantic scores / top-k ranks): :meth:`ResultCache.get`
+    strips them from every exact hit, while the subsumption path reads
+    the full snapshot through :meth:`ResultCache.get_full`.
+    """
 
     table: Table          # private snapshot; never handed out directly
     nbytes: int
+    aux_names: tuple = ()
     hits: int = 0
 
 
@@ -143,6 +178,7 @@ class ResultCacheStats:
     stale_evictions: int = 0
     invalidations: int = 0
     oversize_skips: int = 0
+    reuse_fetches: int = 0
     entries: int = 0
     bytes: int = 0
     max_bytes: int = 0
@@ -162,6 +198,7 @@ class ResultCacheStats:
             "stale_evictions": self.stale_evictions,
             "invalidations": self.invalidations,
             "oversize_skips": self.oversize_skips,
+            "reuse_fetches": self.reuse_fetches,
             "entries": self.entries,
             "bytes": self.bytes,
             "max_bytes": self.max_bytes,
@@ -191,6 +228,7 @@ class ResultCache:
         self._stale_evictions = 0
         self._invalidations = 0
         self._oversize_skips = 0
+        self._reuse_fetches = 0
         self._newest_version = -1
         self._newest_index_generation = -1
         # size of RETIRED_GENERATIONS at the last sweep: the set only
@@ -202,7 +240,9 @@ class ResultCache:
         """A fresh snapshot of the cached result for ``key``, or ``None``.
 
         Every hit returns its own copy: mutating it cannot poison the
-        cache or any other caller's hit.
+        cache or any other caller's hit.  Reuse aux columns embedded in
+        the stored snapshot are stripped — callers see exactly what
+        unaugmented execution would have produced.
         """
         with self._lock:
             entry = self._store.get(key)
@@ -212,10 +252,29 @@ class ResultCache:
             self._hits += 1
             entry.hits += 1
             self._store.move_to_end(key)
-        return snapshot_table(entry.table)
+        return snapshot_table(strip_columns(entry.table, entry.aux_names))
+
+    def get_full(self, key: ResultKey) -> tuple[Table, tuple] | None:
+        """The raw stored snapshot (aux columns included) plus its aux
+        names — the subsumption path's read.
+
+        Counted separately from exact hits/misses (``reuse_fetches``)
+        so hit-rate telemetry keeps meaning "exact repeats".  The
+        returned table is the *internal* snapshot: it is immutable once
+        stored, and the residual executor only builds fresh arrays from
+        it, never mutates it.
+        """
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                return None
+            self._reuse_fetches += 1
+            self._store.move_to_end(key)
+            return entry.table, entry.aux_names
 
     # -- population -----------------------------------------------------
-    def put(self, key: ResultKey, table: Table) -> bool:
+    def put(self, key: ResultKey, table: Table,
+            aux_names: tuple = (), owned: bool = False) -> bool:
         """Store a snapshot of ``table`` under ``key``.
 
         Returns ``False`` (and caches nothing) when the key is already
@@ -228,6 +287,11 @@ class ResultCache:
         defensive copy, so no rejected put pays a memcpy.  Storing
         sweeps entries that can never match again, then evicts LRU
         entries until the budget holds.
+
+        ``owned=True`` transfers ownership of ``table``'s freshly
+        allocated arrays to the cache instead of snapshotting them —
+        the residual executor's path, whose output shares storage with
+        nothing.  The caller must hand out no other reference.
         """
         with self._lock:
             self._sweep_stale_locked(key)
@@ -238,7 +302,7 @@ class ResultCache:
             with self._lock:
                 self._oversize_skips += 1
             return False
-        snapshot = snapshot_table(table)
+        snapshot = table if owned else snapshot_table(table)
         with self._lock:
             # re-check: the watermark may have advanced while copying
             if self._dead_on_arrival_locked(key):
@@ -246,7 +310,8 @@ class ResultCache:
             previous = self._store.pop(key, None)
             if previous is not None:
                 self._bytes -= previous.nbytes
-            self._store[key] = CachedResult(table=snapshot, nbytes=nbytes)
+            self._store[key] = CachedResult(table=snapshot, nbytes=nbytes,
+                                            aux_names=tuple(aux_names))
             self._bytes += nbytes
             self._puts += 1
             while self._bytes > self.max_bytes:
@@ -273,6 +338,7 @@ class ResultCache:
                 stale_evictions=self._stale_evictions,
                 invalidations=self._invalidations,
                 oversize_skips=self._oversize_skips,
+                reuse_fetches=self._reuse_fetches,
                 entries=len(self._store), bytes=self._bytes,
                 max_bytes=self.max_bytes)
 

@@ -57,6 +57,12 @@ class PlannedStatement(NamedTuple):
     catalog_version: int = -1
     #: Default model name the statement was bound with.
     model_name: str = ""
+    #: Reuse spec (:class:`repro.reuse.analysis.ReuseSpec`) when the
+    #: statement went through subsumption analysis; its plan then
+    #: carries the reuse aux columns, which ``EngineState.store_result``
+    #: strips before results reach callers.  ``None`` on paths that
+    #: never consult the reuse registry.
+    reuse: object | None = None
 
 
 class Session:
@@ -71,7 +77,10 @@ class Session:
 
     ``result_cache_bytes`` budgets the cross-statement result cache
     (``None`` = default 64 MiB, ``0`` disables it so every statement
-    executes).
+    executes).  ``semantic_reuse`` toggles the subsumption subsystem
+    (answering refined statements residually from cached
+    super-results); it rides on result-cache snapshots, so disabling
+    the result cache disables it too.
 
     ``shared_state`` plugs the session into an existing
     :class:`~repro.engine.state.EngineState` (the server path).  When it
@@ -85,13 +94,15 @@ class Session:
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  parallelism: int | None = None,
                  shared_state: EngineState | None = None,
-                 result_cache_bytes: int | None = None):
+                 result_cache_bytes: int | None = None,
+                 semantic_reuse: bool = True):
         if shared_state is None:
             shared_state = EngineState(
                 seed=seed, load_default_model=load_default_model,
                 optimizer_config=optimizer_config, batch_size=batch_size,
                 parallelism=parallelism,
-                result_cache_bytes=result_cache_bytes)
+                result_cache_bytes=result_cache_bytes,
+                semantic_reuse=semantic_reuse)
         self.state = shared_state
         # shared references, not copies: mutating through any facade is
         # visible to every session over the same state
@@ -199,12 +210,22 @@ class Session:
             profile.result_cache_hit = True
             self.last_profile = profile
             return cached
+        reused = self.state.fetch_reuse(planned, key)
+        if reused is not None:
+            profile = QueryProfile(
+                total_seconds=time.perf_counter() - started)
+            profile.plan_cache_hit = planned.cache_hit
+            profile.result_cache_hit = False
+            profile.reuse_hit = True
+            self.last_profile = profile
+            return reused
         result = self.execute(planned.plan, optimize=False)
+        result = self.state.store_result(key, result, planned)
         if self.last_profile is not None:
             self.last_profile.plan_cache_hit = planned.cache_hit
             if key is not None:
                 self.last_profile.result_cache_hit = False
-        self.state.store_result(key, result)
+                self.last_profile.reuse_hit = False
         return result
 
     def sql_plan(self, text: str) -> LogicalPlan:
@@ -253,17 +274,26 @@ class Session:
             return PlannedStatement(entry.plan, True, entry.estimated_cost,
                                     canonical=canonical,
                                     catalog_version=version,
-                                    model_name=model)
+                                    model_name=model, reuse=entry.reuse)
         if statement is None:
             statement = parse_sql(text)
         plan = Binder(self.catalog, model).bind(statement)
+        reuse = None
+        if self.state.reuse_registry is not None:
+            # subsumption analysis + aux-column augmentation happen
+            # before optimization, so the optimizer plans (and the plan
+            # cache stores) the score-carrying variant once
+            from repro.reuse.analysis import analyze_and_augment
+
+            reuse, plan = analyze_and_augment(plan)
         optimizer = self._optimizer()
         plan = optimizer.optimize(plan)
         estimated = optimizer.last_report.estimated_cost
-        cache.put(text, canonical, version, model, plan, estimated)
+        cache.put(text, canonical, version, model, plan, estimated,
+                  reuse=reuse)
         return PlannedStatement(plan, False, estimated,
                                 canonical=canonical, catalog_version=version,
-                                model_name=model)
+                                model_name=model, reuse=reuse)
 
     def optimize(self, plan: LogicalPlan) -> LogicalPlan:
         return self._optimizer().optimize(plan)

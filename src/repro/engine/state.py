@@ -40,6 +40,7 @@ from repro.engine.result_cache import (
     DEFAULT_RESULT_CACHE_BYTES,
     ResultCache,
     ResultKey,
+    strip_columns,
 )
 from repro.optimizer.optimizer import OptimizerConfig
 from repro.polystore.federation import Federation
@@ -81,7 +82,8 @@ class EngineState:
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  parallelism: int | None = None,
                  plan_cache_capacity: int | None = None,
-                 result_cache_bytes: int | None = None):
+                 result_cache_bytes: int | None = None,
+                 semantic_reuse: bool = True):
         self.seed = seed
         self.catalog = Catalog()
         self.models = ModelRegistry()
@@ -104,6 +106,14 @@ class EngineState:
             result_cache_bytes = DEFAULT_RESULT_CACHE_BYTES
         self.result_cache = (ResultCache(result_cache_bytes)
                              if result_cache_bytes else None)
+        # semantic subsumption rides on result-cache snapshots: without
+        # them there is nothing to answer residually from
+        if semantic_reuse and self.result_cache is not None:
+            from repro.reuse.registry import ReuseRegistry
+
+            self.reuse_registry = ReuseRegistry()
+        else:
+            self.reuse_registry = None
         config = optimizer_config or OptimizerConfig()
         if config.cost_params.workers is None:
             # cost the parallel access path with the real worker count;
@@ -184,16 +194,140 @@ class EngineState:
             return None
         return self.result_cache.get(key)
 
-    def store_result(self, key: ResultKey | None, table) -> None:
+    def store_result(self, key: ResultKey | None, table,
+                     planned=None):
         """Insert a result under the **pre-execution** key from
-        :meth:`result_key` (no-op when ``None``/disabled).
+        :meth:`result_key`; returns the table *visible* to the caller.
 
         The captured key is what makes invalidation-during-execution
         safe: a register/clear that landed mid-run leaves this key
         below the watermark, and the cache refuses it dead-on-arrival.
+
+        When ``planned`` carries an eligible reuse spec, ``table`` is
+        the augmented execution's output: its reuse aux columns are
+        snapshotted into the cache entry (and the entry indexed in the
+        subsumption registry) but stripped from the returned table.
         """
-        if key is not None and self.result_cache is not None:
-            self.result_cache.put(key, table)
+        spec = getattr(planned, "reuse", None) if planned is not None \
+            else None
+        if spec is None or not spec.eligible:
+            if key is not None and self.result_cache is not None:
+                self.result_cache.put(key, table)
+            return table
+        from repro.reuse.analysis import describe_plan
+
+        return self._store_reuse_eligible(key, table, spec,
+                                          describe_plan(planned.plan))
+
+    def _store_reuse_eligible(self, key, table, spec, shape,
+                              owned: bool = False):
+        """Snapshot an aux-carrying result + index it; returns the
+        aux-stripped visible table.
+
+        ``owned=True`` (the residual path, whose derived arrays share
+        storage with nothing) hands the table to the cache without a
+        second copy; the caller-visible strip is then copied instead so
+        client mutations can never reach the stored entry.
+        """
+        if key is None or self.result_cache is None:
+            return strip_columns(table, spec.aux_columns)
+        rows = table.num_rows
+        columns = tuple(table.schema.names)
+        stored = self.result_cache.put(key, table,
+                                       aux_names=spec.aux_columns,
+                                       owned=owned)
+        visible = strip_columns(table, spec.aux_columns)
+        if owned and stored:
+            from repro.engine.result_cache import snapshot_table
+
+            visible = snapshot_table(visible)
+        if stored and self.reuse_registry is not None:
+            from repro.reuse.registry import ReuseEntry
+
+            self.reuse_registry.register(ReuseEntry(
+                key=key, spec=spec, shape=shape, rows=rows,
+                columns=columns))
+        return visible
+
+    def fetch_reuse(self, planned, key: ResultKey | None):
+        """Answer ``planned`` from a *containing* cached statement, or
+        ``None`` (probe ineligible, no candidate subsumes, or a tie
+        guard forced a fallback).
+
+        Candidates live in the same containment family and must have
+        been captured under exactly the probe's catalog version, model,
+        and index/arena generations — the same freshness contract as an
+        exact hit, enforced by comparing the non-identity fields of the
+        two keys.  A successful residual answer is stored under the
+        probe's own exact key (and registered), so an identical repeat
+        is an exact hit and further refinements can chain off it.
+        """
+        registry = self.reuse_registry
+        if registry is None or key is None or self.result_cache is None:
+            return None
+        spec = getattr(planned, "reuse", None)
+        if spec is None or not spec.eligible:
+            return None
+        from repro.reuse.analysis import describe_plan, plan_containment
+        from repro.reuse.residual import derive_residual
+
+        candidates = registry.candidates(spec.family)
+        probe_shape = None
+        for entry in candidates:
+            if entry.key == key:
+                continue        # the exact entry already missed
+            cached_key = entry.key
+            if (cached_key.catalog_version != key.catalog_version
+                    or cached_key.model_name != key.model_name
+                    or cached_key.index_generation != key.index_generation
+                    or cached_key.arena_generations
+                    != key.arena_generations):
+                # catalog versions, index generations, and arena
+                # generation tokens are all monotonic: an entry below
+                # the probe's capture can never serve again and is
+                # dropped; an entry *above* it means this probe raced
+                # an invalidation — keep the entry for fresh probes.
+                # (model_name is a session default, not a version:
+                # another session may still match it, so only skip.)
+                dead = (cached_key.catalog_version < key.catalog_version
+                        or cached_key.index_generation
+                        < key.index_generation
+                        or any(cached_gen < probe_gen for
+                               (_, cached_gen), (_, probe_gen)
+                               in zip(cached_key.arena_generations,
+                                      key.arena_generations)
+                               if cached_gen != -1))
+                if dead:
+                    registry.discard(cached_key, stale=True)
+                continue
+            if probe_shape is None:
+                probe_shape = describe_plan(planned.plan)
+            try:
+                action = plan_containment(entry.spec, entry.shape,
+                                          entry.rows, entry.columns,
+                                          spec, probe_shape)
+                if action is None:
+                    continue
+                fetched = self.result_cache.get_full(cached_key)
+                if fetched is None:
+                    registry.discard(cached_key)     # snapshot evicted
+                    continue
+                derived = derive_residual(fetched[0], entry.spec, spec,
+                                          action)
+            except Exception:     # noqa: BLE001 — degrade, never fail
+                # a defective candidate must cost a fresh execution,
+                # not the query: drop it and move on
+                registry.discard(cached_key)
+                registry.record_fallback()
+                continue
+            if derived is None:
+                registry.record_fallback()       # tie guard fired
+                continue
+            registry.record_hit()
+            return self._store_reuse_eligible(key, derived, spec,
+                                              probe_shape, owned=True)
+        registry.record_miss()
+        return None
 
     def arena_stats(self) -> dict:
         """Per-model embedding-arena statistics (metrics surface).

@@ -80,12 +80,28 @@ class CardinalityEstimator:
     """Estimates output row counts of logical plans."""
 
     def __init__(self, catalog: Catalog, models=None, sample_size: int = SAMPLE_SIZE,
-                 seed: int = 97):
+                 seed: int = 97, execution_context=None):
         self.catalog = catalog
         self.models = models
         self.sample_size = sample_size
         self.seed = seed
+        #: When set, sampling embeds through the session's shared
+        #: arena-backed caches instead of the bare model: sample values
+        #: interned by any earlier statement (or by execution itself)
+        #: make re-planning a statement family arena-hot.  Embeddings
+        #: are identical either way, so estimates do not change.
+        self.execution_context = execution_context
         self._semantic_cache: dict[tuple, float] = {}
+
+    def _embed_sample(self, model_name: str, values: list[str]):
+        """(matrix, vector_of) for sample values under ``model_name``."""
+        if self.execution_context is not None:
+            from repro.semantic.lowering import cache_for
+
+            cache = cache_for(self.execution_context, model_name)
+            return cache.matrix(values), cache.vector
+        model = self.models.get(model_name)
+        return model.embed_batch(values), model.embed
 
     # ------------------------------------------------------------------
     def estimate(self, plan: LogicalPlan) -> float:
@@ -230,9 +246,9 @@ class CardinalityEstimator:
         values = self._sample_column(plan.column, plan.child)
         result = DEFAULT_SEMANTIC_SELECTIVITY
         if values and self.models is not None:
-            model = self.models.get(plan.model_name)
-            probe = model.embed(plan.probe)
-            matrix = model.embed_batch(values)
+            matrix, vector_of = self._embed_sample(plan.model_name,
+                                                   values)
+            probe = vector_of(plan.probe)
             result = float(np.mean((matrix @ probe) >= plan.threshold))
         self._semantic_cache[key] = result
         return result
@@ -247,9 +263,10 @@ class CardinalityEstimator:
         right_values = self._sample_column(plan.right_column, plan.right)
         result = DEFAULT_SEMANTIC_SELECTIVITY
         if left_values and right_values and self.models is not None:
-            model = self.models.get(plan.model_name)
-            left_matrix = model.embed_batch(left_values)
-            right_matrix = model.embed_batch(right_values)
+            left_matrix, _ = self._embed_sample(plan.model_name,
+                                                left_values)
+            right_matrix, _ = self._embed_sample(plan.model_name,
+                                                 right_values)
             similarity = left_matrix @ right_matrix.T
             result = float(np.mean(similarity >= plan.threshold))
         self._semantic_cache[key] = result

@@ -38,6 +38,11 @@ class OptimizerConfig:
     sample_size: int = 64
     rules: list[RewriteRule] | None = None
     cost_params: CostParams = field(default_factory=CostParams)
+    #: Restrict the physical selector's semantic-join access paths
+    #: (``None`` = the full candidate ladder).  A single-element tuple
+    #: forces one method — what the reuse benchmarks use to prove that
+    #: approximate-index plans fall back to normal execution.
+    semantic_join_methods: tuple[str, ...] | None = None
 
 
 @dataclass
@@ -59,7 +64,8 @@ class Optimizer:
                  execution_context: ExecutionContext | None = None):
         self.config = config or OptimizerConfig()
         self.estimator = CardinalityEstimator(
-            catalog, models, sample_size=self.config.sample_size)
+            catalog, models, sample_size=self.config.sample_size,
+            execution_context=execution_context)
         self.cost_model = CostModel(self.estimator, self.config.cost_params)
         self.execution_context = execution_context
         self.last_report = OptimizationReport()
@@ -91,7 +97,11 @@ class Optimizer:
                 plan = rewrite_fixpoint(plan, config.rules or DEFAULT_RULES,
                                         rule_ctx)
         if config.enable_physical:
-            selector = PhysicalSelector(self.cost_model)
+            if config.semantic_join_methods is not None:
+                selector = PhysicalSelector(
+                    self.cost_model, methods=config.semantic_join_methods)
+            else:
+                selector = PhysicalSelector(self.cost_model)
             plan = selector.run(plan)
             report.physical_decisions = selector.decisions
 

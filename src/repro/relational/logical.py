@@ -431,12 +431,14 @@ class SemanticJoinNode(LogicalPlan):
     def __init__(self, left: LogicalPlan, right: LogicalPlan,
                  left_column: str, right_column: str, model_name: str,
                  threshold: float, score_alias: str = "similarity",
-                 top_k: int | None = None):
+                 top_k: int | None = None, aux_alias: str | None = None):
         super().__init__((left, right))
         if not 0.0 <= threshold <= 1.0:
             raise PlanError("semantic threshold must be within [0, 1]")
         if top_k is not None and top_k < 1:
             raise PlanError("top_k must be positive")
+        if aux_alias is not None and top_k is None:
+            raise PlanError("aux_alias requires a top-k join")
         self.left_column = left_column
         self.right_column = right_column
         self.model_name = model_name
@@ -445,6 +447,12 @@ class SemanticJoinNode(LogicalPlan):
         #: When set, each distinct left key matches its k most similar
         #: right keys (scores still floored at ``threshold``).
         self.top_k = top_k
+        #: Reuse-subsystem hook: when set (top-k joins only), the
+        #: physical operator appends ``{aux_alias}_group`` (left-distinct
+        #: group id) and ``{aux_alias}_rank`` (pair rank inside its
+        #: group's descending-score selection) — what the residual
+        #: executor needs to re-truncate a cached result to a smaller k.
+        self.aux_alias = aux_alias
 
     @property
     def left(self) -> LogicalPlan:
@@ -456,14 +464,18 @@ class SemanticJoinNode(LogicalPlan):
 
     def _compute_schema(self) -> Schema:
         combined = self.left.schema.concat(self.right.schema)
-        return Schema(list(combined.fields)
-                      + [Field(self.score_alias, DataType.FLOAT64)])
+        fields = list(combined.fields) + [Field(self.score_alias,
+                                               DataType.FLOAT64)]
+        if self.aux_alias is not None:
+            fields.append(Field(f"{self.aux_alias}_group", DataType.INT64))
+            fields.append(Field(f"{self.aux_alias}_rank", DataType.INT64))
+        return Schema(fields)
 
     def _clone(self, children):
         return SemanticJoinNode(children[0], children[1], self.left_column,
                                 self.right_column, self.model_name,
                                 self.threshold, self.score_alias,
-                                self.top_k)
+                                self.top_k, self.aux_alias)
 
     def label(self) -> str:
         method = self.hints.get("method", "auto")

@@ -1,0 +1,177 @@
+"""Family-indexed registry of subsumption-eligible cached results.
+
+The exact result cache keys on the full :class:`ResultKey` — probing it
+for "any cached statement that *contains* this one" would be a full
+scan.  The registry adds the missing index: entries bucket by
+**containment family** (see :mod:`repro.reuse.analysis`), so a probe
+only examines the handful of cached variants of its own statement
+shape.
+
+The registry stores no result data — just the spec/shape metadata the
+matcher compares plus the :class:`ResultKey` under which the snapshot
+lives in the result cache.  Invalidation therefore needs no events:
+
+- a candidate whose key disagrees with the probe's freshly captured
+  catalog version / model / index generation / arena generations can
+  never be served and is dropped on sight (versions are monotonic);
+- a candidate whose snapshot was evicted from the byte-budgeted result
+  cache comes back empty on fetch and is dropped by the caller via
+  :meth:`discard`.
+
+Families are LRU-bounded by entry count; metadata is tiny, so the bound
+exists to keep probes O(candidates-in-family) under adversarial
+workloads rather than to save memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.reuse.analysis import PlanShape, ReuseSpec
+
+#: Default bound on registered entries across all families.
+DEFAULT_REGISTRY_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class ReuseEntry:
+    """One subsumption-eligible cached result's matching metadata."""
+
+    key: tuple                   # engine.result_cache.ResultKey
+    spec: ReuseSpec
+    shape: PlanShape
+    #: Stored snapshot's row count (LIMIT-bite checks) and full column
+    #: names (extra-predicate / projection resolvability checks).
+    rows: int
+    columns: tuple[str, ...]
+
+
+@dataclass
+class ReuseStats:
+    """Counters surfaced through ``EngineServer.metrics()["reuse"]``."""
+
+    registered: int = 0
+    probes: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: Containment held but a tie guard (or evicted snapshot) forced a
+    #: fallback to normal execution.
+    fallbacks: int = 0
+    stale_drops: int = 0
+    entries: int = 0
+    families: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "registered": self.registered,
+            "probes": self.probes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "fallbacks": self.fallbacks,
+            "stale_drops": self.stale_drops,
+            "entries": self.entries,
+            "families": self.families,
+        }
+
+
+class ReuseRegistry:
+    """Thread-safe family index over subsumption-eligible entries."""
+
+    def __init__(self, capacity: int = DEFAULT_REGISTRY_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: family digest -> (ResultKey -> ReuseEntry), LRU per family
+        self._families: dict[str, OrderedDict] = {}
+        #: global LRU of keys for the capacity bound
+        self._order: OrderedDict = OrderedDict()
+        self._registered = 0
+        self._probes = 0
+        self._hits = 0
+        self._misses = 0
+        self._fallbacks = 0
+        self._stale_drops = 0
+
+    # -- population -----------------------------------------------------
+    def register(self, entry: ReuseEntry) -> None:
+        """Index ``entry`` (replacing any previous entry for its key)."""
+        family = entry.spec.family
+        with self._lock:
+            bucket = self._families.setdefault(family, OrderedDict())
+            bucket[entry.key] = entry
+            bucket.move_to_end(entry.key)
+            self._order[entry.key] = family
+            self._order.move_to_end(entry.key)
+            self._registered += 1
+            while len(self._order) > self.capacity:
+                evicted_key, evicted_family = self._order.popitem(last=False)
+                self._drop_locked(evicted_key, evicted_family)
+
+    # -- probing --------------------------------------------------------
+    def candidates(self, family: str) -> list[ReuseEntry]:
+        """Snapshot of the family's entries, most recently used first."""
+        with self._lock:
+            self._probes += 1
+            bucket = self._families.get(family)
+            if not bucket:
+                return []
+            return list(reversed(bucket.values()))
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self._hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self._misses += 1
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self._fallbacks += 1
+
+    # -- maintenance ----------------------------------------------------
+    def discard(self, key, stale: bool = False) -> None:
+        """Drop one entry (evicted snapshot or version-dead key)."""
+        with self._lock:
+            family = self._order.get(key)
+            if family is None:
+                return
+            del self._order[key]
+            self._drop_locked(key, family)
+            if stale:
+                self._stale_drops += 1
+
+    def _drop_locked(self, key, family: str) -> None:
+        bucket = self._families.get(family)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._families[family]
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._order)
+            self._families.clear()
+            self._order.clear()
+            return dropped
+
+    def stats(self) -> ReuseStats:
+        with self._lock:
+            return ReuseStats(
+                registered=self._registered, probes=self._probes,
+                hits=self._hits, misses=self._misses,
+                fallbacks=self._fallbacks,
+                stale_drops=self._stale_drops,
+                entries=len(self._order), families=len(self._families))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._order)

@@ -1,0 +1,144 @@
+"""Residual execution: derive a refined result from a cached snapshot.
+
+Given a cached super-result (visible columns plus the reuse aux columns
+the augmented plan carried through execution) and a proven
+:class:`~repro.reuse.analysis.ResidualPlan`, this module computes the
+refined statement's result without touching the embedding kernels:
+
+- **threshold refinement** re-applies the semantic comparison to the
+  stored per-row scores.  The comparison is replicated *exactly*: the
+  kernels compare float32 scores against a Python-float threshold, so
+  the stored scores are narrowed back to float32 first (stored values
+  are float32-exact, so the round trip loses nothing);
+- **top-k truncation** keeps rows whose pair rank (position inside the
+  left-distinct group's descending-score selection) is below the new k.
+  A fresh execution with a *different* k resolves score ties through a
+  different ``argpartition`` call, so ties at or above the truncation
+  boundary make the selection (or its order) unprovable from the
+  snapshot — :func:`derive_residual` returns ``None`` and the caller
+  falls back to normal execution.  Equal k never truncates and needs no
+  guard: the fresh run would issue the *same* selection call;
+- **extra predicates** evaluate through the same vectorized expression
+  trees the physical ``FilterOp`` uses, over the same column arrays;
+- **projection / limit** select, rename, and truncate.
+
+Every derived result is built from fresh arrays (boolean-mask
+indexing), so callers can never mutate the cached snapshot through it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reuse.analysis import ResidualPlan, ReuseSpec
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+
+
+def _tie_hazard(groups: np.ndarray, ranks: np.ndarray,
+                scores: np.ndarray, threshold: float,
+                new_k: int, old_k: int) -> bool:
+    """Whether a tie makes the ``new_k`` truncation unprovable.
+
+    A fresh execution with a different k resolves equal scores through
+    a different ``argpartition``, so any two *adjacent-rank* pairs with
+    equal scores where the earlier one survives the truncation mean the
+    selection (or its emission order) cannot be proven from the
+    snapshot.
+
+    Group ids are dense left-distinct indexes and stored ranks are a
+    dense prefix of ``0..old_k-1`` per group, so the distinct pairs
+    scatter collision-free into a ``(groups, old_k)`` matrix — no sort,
+    one pass of vectorized comparisons.  Pathological shapes (a huge
+    group count times a huge k) report a hazard instead of allocating:
+    a conservative fallback to fresh execution, never a wrong answer.
+    """
+    n_groups = int(groups.max()) + 1
+    if n_groups * old_k > 32_000_000:
+        return True
+    matrix = np.zeros((n_groups, old_k), dtype=np.float32)
+    occupied = np.zeros((n_groups, old_k), dtype=bool)
+    # expanded duplicate rows of one pair share the score: last write
+    # wins and they all agree
+    matrix[groups, ranks] = scores
+    occupied[groups, ranks] = True
+    adjacent = (occupied[:, :-1] & occupied[:, 1:]
+                & (matrix[:, :-1] == matrix[:, 1:]))
+    if not adjacent.any():
+        return False
+    # kept region per group: ranks below min(pairs clearing the new
+    # threshold, new_k) — scores are nonincreasing in rank, so the
+    # cleared pairs form a rank prefix
+    cleared = ((matrix >= threshold) & occupied).sum(axis=1)
+    kept_limit = np.minimum(cleared, new_k)
+    in_kept = (np.arange(old_k - 1, dtype=np.int64)[None, :]
+               < kept_limit[:, None])
+    return bool((adjacent & in_kept).any())
+
+
+def _topk_mask(table: Table, slot, threshold: float,
+               new_k: int, old_k: int) -> np.ndarray | None:
+    """Row mask for a top-k refinement, or ``None`` on a tie hazard."""
+    scores = table.column(slot.score_column).astype(np.float32)
+    above = scores >= threshold
+    ranks = table.column(slot.rank_column)
+    if new_k == old_k:
+        # no truncation: a fresh run issues the identical k-selection,
+        # so the threshold mask alone is exact, ties included
+        return above
+    groups = table.column(slot.group_column)
+    if groups.shape[0] and _tie_hazard(groups, ranks, scores,
+                                       threshold, new_k, old_k):
+        return None
+    return above & (ranks < new_k)
+
+
+def derive_residual(table: Table, cached_spec: ReuseSpec,
+                    probe_spec: ReuseSpec, action: ResidualPlan,
+                    ) -> Table | None:
+    """The probe statement's *full* result (visible + its aux columns)
+    derived from the cached full snapshot, or ``None`` when a tie guard
+    fired and the caller must execute normally."""
+    mask = np.ones(table.num_rows, dtype=bool)
+    for slot, threshold, top_k in action.refinements:
+        if slot.kind == "filter" or slot.top_k is None:
+            scores = table.column(slot.score_column).astype(np.float32)
+            mask &= scores >= threshold
+            continue
+        slot_mask = _topk_mask(table, slot, threshold, top_k, slot.top_k)
+        if slot_mask is None:
+            return None
+        mask &= slot_mask
+    for expr in action.extra_conjuncts:
+        mask &= np.asarray(expr.evaluate(table), dtype=bool)
+    result = table.filter(mask)
+    if action.limit is not None:
+        result = result.slice(0, action.limit)
+
+    if action.projection is None:
+        # identical projections (or both SELECT *): the cached full
+        # layout — visible plus aux — is exactly the probe's layout
+        return result
+
+    fields = []
+    columns = {}
+    for source, alias in action.projection:
+        index = result.schema.index_of(source)
+        field_ = result.schema.fields[index]
+        fields.append(Field(alias, field_.dtype))
+        columns[alias] = result.columns[field_.name]
+    for cached_slot, probe_slot in zip(cached_spec.slots,
+                                       probe_spec.slots):
+        for source, target in (
+                (cached_slot.score_column, probe_slot.score_column),
+                (cached_slot.group_column, probe_slot.group_column),
+                (cached_slot.rank_column, probe_slot.rank_column)):
+            if source is None or target in columns:
+                continue
+            if target not in probe_spec.aux_columns:
+                continue
+            index = result.schema.index_of(source)
+            field_ = result.schema.fields[index]
+            fields.append(Field(target, field_.dtype))
+            columns[target] = result.columns[field_.name]
+    return Table(Schema(fields), columns)

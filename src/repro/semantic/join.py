@@ -257,7 +257,7 @@ def join_index(left_matrix: np.ndarray, right_matrix: np.ndarray,
 
 def expand_index_matches(left_idx: np.ndarray, index_ids: np.ndarray,
                          scores: np.ndarray, positions: np.ndarray,
-                         n_index: int) -> JoinPairs:
+                         n_index: int, return_pair_index: bool = False):
     """Scatter index-probe matches back onto caller value positions.
 
     ``positions[v]`` is the index-internal id holding value position
@@ -268,26 +268,40 @@ def expand_index_matches(left_idx: np.ndarray, index_ids: np.ndarray,
     mispairs rows whenever that sharing occurs.  Here every match against
     index id ``q`` expands to all value positions mapped to ``q``; the
     1:1 case reduces to a pure gather.
+
+    With ``return_pair_index`` a fourth array maps each output pair back
+    to the input-match position it expanded from (per-pair metadata —
+    e.g. the reuse subsystem's top-k ranks — rides along through it).
     """
     left_idx = np.asarray(left_idx, dtype=np.int64)
     index_ids = np.asarray(index_ids, dtype=np.int64)
     positions = np.asarray(positions, dtype=np.int64)
     if left_idx.shape[0] == 0:
+        if return_pair_index:
+            return (*_empty_pairs(), np.empty(0, dtype=np.int64))
         return _empty_pairs()
     counts = np.bincount(positions, minlength=n_index)
     order = np.argsort(positions, kind="stable")
     starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
     sizes = counts[index_ids]
     if (sizes == 1).all():
-        return (left_idx, order[starts[index_ids]],
-                scores.astype(np.float32))
+        result = (left_idx, order[starts[index_ids]],
+                  scores.astype(np.float32))
+        if return_pair_index:
+            return (*result, np.arange(left_idx.shape[0], dtype=np.int64))
+        return result
     total = int(sizes.sum())
     block_starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
     offsets = (np.arange(total, dtype=np.int64)
                - np.repeat(block_starts, sizes))
     value_idx = order[np.repeat(starts[index_ids], sizes) + offsets]
-    return (np.repeat(left_idx, sizes), value_idx,
-            np.repeat(scores.astype(np.float32), sizes))
+    expanded = (np.repeat(left_idx, sizes), value_idx,
+                np.repeat(scores.astype(np.float32), sizes))
+    if return_pair_index:
+        return (*expanded,
+                np.repeat(np.arange(left_idx.shape[0], dtype=np.int64),
+                          sizes))
+    return expanded
 
 
 def join_quantized_reranked(left_matrix: np.ndarray,

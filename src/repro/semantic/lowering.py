@@ -82,7 +82,8 @@ def build_semantic_physical(plan: LogicalPlan, context: ExecutionContext,
                               plan.score_alias, plan.schema, method=method,
                               parallelism=context.parallelism,
                               top_k=plan.top_k,
-                              index_cache=context.index_cache)
+                              index_cache=context.index_cache,
+                              aux_alias=plan.aux_alias)
     if isinstance(plan, SemanticGroupByNode):
         child = recurse(plan.child, context)
         cache = cache_for(context, plan.model_name)

@@ -92,7 +92,8 @@ class SemanticJoinOp(PhysicalOperator):
                  left_column: str, right_column: str, cache: EmbeddingCache,
                  threshold: float, score_alias: str, schema: Schema,
                  method: str = "blocked", parallelism: int | None = None,
-                 top_k: int | None = None, index_cache=None):
+                 top_k: int | None = None, index_cache=None,
+                 aux_alias: str | None = None):
         super().__init__(schema, (left, right))
         self.left_column = left_column
         self.right_column = right_column
@@ -103,6 +104,7 @@ class SemanticJoinOp(PhysicalOperator):
         self.parallelism = parallelism
         self.top_k = top_k
         self.index_cache = index_cache
+        self.aux_alias = aux_alias
 
     def _batches(self) -> Iterator[Table]:
         left = self.children[0].execute()
@@ -115,23 +117,39 @@ class SemanticJoinOp(PhysicalOperator):
         if not left_unique or not right_unique:
             return
 
-        ul, ur, scores = self._match(left_unique, right_unique)
+        ranks = None
+        if self.top_k is not None:
+            ul, ur, scores, ranks = self._match_topk(left_unique,
+                                                     right_unique)
+        else:
+            ul, ur, scores = self._match(left_unique, right_unique)
         if ul.shape[0] == 0:
             return
 
-        left_idx, right_idx, all_scores = _expand_pairs(
-            ul, ur, scores, left_groups, right_groups)
+        left_idx, right_idx, all_scores, pair_index = _expand_pairs(
+            ul, ur, scores, left_groups, right_groups,
+            return_pair_index=True)
 
-        combined_schema = Schema(list(self.schema.fields)[:-1])
+        n_aux = 2 if self.aux_alias is not None else 0
+        combined_schema = Schema(
+            list(self.schema.fields)[:len(self.schema.fields) - 1 - n_aux])
         combined = _combine(left.take(left_idx), right.take(right_idx),
                             combined_schema)
         columns = dict(combined.columns)
         columns[self.score_alias] = all_scores
+        if self.aux_alias is not None:
+            # group = left-distinct id, rank = pair position within the
+            # group's descending-score top-k selection; expanded rows of
+            # one pair share both (the reuse residual's truncation keys)
+            columns[f"{self.aux_alias}_group"] = \
+                ul[pair_index].astype(np.int64)
+            group_ranks = (ranks if ranks is not None
+                           else np.zeros(ul.shape[0], dtype=np.int64))
+            columns[f"{self.aux_alias}_rank"] = \
+                group_ranks[pair_index].astype(np.int64)
         yield Table(self.schema, columns)
 
     def _match(self, left_unique: list[str], right_unique: list[str]):
-        if self.top_k is not None:
-            return self._match_topk(left_unique, right_unique)
         if self.method == "nested_loop":
             return join_nested_loop(left_unique, right_unique,
                                     self.cache.model, self.threshold)
@@ -180,14 +198,24 @@ class SemanticJoinOp(PhysicalOperator):
                 kind, right_unique, cache)
             li, qi, scores = join_topk_index(left_matrix, index, self.top_k,
                                              min_score=self.threshold)
-            return expand_index_matches(li, qi, scores, positions,
-                                        index.size)
-        unique_ids, positions = np.unique(cache.row_ids(right_unique),
-                                          return_inverse=True)
-        li, qi, scores = join_topk(left_matrix, cache.rows_for(unique_ids),
-                                   self.top_k, min_score=self.threshold)
-        return expand_index_matches(li, qi, scores, positions,
-                                    unique_ids.shape[0])
+            n_index = index.size
+        else:
+            unique_ids, positions = np.unique(cache.row_ids(right_unique),
+                                              return_inverse=True)
+            li, qi, scores = join_topk(left_matrix,
+                                       cache.rows_for(unique_ids),
+                                       self.top_k,
+                                       min_score=self.threshold)
+            n_index = unique_ids.shape[0]
+        # pair rank inside each left row's selection: both kernels emit
+        # left-major with per-row scores descending and the min_score
+        # mask cutting a per-row *suffix*, so ranks are dense from 0
+        ranks = _ranks_within_runs(li)
+        expanded_li, value_idx, expanded_scores, pair_index = \
+            expand_index_matches(li, qi, scores, positions, n_index,
+                                 return_pair_index=True)
+        return (expanded_li, value_idx, expanded_scores,
+                ranks[pair_index] if ranks.shape[0] else ranks)
 
 
 class SemanticGroupByOp(PhysicalOperator):
@@ -236,10 +264,25 @@ def _group_rows(values: np.ndarray) -> tuple[list[str], list[np.ndarray]]:
     return [str(value) for value in unique], groups
 
 
+def _ranks_within_runs(run_ids: np.ndarray) -> np.ndarray:
+    """Position of each element inside its run of equal ``run_ids``.
+
+    ``run_ids`` must be run-contiguous (the left-major pair emission
+    order); ranks restart at 0 on every run boundary.
+    """
+    n = run_ids.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    index = np.arange(n, dtype=np.int64)
+    new_run = np.concatenate(([True], run_ids[1:] != run_ids[:-1]))
+    run_starts = np.maximum.accumulate(np.where(new_run, index, 0))
+    return index - run_starts
+
+
 def _expand_pairs(ul: np.ndarray, ur: np.ndarray, scores: np.ndarray,
                   left_groups: list[np.ndarray],
                   right_groups: list[np.ndarray],
-                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+                  return_pair_index: bool = False):
     """Expand matched unique-value pairs to row-level join output.
 
     Counts-based ``np.repeat``/``np.concatenate`` expansion (no per-pair
@@ -247,6 +290,10 @@ def _expand_pairs(ul: np.ndarray, ur: np.ndarray, scores: np.ndarray,
     times against the right group cycled ``|left group|`` times —
     the same (left-major, right-minor) order the join has always emitted.
     The all-distinct case (every group a single row) is a pure gather.
+
+    With ``return_pair_index`` a fourth array maps each output row back
+    to the input-pair position it expanded from (for per-pair metadata
+    like the reuse ranks).
     """
     left_counts = np.fromiter((g.shape[0] for g in left_groups),
                               dtype=np.int64, count=len(left_groups))
@@ -259,8 +306,11 @@ def _expand_pairs(ul: np.ndarray, ur: np.ndarray, scores: np.ndarray,
                                   dtype=np.int64, count=len(left_groups))
         right_firsts = np.fromiter((g[0] for g in right_groups),
                                    dtype=np.int64, count=len(right_groups))
-        return (left_firsts[ul], right_firsts[ur],
-                scores.astype(np.float64))
+        result = (left_firsts[ul], right_firsts[ur],
+                  scores.astype(np.float64))
+        if return_pair_index:
+            return (*result, np.arange(ul.shape[0], dtype=np.int64))
+        return result
 
     sizes = pair_left * pair_right
     left_cat = np.concatenate([left_groups[int(i)] for i in ul])
@@ -274,4 +324,8 @@ def _expand_pairs(ul: np.ndarray, ur: np.ndarray, scores: np.ndarray,
     right_idx = right_cat[np.repeat(right_starts, sizes)
                           + offset_in_block % np.repeat(pair_right, sizes)]
     all_scores = np.repeat(scores.astype(np.float64), sizes)
+    if return_pair_index:
+        pair_index = np.repeat(np.arange(ul.shape[0], dtype=np.int64),
+                               sizes)
+        return left_idx, right_idx, all_scores, pair_index
     return left_idx, right_idx, all_scores

@@ -64,6 +64,11 @@ class SchedulerConfig:
     interactive_cost_threshold: float = INTERACTIVE_COST_THRESHOLD
     #: Anti-starvation period for the heavy lane.
     heavy_pick_every: int = HEAVY_PICK_EVERY
+    #: Per-tenant fairness: queries one tenant may have queued+running
+    #: at once before admission refuses *that tenant* (others are
+    #: unaffected).  ``None`` disables the cap.  Cache/reuse no-ops
+    #: never occupy a worker and are exempt.
+    max_inflight_per_tenant: int | None = None
 
 
 @dataclass
@@ -105,6 +110,7 @@ class _TenantMetrics:
     run_seconds: float = 0.0
     plan_cache_hits: int = 0
     result_cache_hits: int = 0
+    reuse_hits: int = 0
     by_lane: dict = field(default_factory=lambda: {"interactive": 0,
                                                    "heavy": 0})
 
@@ -116,6 +122,7 @@ class _TenantMetrics:
             "run_seconds": round(self.run_seconds, 6),
             "plan_cache_hits": self.plan_cache_hits,
             "result_cache_hits": self.result_cache_hits,
+            "reuse_hits": self.reuse_hits,
             "by_lane": dict(self.by_lane),
         }
 
@@ -140,6 +147,9 @@ class Scheduler:
         self._admitted = 0
         self._rejected = 0
         self._result_cache_noops = 0
+        self._reuse_noops = 0
+        #: queued+running queries per tenant (the fairness-cap gauge)
+        self._tenant_inflight: dict[str, int] = {}
         self._tenants: dict[str, _TenantMetrics] = {}
         self._queue_wait_total = 0.0
         self._queue_wait_max = 0.0
@@ -184,6 +194,14 @@ class Scheduler:
                 raise AdmissionError(
                     f"{lane} lane at max queue depth "
                     f"({self.config.max_queue_depth}); retry later")
+            cap = self.config.max_inflight_per_tenant
+            inflight = self._tenant_inflight.get(tenant, 0)
+            if cap is not None and inflight >= cap:
+                self._rejected += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} at max in-flight queries "
+                    f"({cap}); retry later")
+            self._tenant_inflight[tenant] = inflight + 1
             self._admitted += 1
             metrics = self._tenants.setdefault(tenant, _TenantMetrics())
             metrics.queries += 1
@@ -196,14 +214,17 @@ class Scheduler:
 
     def complete_cached(self, result, tenant: str = "default",
                         estimated_cost: float = 0.0,
-                        plan_cache_hit: bool | None = None) -> QueryTicket:
-        """Account a result-cache hit as an interactive-lane no-op.
+                        plan_cache_hit: bool | None = None,
+                        kind: str = "result") -> QueryTicket:
+        """Account a cache hit as an interactive-lane no-op.
 
         The result is already in hand (execution was skipped entirely),
         so the query never enters a queue or occupies a worker — but it
         *was* a served query, so tenant metrics count it, with zero
-        queue wait and zero run time.  Returns a ticket whose future is
-        already resolved with ``result``.
+        queue wait and zero run time.  ``kind`` distinguishes exact
+        result-cache hits (``"result"``) from semantic-subsumption
+        residual answers (``"reuse"``).  Returns a ticket whose future
+        is already resolved with ``result``.
         """
         now = time.perf_counter()
         ticket = QueryTicket(future=Future(), lane="interactive",
@@ -212,11 +233,15 @@ class Scheduler:
         with self._mutex:
             if self._closed:
                 raise ServerError("scheduler is closed")
-            self._result_cache_noops += 1
             metrics = self._tenants.setdefault(tenant, _TenantMetrics())
+            if kind == "reuse":
+                self._reuse_noops += 1
+                metrics.reuse_hits += 1
+            else:
+                self._result_cache_noops += 1
+                metrics.result_cache_hits += 1
             metrics.queries += 1
             metrics.by_lane["interactive"] += 1
-            metrics.result_cache_hits += 1
             if plan_cache_hit:
                 metrics.plan_cache_hits += 1
         ticket.future.set_result(result)
@@ -286,6 +311,7 @@ class Scheduler:
                 cancelled: bool = False) -> None:
         with self._mutex:
             self._running -= 1
+            self._release_tenant_locked(ticket.tenant)
             if not cancelled:
                 metrics = self._tenants.setdefault(ticket.tenant,
                                                    _TenantMetrics())
@@ -299,6 +325,13 @@ class Scheduler:
             if (self._running == 0
                     and not any(self._lanes.values())):
                 self._idle.notify_all()
+
+    def _release_tenant_locked(self, tenant: str) -> None:
+        remaining = self._tenant_inflight.get(tenant, 0) - 1
+        if remaining > 0:
+            self._tenant_inflight[tenant] = remaining
+        else:
+            self._tenant_inflight.pop(tenant, None)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -328,9 +361,11 @@ class Scheduler:
                 "admitted": queries,
                 "rejected": self._rejected,
                 "result_cache_noops": self._result_cache_noops,
+                "reuse_noops": self._reuse_noops,
                 "running": self._running,
                 "queued": {lane: len(queue)
                            for lane, queue in self._lanes.items()},
+                "tenant_inflight": dict(self._tenant_inflight),
                 "queue_wait_seconds_total": round(self._queue_wait_total, 6),
                 "queue_wait_seconds_max": round(self._queue_wait_max, 6),
                 "queue_wait_seconds_mean": round(
@@ -351,6 +386,7 @@ class Scheduler:
                     while queue:
                         ticket, _ = queue.popleft()
                         ticket.future.cancel()
+                        self._release_tenant_locked(ticket.tenant)
             self._closed = True
             self._work_ready.notify_all()
         for worker in self._workers:

@@ -56,13 +56,15 @@ class EngineServer:
                  parallelism: int | None = None,
                  plan_cache_capacity: int | None = None,
                  result_cache_bytes: int | None = None,
+                 semantic_reuse: bool = True,
                  scheduler_config: SchedulerConfig | None = None):
         self.state = EngineState(
             seed=seed, load_default_model=load_default_model,
             optimizer_config=optimizer_config, batch_size=batch_size,
             parallelism=parallelism,
             plan_cache_capacity=plan_cache_capacity,
-            result_cache_bytes=result_cache_bytes)
+            result_cache_bytes=result_cache_bytes,
+            semantic_reuse=semantic_reuse)
         config = scheduler_config or SchedulerConfig()
         if config.workers is None:
             # one budget backs the pool and the kernels; an explicit
@@ -119,10 +121,14 @@ class EngineServer:
         The result cache invalidates itself lazily on catalog/model
         changes; this is the explicit admin override for mutations the
         engine cannot see — e.g. a table's arrays modified in place
-        (tables are immutable by convention, not enforcement).
+        (tables are immutable by convention, not enforcement).  The
+        subsumption registry is cleared with it: its entries only point
+        at the snapshots dropped here.
         """
         if self.state.result_cache is None:
             return 0
+        if self.state.reuse_registry is not None:
+            self.state.reuse_registry.clear()
         return self.state.result_cache.invalidate()
 
     # ------------------------------------------------------------------
@@ -164,6 +170,25 @@ class EngineServer:
                 total_seconds=time.perf_counter() - started)
             profile.plan_cache_hit = planned.cache_hit
             profile.result_cache_hit = True
+            profile.lane = ticket.lane
+            profile.tenant = ticket.tenant
+            client.last_profile = profile
+            return ticket
+        # subsumption next: a containing cached statement answers the
+        # refinement with a cheap residual (refilter/truncate/project of
+        # its snapshot) in the calling thread — an interactive-lane
+        # no-op that never competes for a worker
+        reused = self.state.fetch_reuse(planned, key)
+        if reused is not None:
+            ticket = self.scheduler.complete_cached(
+                reused, tenant=tenant,
+                estimated_cost=planned.estimated_cost,
+                plan_cache_hit=planned.cache_hit, kind="reuse")
+            profile = QueryProfile(
+                total_seconds=time.perf_counter() - started)
+            profile.plan_cache_hit = planned.cache_hit
+            profile.result_cache_hit = False
+            profile.reuse_hit = True
             profile.lane = ticket.lane
             profile.tenant = ticket.tenant
             client.last_profile = profile
@@ -232,9 +257,12 @@ class EngineServer:
         profile.queue_wait_seconds = ticket.queue_wait_seconds
         profile.lane = ticket.lane
         profile.tenant = ticket.tenant
+        # store_result snapshots the full (aux-carrying) result and
+        # returns the caller-visible table with reuse columns stripped
+        result = self.state.store_result(result_key, result, planned)
         if result_key is not None:
             profile.result_cache_hit = False
-            self.state.store_result(result_key, result)
+            profile.reuse_hit = False
         client.last_profile = profile
         return result
 
@@ -248,6 +276,9 @@ class EngineServer:
             "result_cache": (self.state.result_cache.stats().as_dict()
                              if self.state.result_cache is not None
                              else None),
+            "reuse": (self.state.reuse_registry.stats().as_dict()
+                      if self.state.reuse_registry is not None
+                      else None),
             "scheduler": self.scheduler.stats(),
             "embedding_arenas": self.state.arena_stats(),
             "vector_index_cache": self.state.index_cache.stats(),

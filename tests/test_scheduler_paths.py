@@ -223,6 +223,115 @@ class TestAdmission:
 
 
 # ---------------------------------------------------------------------------
+# Per-tenant in-flight cap (ROADMAP (d), minimal form)
+# ---------------------------------------------------------------------------
+class TestTenantInflightCap:
+    """``max_inflight_per_tenant`` refuses one tenant's excess without
+    touching the others — driven deterministically with blocked workers,
+    no sleeps."""
+
+    def test_tenant_at_cap_rejected_others_admitted(self):
+        scheduler = make_scheduler(max_queue_depth=16,
+                                   max_inflight_per_tenant=1)
+        release, _ = blocked_worker(scheduler)   # occupies "default"
+        try:
+            scheduler.submit(lambda t, w: "a", estimated_cost=1.0,
+                             tenant="alice")
+            with pytest.raises(AdmissionError,
+                               match="tenant 'alice' at max in-flight"):
+                scheduler.submit(lambda t, w: "b", estimated_cost=1.0,
+                                 tenant="alice")
+            assert scheduler.stats()["rejected"] == 1
+            # a different tenant is unaffected by alice's cap
+            ticket = scheduler.submit(lambda t, w: "c",
+                                      estimated_cost=1.0, tenant="bob")
+            assert ticket.tenant == "bob"
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_cap_counts_queued_and_running(self):
+        scheduler = make_scheduler(max_queue_depth=16,
+                                   max_inflight_per_tenant=2)
+        release, _ = blocked_worker(scheduler)
+        try:
+            for _ in range(2):     # both queued: inflight = 2
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0,
+                                 tenant="alice")
+            assert scheduler.stats()["tenant_inflight"]["alice"] == 2
+            with pytest.raises(AdmissionError):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0,
+                                 tenant="alice")
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_cap_releases_after_completion(self):
+        scheduler = make_scheduler(max_queue_depth=16,
+                                   max_inflight_per_tenant=1)
+        release, _ = blocked_worker(scheduler)
+        ticket = scheduler.submit(lambda t, w: "done", estimated_cost=1.0,
+                                  tenant="alice")
+        release.set()
+        assert ticket.result(timeout=10) == "done"
+        assert scheduler.drain(timeout=10)
+        # the slot freed: alice admits again, and the gauge is empty
+        assert "alice" not in scheduler.stats()["tenant_inflight"]
+        again = scheduler.submit(lambda t, w: "again", estimated_cost=1.0,
+                                 tenant="alice")
+        assert again.result(timeout=10) == "again"
+        scheduler.close()
+
+    def test_cache_noops_exempt_from_cap(self):
+        scheduler = make_scheduler(max_queue_depth=16,
+                                   max_inflight_per_tenant=1)
+        release, _ = blocked_worker(scheduler)
+        try:
+            scheduler.submit(lambda t, w: None, estimated_cost=1.0,
+                             tenant="alice")    # alice at cap
+            for kind in ("result", "reuse"):
+                ticket = scheduler.complete_cached(
+                    "cached", tenant="alice", kind=kind)
+                assert ticket.result(timeout=1) == "cached"
+            stats = scheduler.stats()
+            assert stats["tenant_inflight"]["alice"] == 1
+            assert stats["tenants"]["alice"]["result_cache_hits"] == 1
+            assert stats["tenants"]["alice"]["reuse_hits"] == 1
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_failed_query_releases_the_slot(self):
+        scheduler = make_scheduler(max_queue_depth=16,
+                                   max_inflight_per_tenant=1)
+
+        def boom(ticket, workers):
+            raise RuntimeError("query failed")
+
+        ticket = scheduler.submit(boom, estimated_cost=1.0,
+                                  tenant="alice")
+        with pytest.raises(RuntimeError):
+            ticket.result(timeout=10)
+        assert scheduler.drain(timeout=10)
+        assert "alice" not in scheduler.stats()["tenant_inflight"]
+        ok = scheduler.submit(lambda t, w: "ok", estimated_cost=1.0,
+                              tenant="alice")
+        assert ok.result(timeout=10) == "ok"
+        scheduler.close()
+
+    def test_cap_disabled_by_default(self):
+        scheduler = make_scheduler(max_queue_depth=16)
+        release, _ = blocked_worker(scheduler)
+        try:
+            for _ in range(10):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0,
+                                 tenant="alice")
+        finally:
+            release.set()
+            scheduler.close()
+
+
+# ---------------------------------------------------------------------------
 # Ticket telemetry with a stub clock (no sleeps)
 # ---------------------------------------------------------------------------
 class TestTicketTelemetry:
