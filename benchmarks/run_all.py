@@ -39,6 +39,7 @@ def main() -> None:
         bench_ablation_quantization,
         bench_concurrent_serving,
         bench_embedding_pipeline,
+        bench_fused_pipelines,
         bench_result_cache,
         bench_fig2_motivating_query,
         bench_fig3_consolidation,
@@ -66,6 +67,7 @@ def main() -> None:
         ("PR 3 — concurrent serving", bench_concurrent_serving),
         ("PR 4 — cross-statement result cache", bench_result_cache),
         ("PR 5 — semantic subsumption reuse", bench_semantic_reuse),
+        ("PR 6 — compiled fused pipelines", bench_fused_pipelines),
     ]
     # the PR benchmarks take argv directly (their own argparse): run
     # them quick at small scale — full runs rewrite the committed
@@ -75,7 +77,7 @@ def main() -> None:
     pr_bench_argv = ["--quick"] if scale == "small" else []
     takes_argv = {bench_embedding_pipeline, bench_rowid_join,
                   bench_concurrent_serving, bench_result_cache,
-                  bench_semantic_reuse}
+                  bench_semantic_reuse, bench_fused_pipelines}
     total_start = time.perf_counter()
     for title, module in sections:
         banner = f"  {title}  "
@@ -101,7 +103,8 @@ _GATE_KEYS = (
     "parity", "parity_atol_1e-6", "join_parity", "invalidation_ok",
     "all_parity_answers_residual", "approximate_index_fell_back",
     "speedup_enforced", "workload_speedup", "refinement_speedup",
-    "speedup", "idspace_gather_speedup", "speedup_target",
+    "speedup", "idspace_gather_speedup", "chain_speedup",
+    "kernel_cache_hit_rate", "tiny_stays_interpreted", "speedup_target",
 )
 
 

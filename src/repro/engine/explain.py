@@ -5,12 +5,17 @@ from __future__ import annotations
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel
 from repro.relational.logical import LogicalPlan
+from repro.relational.pipeline import PipelineNode
 
 
 def explain_plan(plan: LogicalPlan,
                  estimator: CardinalityEstimator | None = None,
                  cost_model: CostModel | None = None) -> str:
-    """Human-readable plan with per-node row/cost estimates."""
+    """Human-readable plan with per-node row/cost estimates.
+
+    Fused pipelines render their stages as indented ``·`` pseudo-children
+    so the pre-fusion operator chain stays visible in EXPLAIN output.
+    """
     lines: list[str] = []
 
     def visit(node: LogicalPlan, indent: int) -> None:
@@ -23,8 +28,28 @@ def explain_plan(plan: LogicalPlan,
                 annotation += f", cost~{cost.total:,.0f}"
             annotation += "]"
         lines.append("  " * indent + node.label() + annotation)
+        if isinstance(node, PipelineNode):
+            for stage in reversed(node.stages):   # outermost first,
+                lines.append("  " * (indent + 1)  # like plan rendering
+                             + "· " + stage.label())
         for child in node.children:
             visit(child, indent + 1)
 
     visit(plan, 0)
     return "\n".join(lines)
+
+
+def pipeline_annotation(physical) -> str:
+    """EXPLAIN ANALYZE suffix for a compiled pipeline operator.
+
+    Says which backend the kernel ran on and whether this execution hit
+    the kernel cache or paid the compile.
+    """
+    from repro.relational.physical import FusedPipelineOp
+
+    if not isinstance(physical, FusedPipelineOp):
+        return ""
+    if physical.cache_hit:
+        return f"  {{compiled backend={physical.backend}, kernel cache hit}}"
+    return (f"  {{compiled backend={physical.backend}, "
+            f"compiled in {physical.compile_seconds * 1e3:.2f} ms}}")

@@ -1,0 +1,139 @@
+"""Engine-wide cache of compiled pipeline kernels.
+
+Compiling a fused pipeline (:func:`repro.hardware.jit.compile_pipeline`)
+costs real wall time — source generation plus ``compile()``, plus numba
+type-specialization when that backend is active.  The serving layer runs
+many statements against the same schema, so the same pipeline shapes
+recur constantly; this cache makes compilation a once-per-shape cost the
+way the plan cache makes planning one.
+
+Keys are ``(pipeline fingerprint, model, backend)``:
+
+- *fingerprint* — :meth:`PipelineNode.fingerprint`, a structural digest
+  over input column names, every fused expression, the trailing limit,
+  and output names + dtypes.  A kernel is a pure function of plan
+  structure, so — unlike plan-cache and result-cache entries — kernel
+  entries need **no catalog-version or generation component**: inserts
+  and replaces change data, not the generated code.  Schema changes
+  produce a different fingerprint and therefore a fresh compile; the
+  stale entry ages out of the LRU.  (``docs/serving.md`` contrasts the
+  three invalidation regimes.)
+- *model* — reserved for pipelines fused around semantic operators,
+  whose kernels would specialize on the embedding model; purely
+  relational pipelines use ``""``.
+- *backend* — the **requested** backend (``auto``/``python``/``numba``),
+  so an explicit-backend request never aliases an ``auto`` entry that
+  resolved differently.
+
+Thread-safe with single-flight compiles: when a miss storm hits one key,
+exactly one thread compiles while the rest wait on a per-key event and
+then hit the finished entry (pattern shared with
+:class:`repro.semantic.index_cache.IndexCache`).  A failed compile never
+wedges the key — one waiter is promoted to compiler and retries.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.hardware.jit import PipelineKernel, PipelineSpec, compile_pipeline
+
+DEFAULT_KERNEL_CACHE_CAPACITY = 256
+
+
+class KernelCache:
+    """LRU of :class:`PipelineKernel` with single-flight compilation."""
+
+    def __init__(self, capacity: int = DEFAULT_KERNEL_CACHE_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("kernel cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        #: Actual compilations (one per distinct key under any
+        #: concurrency; a duplicate compile is a single-flight bug the
+        #: stress tests assert against).
+        self.compiles = 0
+        #: Concurrent misses that coalesced onto another thread's compile.
+        self.single_flight_waits = 0
+        self.evictions = 0
+        #: Total wall seconds spent inside ``compile_pipeline``.
+        self.compile_seconds = 0.0
+        self._entries: OrderedDict[tuple, PipelineKernel] = OrderedDict()
+        self._building: dict[tuple, threading.Event] = {}
+        self._lock = threading.Lock()
+
+    def get_or_compile(self, fingerprint: str, spec: PipelineSpec,
+                       model: str = "", backend: str = "auto",
+                       ) -> tuple[PipelineKernel, bool]:
+        """The compiled kernel for ``fingerprint``, compiling on miss.
+
+        Returns ``(kernel, cache_hit)``; ``cache_hit`` is also True for
+        threads that coalesced onto another thread's in-flight compile
+        (they were served without compiling).
+        """
+        key = (fingerprint, model, backend)
+        coalesced = False
+        while True:
+            with self._lock:
+                kernel = self._entries.get(key)
+                if kernel is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return kernel, True
+                event = self._building.get(key)
+                if event is None:
+                    # this thread compiles; racers wait on the event
+                    event = threading.Event()
+                    self._building[key] = event
+                    self.misses += 1
+                    break
+                if not coalesced:
+                    coalesced = True
+                    self.single_flight_waits += 1
+            event.wait()
+            # compiler finished (or failed): re-check the entries; on
+            # failure the first waiter through becomes the new compiler
+        try:
+            kernel = compile_pipeline(spec, backend=backend)
+            with self._lock:
+                self._entries[key] = kernel
+                self._entries.move_to_end(key)
+                self.compiles += 1
+                self.compile_seconds += kernel.compile_seconds
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            return kernel, False
+        finally:
+            with self._lock:
+                del self._building[key]
+            event.set()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.compiles = 0
+            self.single_flight_waits = 0
+            self.evictions = 0
+            self.compile_seconds = 0.0
+
+    def stats(self) -> dict:
+        """Counters for ``server.metrics()["kernels"]`` (one snapshot)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "compiles": self.compiles,
+                "single_flight_waits": self.single_flight_waits,
+                "evictions": self.evictions,
+                "compile_seconds": self.compile_seconds,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

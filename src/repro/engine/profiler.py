@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.relational.physical import PhysicalOperator
+from repro.relational.physical import FusedPipelineOp, PhysicalOperator
 
 
 @dataclass
@@ -26,6 +26,17 @@ class QueryProfile:
     tokens_embedded: int = 0
     arena_rows: int = 0
     arena_bytes: int = 0
+    # -- compiled-pipeline telemetry (zero when nothing fused) ---------
+    #: Fused pipelines in the executed physical tree.
+    fused_pipelines: int = 0
+    #: Of those, how many paid a kernel compile this execution ...
+    kernel_compiles: int = 0
+    #: ... and how many were served from the shared kernel cache.
+    kernel_cache_hits: int = 0
+    #: Wall seconds spent compiling during this execution.
+    kernel_compile_seconds: float = 0.0
+    #: Backends the fused pipelines ran on ("python"/"numba").
+    kernel_backends: list[str] = field(default_factory=list)
     # -- serving-layer fields (filled by Session.sql / the scheduler;
     #    None/zero for builder queries and unscheduled executions) -----
     #: Whether the statement's optimized plan came from the plan cache.
@@ -64,6 +75,14 @@ class QueryProfile:
         def visit(op: PhysicalOperator, depth: int) -> None:
             profile.operators.append(OperatorProfile(
                 op.label(), depth, op.rows_out, op.elapsed))
+            if isinstance(op, FusedPipelineOp):
+                profile.fused_pipelines += 1
+                if op.cache_hit:
+                    profile.kernel_cache_hits += 1
+                else:
+                    profile.kernel_compiles += 1
+                profile.kernel_compile_seconds += op.compile_seconds
+                profile.kernel_backends.append(op.backend)
             for child in op.children:
                 visit(child, depth + 1)
 
@@ -89,6 +108,13 @@ class QueryProfile:
                          f"result-cache={flag[self.result_cache_hit]}  "
                          f"reuse={flag[self.reuse_hit]}  "
                          f"queue wait {self.queue_wait_seconds * 1e3:.2f} ms")
+        if self.fused_pipelines:
+            backends = ",".join(sorted(set(self.kernel_backends)))
+            lines.append(
+                f"kernels: {self.fused_pipelines} fused pipeline(s) "
+                f"[{backends}]  {self.kernel_compiles} compiles / "
+                f"{self.kernel_cache_hits} cache hits  "
+                f"compile {self.kernel_compile_seconds * 1e3:.2f} ms")
         if self.arena_rows:
             lines.append(f"arena: {self.arena_rows} rows / "
                          f"{self.arena_bytes / 1024:.1f} KiB  "

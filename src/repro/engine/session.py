@@ -22,7 +22,7 @@ from contextlib import ExitStack
 from typing import NamedTuple
 
 from repro.embeddings.model import EmbeddingModel
-from repro.engine.explain import explain_plan
+from repro.engine.explain import explain_plan, pipeline_annotation
 from repro.engine.profiler import QueryProfile
 from repro.engine.sql.binder import Binder
 from repro.engine.sql.canonical import CanonicalQuery, canonicalize
@@ -82,6 +82,11 @@ class Session:
     super-results); it rides on result-cache snapshots, so disabling
     the result cache disables it too.
 
+    ``compiled_pipelines`` controls the fused-kernel execution tier:
+    ``"auto"`` (default) lets the cost model decide when a chain is
+    worth compiling, ``"on"`` compiles every eligible chain, ``"off"``
+    keeps everything interpreted.
+
     ``shared_state`` plugs the session into an existing
     :class:`~repro.engine.state.EngineState` (the server path).  When it
     is given, ``seed``/``load_default_model``/``optimizer_config``/
@@ -95,14 +100,16 @@ class Session:
                  parallelism: int | None = None,
                  shared_state: EngineState | None = None,
                  result_cache_bytes: int | None = None,
-                 semantic_reuse: bool = True):
+                 semantic_reuse: bool = True,
+                 compiled_pipelines: str | None = None):
         if shared_state is None:
             shared_state = EngineState(
                 seed=seed, load_default_model=load_default_model,
                 optimizer_config=optimizer_config, batch_size=batch_size,
                 parallelism=parallelism,
                 result_cache_bytes=result_cache_bytes,
-                semantic_reuse=semantic_reuse)
+                semantic_reuse=semantic_reuse,
+                compiled_pipelines=compiled_pipelines)
         self.state = shared_state
         # shared references, not copies: mutating through any facade is
         # visible to every session over the same state
@@ -361,7 +368,8 @@ class Session:
                 "  " * indent
                 + f"{logical.label()}  [est~{estimated:,.0f} rows, "
                   f"actual {actual:,} rows, "
-                  f"{physical.elapsed * 1e3:.2f} ms]{drift}")
+                  f"{physical.elapsed * 1e3:.2f} ms]{drift}"
+                + pipeline_annotation(physical))
             for logical_child, physical_child in zip(logical.children,
                                                      physical.children):
                 visit(logical_child, physical_child, indent + 1)

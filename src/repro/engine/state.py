@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.embeddings.registry import ModelRegistry
+from repro.engine.kernel_cache import KernelCache
 from repro.engine.plan_cache import DEFAULT_PLAN_CACHE_CAPACITY, PlanCache
 from repro.engine.result_cache import (
     DEFAULT_RESULT_CACHE_BYTES,
@@ -42,6 +43,7 @@ from repro.engine.result_cache import (
     ResultKey,
     strip_columns,
 )
+from repro.optimizer.fusion import FUSION_MODES
 from repro.optimizer.optimizer import OptimizerConfig
 from repro.polystore.federation import Federation
 from repro.relational.logical import LogicalPlan
@@ -83,7 +85,8 @@ class EngineState:
                  parallelism: int | None = None,
                  plan_cache_capacity: int | None = None,
                  result_cache_bytes: int | None = None,
-                 semantic_reuse: bool = True):
+                 semantic_reuse: bool = True,
+                 compiled_pipelines: str | None = None):
         self.seed = seed
         self.catalog = Catalog()
         self.models = ModelRegistry()
@@ -123,7 +126,18 @@ class EngineState:
             # into later ones.
             config = replace(config, cost_params=replace(
                 config.cost_params, workers=self.workers))
+        if compiled_pipelines is not None:
+            if compiled_pipelines not in FUSION_MODES:
+                raise ValueError(
+                    f"compiled_pipelines must be one of {FUSION_MODES}, "
+                    f"got {compiled_pipelines!r}")
+            # knob beats config default, same copy-don't-mutate rule
+            config = replace(config, compiled_pipelines=compiled_pipelines)
         self.optimizer_config = config
+        #: Compiled fused-pipeline kernels, shared by every client the
+        #: way the plan cache is (single-flight compiles; see
+        #: engine.kernel_cache for the invalidation story).
+        self.kernel_cache = KernelCache()
         if load_default_model:
             from repro.embeddings.pretrained import build_pretrained_model
 
@@ -149,7 +163,8 @@ class EngineState:
             # whatever share that one query was leased
             cache_parallelism=self.workers,
             embedding_cache=self.embedding_caches,
-            index_cache=self.index_cache)
+            index_cache=self.index_cache,
+            kernel_cache=self.kernel_cache)
 
     def result_key(self, planned) -> ResultKey | None:
         """The result-cache key for a planned statement, or ``None``.

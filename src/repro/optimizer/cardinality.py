@@ -37,6 +37,7 @@ from repro.relational.logical import (
     SortNode,
     UnionNode,
 )
+from repro.relational.pipeline import PipelineNode
 from repro.storage.catalog import Catalog
 from repro.storage.statistics import ColumnStats
 from repro.utils.rng import make_rng
@@ -129,6 +130,10 @@ class CardinalityEstimator:
             right = self.estimate(plan.right)
             return max(left * right * self.semantic_join_selectivity(plan),
                        0.0)
+        if isinstance(plan, PipelineNode):
+            # stage nodes keep their pre-fusion child pointers, so the
+            # outermost stage estimates exactly as the unfused chain did
+            return self.estimate(plan.stages[-1])
         return float(self.estimate(plan.children[0])) if plan.children else 1.0
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.relational.logical import (
     SortNode,
     UnionNode,
 )
+from repro.relational.pipeline import PipelineNode
 from repro.storage.catalog import Catalog
 from repro.storage.schema import Schema
 from repro.storage.table import Table
@@ -58,6 +59,10 @@ class ExecutionContext:
     #: Safe even under concurrency: the cache serializes embeds behind
     #: its write lock, so at most one machine-wide embed runs per model.
     cache_parallelism: int | None = None
+    #: engine.kernel_cache.KernelCache shared across statements (typed
+    #: loosely: no cycle).  ``None`` = compile fused pipelines inline,
+    #: uncached (bare ``execute_plan`` calls outside an engine).
+    kernel_cache: object | None = None
     metrics: dict = field(default_factory=dict)
 
     def model(self, name: str):
@@ -188,6 +193,87 @@ class LimitOp(PhysicalOperator):
                 remaining = 0
             if remaining == 0:
                 return
+
+
+class FusedPipelineOp(PhysicalOperator):
+    """Run a fused Scan/Filter/Project/Limit chain as one compiled kernel.
+
+    The kernel binds input columns once, evaluates merged predicate
+    masks, applies projections on the masked selection, and returns
+    output columns — no intermediate :class:`Table` per stage.  When the
+    pipeline embeds its own scan the whole base table goes through the
+    kernel in a single pass (no batch loop at all), except when the
+    pipeline carries a limit — then the scan streams in batches so the
+    limit keeps its early exit.  Without an embedded scan the barrier
+    child's batches stream through the kernel.
+
+    Kernels come from the shared :class:`~repro.engine.kernel_cache.
+    KernelCache` when the context carries one (so repeat statements skip
+    compilation entirely); a context without a cache compiles inline.
+    Either way the op records ``backend``/``cache_hit``/
+    ``compile_seconds`` for the profiler and EXPLAIN ANALYZE.
+    """
+
+    def __init__(self, node, context: ExecutionContext,
+                 child: PhysicalOperator | None):
+        super().__init__(node.schema, (child,) if child is not None else ())
+        self.node = node
+        self.context = context
+        self.limit = node.limit
+        spec = node.kernel_spec()
+        cache = context.kernel_cache
+        if cache is not None:
+            self.kernel, self.cache_hit = cache.get_or_compile(
+                node.fingerprint(), spec)
+        else:
+            from repro.hardware.jit import compile_pipeline
+
+            self.kernel, self.cache_hit = compile_pipeline(spec), False
+        self.backend = self.kernel.backend
+        self.compile_seconds = 0.0 if self.cache_hit \
+            else self.kernel.compile_seconds
+
+    def label(self) -> str:
+        return f"FusedPipelineOp[{self.node.label()}]"
+
+    def _batches(self) -> Iterator[Table]:
+        remaining = self.limit
+        if remaining is not None and remaining <= 0:
+            return
+        names = self.schema.names
+        for batch in self._input_batches():
+            arrays = self.kernel(batch)
+            rows = int(arrays[0].shape[0]) if arrays else 0
+            if rows == 0:
+                continue
+            if remaining is not None and rows > remaining:
+                arrays = tuple(arr[:remaining] for arr in arrays)
+                rows = remaining
+            yield Table(self.schema, dict(zip(names, arrays)))
+            if remaining is not None:
+                remaining -= rows
+                if remaining == 0:
+                    return
+
+    def _input_batches(self) -> Iterator[Table]:
+        scan = self.node.scan
+        if scan is None:
+            yield from self.children[0].batches()
+            return
+        table = self.context.catalog.get(scan.table_name)
+        if scan.qualifier:
+            table = table.qualified(scan.qualifier)
+        if table.num_rows == 0:
+            return
+        if self.limit is None:
+            # one pass over the whole base table: fusing exists precisely
+            # to skip the per-batch Table materialization between stages
+            yield table
+            return
+        # a fused limit keeps its early exit: stream the scan so the
+        # kernel stops once the limit fills instead of filtering the
+        # whole table for rows it will slice away
+        yield from table.batches(self.context.batch_size)
 
 
 class SortOp(PhysicalOperator):
@@ -419,6 +505,10 @@ def build_physical(plan: LogicalPlan,
     if isinstance(plan, ScanNode):
         table = context.catalog.get(plan.table_name)
         return ScanOp(table, context.batch_size, plan.qualifier)
+    if isinstance(plan, PipelineNode):
+        child = build_physical(plan.source, context) \
+            if plan.source is not None else None
+        return FusedPipelineOp(plan, context, child)
     if isinstance(plan, FilterNode):
         return FilterOp(build_physical(plan.child, context), plan.predicate)
     if isinstance(plan, ProjectNode):

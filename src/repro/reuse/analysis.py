@@ -49,6 +49,7 @@ from repro.relational.logical import (
     SemanticSemiFilterNode,
     SortNode,
 )
+from repro.relational.pipeline import PipelineNode
 
 #: Physical semantic-join methods whose per-pair scores are a pure,
 #: execution-config-independent function of the inputs.  ``parallel``
@@ -373,6 +374,19 @@ def describe_plan(plan: LogicalPlan) -> PlanShape:
         nonlocal ambiguous, dip_free
         for child in node.children:
             visit(child)
+        if isinstance(node, PipelineNode):
+            # fusion is transparent to reuse: a fused plan must
+            # fingerprint exactly like its unfused twin (Filter/Project
+            # stages excluded, Scan/Limit stages contribute their parts),
+            # or cost-model flips between a base statement and its
+            # refinement would silently break subsumption matching
+            for stage in node.stages:
+                visit_stage(stage)
+            return
+        visit_stage(node)
+
+    def visit_stage(node: LogicalPlan) -> None:
+        nonlocal ambiguous, dip_free
         if isinstance(node, ScanNode):
             parts.append(f"scan {node.table_name} as {node.qualifier}")
         elif isinstance(node, (FilterNode, ProjectNode)):

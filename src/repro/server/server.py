@@ -57,6 +57,7 @@ class EngineServer:
                  plan_cache_capacity: int | None = None,
                  result_cache_bytes: int | None = None,
                  semantic_reuse: bool = True,
+                 compiled_pipelines: str | None = None,
                  scheduler_config: SchedulerConfig | None = None):
         self.state = EngineState(
             seed=seed, load_default_model=load_default_model,
@@ -64,7 +65,8 @@ class EngineServer:
             parallelism=parallelism,
             plan_cache_capacity=plan_cache_capacity,
             result_cache_bytes=result_cache_bytes,
-            semantic_reuse=semantic_reuse)
+            semantic_reuse=semantic_reuse,
+            compiled_pipelines=compiled_pipelines)
         config = scheduler_config or SchedulerConfig()
         if config.workers is None:
             # one budget backs the pool and the kernels; an explicit
@@ -279,6 +281,7 @@ class EngineServer:
             "reuse": (self.state.reuse_registry.stats().as_dict()
                       if self.state.reuse_registry is not None
                       else None),
+            "kernels": self.state.kernel_cache.stats(),
             "scheduler": self.scheduler.stats(),
             "embedding_arenas": self.state.arena_stats(),
             "vector_index_cache": self.state.index_cache.stats(),
