@@ -1,0 +1,299 @@
+"""Cache-key / invalidation lint (rules CK001–CK004).
+
+Checks the declared invalidation protocol in
+:mod:`repro.analysis.cache_dimensions` against the source:
+
+- **CK001** — a declared mutator does not bump its version dimension:
+  no assignment/augmented assignment to ``self.<attr>`` in its body,
+  no delegation to the declared sibling, or a declared required call
+  (e.g. ``RETIRED_GENERATIONS.add``) is missing.
+- **CK002** — versioned state written from outside the owning class:
+  an assignment to a protected attribute through a receiver typed as
+  the owner (e.g. ``state.catalog._tables = ...``).
+- **CK003** — pre-captured-key discipline broken in a declared cache
+  path: the key must be derived exactly once (one ``result_key`` call,
+  bound to one name), *before* the first probe, never rebound, and the
+  same name must flow to every probe/store call.
+- **CK004** — declaration drift: a declared owner, mutator, or
+  discipline function that does not exist in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.analysis.core import (
+    ANALYZERS, AnalysisConfig, Finding, Package)
+
+
+@dataclass(frozen=True)
+class VersionBump:
+    owner: str                       # fq class name
+    attr: str                        # version attribute to bump
+    mutators: tuple[str, ...]        # methods that must bump directly
+    delegates: Mapping[str, str] = field(default_factory=dict)
+    #: method -> ((receiver name, method), ...) calls that must appear
+    required_calls: Mapping[str, tuple[tuple[str, str], ...]] = \
+        field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ProtectedState:
+    owner: str
+    attrs: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class KeyDiscipline:
+    function: str                    # fq function holding the cache path
+    capture: str                     # key-derivation method name
+    probes: tuple[str, ...]          # calls that consume the key pre-exec
+    stores: tuple[str, ...]          # calls the key must flow into
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    version_protocols: tuple[VersionBump, ...]
+    protected_state: tuple[ProtectedState, ...]
+    key_disciplines: tuple[KeyDiscipline, ...]
+    attr_types: Mapping[str, str] | None = None
+
+
+def check_cachekeys(config: AnalysisConfig) -> list[Finding]:
+    model = config.cache
+    if model is None:
+        return []
+    package = config.package
+    findings: list[Finding] = []
+    for bump in model.version_protocols:
+        findings.extend(_check_bump(package, bump))
+    findings.extend(_check_protected(package, model))
+    for discipline in model.key_disciplines:
+        findings.extend(_check_discipline(package, discipline))
+    return findings
+
+
+# -- CK001 / CK004: version bumps --------------------------------------
+
+def _check_bump(package: Package, bump: VersionBump) -> list[Finding]:
+    findings = []
+    if bump.owner not in package.classes:
+        return [Finding("CK004", bump.owner, 1,
+                        f"declared version owner {bump.owner} not found")]
+    module = package.class_module[bump.owner]
+    rel = package.rel_path(module)
+    for mutator in bump.mutators:
+        fn = package.functions.get(f"{bump.owner}.{mutator}")
+        if fn is None:
+            findings.append(Finding(
+                "CK004", rel, package.classes[bump.owner].lineno,
+                f"declared mutator {bump.owner}.{mutator} not found"))
+            continue
+        if not _assigns_self_attr(fn, bump.attr):
+            findings.append(Finding(
+                "CK001", rel, fn.lineno,
+                f"{bump.owner.rsplit('.', 1)[1]}.{mutator} must bump "
+                f"self.{bump.attr} but never assigns it"))
+        for recv, method in bump.required_calls.get(mutator, ()):
+            if not _calls_name_method(fn, recv, method):
+                findings.append(Finding(
+                    "CK001", rel, fn.lineno,
+                    f"{bump.owner.rsplit('.', 1)[1]}.{mutator} must call "
+                    f"{recv}.{method}(...) but never does"))
+    for delegate, target in bump.delegates.items():
+        fn = package.functions.get(f"{bump.owner}.{delegate}")
+        if fn is None:
+            findings.append(Finding(
+                "CK004", rel, package.classes[bump.owner].lineno,
+                f"declared delegate {bump.owner}.{delegate} not found"))
+            continue
+        if not _calls_self_method(fn, target):
+            findings.append(Finding(
+                "CK001", rel, fn.lineno,
+                f"{bump.owner.rsplit('.', 1)[1]}.{delegate} must delegate "
+                f"to self.{target}() for its version bump"))
+    return findings
+
+
+def _assigns_self_attr(fn: ast.FunctionDef, attr: str) -> bool:
+    for node in ast.walk(fn):
+        target = None
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                if _is_self_attr(t, attr):
+                    return True
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target = node.target
+        if target is not None and _is_self_attr(target, attr):
+            return True
+    return False
+
+
+def _is_self_attr(node: ast.expr, attr: str) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")
+
+
+def _calls_self_method(fn: ast.FunctionDef, method: str) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == method \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == "self":
+            return True
+    return False
+
+
+def _calls_name_method(fn: ast.FunctionDef, recv: str, method: str) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == method \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == recv:
+            return True
+    return False
+
+
+# -- CK002: protected state writes -------------------------------------
+
+def _check_protected(package: Package, model: CacheModel) -> list[Finding]:
+    protected: dict[str, list[str]] = {}
+    for spec in model.protected_state:
+        for attr in spec.attrs:
+            protected.setdefault(attr, []).append(spec.owner)
+    attr_types = dict(model.attr_types or {})
+    findings = []
+    for fq, fn in sorted(package.functions.items()):
+        enclosing = _enclosing_class(package, fq)
+        module = package.function_module[fq]
+        rel = package.rel_path(module)
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                if not isinstance(target, ast.Attribute) \
+                        or target.attr not in protected:
+                    continue
+                owners = protected[target.attr]
+                recv_type = _receiver_type(
+                    target.value, enclosing, attr_types)
+                if recv_type in owners and recv_type != enclosing:
+                    findings.append(Finding(
+                        "CK002", rel, node.lineno,
+                        f"{fq} writes {recv_type.rsplit('.', 1)[1]}."
+                        f"{target.attr} from outside the owner — use the "
+                        f"owner's mutators so the version bump happens"))
+    return findings
+
+
+def _receiver_type(expr: ast.expr, enclosing: str | None,
+                   attr_types: Mapping[str, str]) -> str | None:
+    if isinstance(expr, ast.Name):
+        return enclosing if expr.id == "self" else None
+    if isinstance(expr, ast.Attribute):
+        return attr_types.get(expr.attr)
+    return None
+
+
+def _enclosing_class(package: Package, fq: str) -> str | None:
+    scope = fq.rsplit(".", 1)[0]
+    while "." in scope:
+        if scope in package.classes:
+            return scope
+        scope = scope.rsplit(".", 1)[0]
+    return None
+
+
+# -- CK003: pre-captured-key discipline --------------------------------
+
+def _check_discipline(package: Package,
+                      discipline: KeyDiscipline) -> list[Finding]:
+    fn = package.functions.get(discipline.function)
+    if fn is None:
+        return [Finding("CK004", discipline.function, 1,
+                        f"declared cache path {discipline.function} "
+                        f"not found")]
+    module = package.function_module[discipline.function]
+    rel = package.rel_path(module)
+    findings = []
+
+    captures: list[tuple[ast.Assign, ast.Call]] = []
+    loose_captures: list[ast.Call] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Call) \
+                and _call_method(node.value) == discipline.capture:
+            captures.append((node, node.value))
+        elif isinstance(node, ast.Call) \
+                and _call_method(node) == discipline.capture:
+            loose_captures.append(node)
+
+    if len(captures) != 1 or len(loose_captures) != 1:
+        return [Finding(
+            "CK003", rel, fn.lineno,
+            f"{discipline.function} must derive the cache key exactly "
+            f"once via {discipline.capture}() bound to one name; found "
+            f"{len(loose_captures)} call(s), {len(captures)} binding(s)")]
+
+    assign, _ = captures[0]
+    if len(assign.targets) != 1 \
+            or not isinstance(assign.targets[0], ast.Name):
+        return [Finding(
+            "CK003", rel, assign.lineno,
+            f"{discipline.function}: the {discipline.capture}() result "
+            f"must bind a single plain name")]
+    key_name = assign.targets[0].id
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and node is not assign:
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == key_name:
+                    findings.append(Finding(
+                        "CK003", rel, node.lineno,
+                        f"{discipline.function}: key name {key_name!r} "
+                        f"rebound after capture — the pre-captured key "
+                        f"must flow unchanged to the store"))
+
+    consumers = discipline.probes + discipline.stores
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        method = _call_method(node)
+        if method not in consumers:
+            continue
+        if method in discipline.probes and node.lineno < assign.lineno:
+            findings.append(Finding(
+                "CK003", rel, node.lineno,
+                f"{discipline.function}: probe {method}() runs before "
+                f"the key is captured"))
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        if not any(isinstance(a, ast.Name) and a.id == key_name
+                   for a in args):
+            findings.append(Finding(
+                "CK003", rel, node.lineno,
+                f"{discipline.function}: {method}() does not receive the "
+                f"pre-captured key {key_name!r}"))
+    return findings
+
+
+def _call_method(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+ANALYZERS["cache"] = check_cachekeys

@@ -41,11 +41,14 @@ from repro.hardware.jit import PipelineKernel, PipelineSpec, compile_pipeline
 
 DEFAULT_KERNEL_CACHE_CAPACITY = 256
 
+#: ``(pipeline fingerprint, model, requested backend)``.
+_KernelKey = tuple[str, str, str]
+
 
 class KernelCache:
     """LRU of :class:`PipelineKernel` with single-flight compilation."""
 
-    def __init__(self, capacity: int = DEFAULT_KERNEL_CACHE_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_KERNEL_CACHE_CAPACITY) -> None:
         if capacity <= 0:
             raise ValueError("kernel cache capacity must be positive")
         self.capacity = capacity
@@ -60,8 +63,8 @@ class KernelCache:
         self.evictions = 0
         #: Total wall seconds spent inside ``compile_pipeline``.
         self.compile_seconds = 0.0
-        self._entries: OrderedDict[tuple, PipelineKernel] = OrderedDict()
-        self._building: dict[tuple, threading.Event] = {}
+        self._entries: OrderedDict[_KernelKey, PipelineKernel] = OrderedDict()
+        self._building: dict[_KernelKey, threading.Event] = {}
         self._lock = threading.Lock()
 
     def get_or_compile(self, fingerprint: str, spec: PipelineSpec,
@@ -121,7 +124,7 @@ class KernelCache:
             self.evictions = 0
             self.compile_seconds = 0.0
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int | float]:
         """Counters for ``server.metrics()["kernels"]`` (one snapshot)."""
         with self._lock:
             return {

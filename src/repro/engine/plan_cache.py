@@ -39,12 +39,17 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 from repro.engine.sql.canonical import CanonicalQuery
 
 #: Default number of cached plans (and memoized texts) kept.
 DEFAULT_PLAN_CACHE_CAPACITY = 256
+
+#: ``(*CanonicalQuery.key, catalog_version, model_name)`` — the literal
+#: tuple inside ``CanonicalQuery.key`` is heterogeneous, hence ``Any``.
+_PlanKey = tuple[Any, ...]
 
 
 @dataclass
@@ -81,7 +86,7 @@ class PlanCacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int | float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -97,13 +102,14 @@ class PlanCacheStats:
 class PlanCache:
     """LRU cache of optimized plans keyed on canonical digest + version."""
 
-    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._plans: OrderedDict[tuple, CachedPlan] = OrderedDict()
-        self._texts: OrderedDict[tuple, CanonicalQuery] = OrderedDict()
+        self._plans: OrderedDict[_PlanKey, CachedPlan] = OrderedDict()
+        self._texts: OrderedDict[tuple[str, str], CanonicalQuery] = \
+            OrderedDict()
         self._hits = 0
         self._misses = 0
         self._text_memo_hits = 0

@@ -87,7 +87,7 @@ class ResultKey(NamedTuple):
     #: Canonical-template digest (statement family).
     digest: str
     #: Concrete literal tuple, in template order.
-    parameters: tuple
+    parameters: tuple[object, ...]
     #: Catalog version the statement was planned under.
     catalog_version: int
     #: Default model name the statement was bound with.
@@ -96,7 +96,7 @@ class ResultKey(NamedTuple):
     index_generation: int
     #: Sorted ``(model, EmbeddingCache.generation)`` per plan model;
     #: ``-1`` marks a model whose arena does not exist yet.
-    arena_generations: tuple
+    arena_generations: tuple[tuple[str, int], ...]
 
 
 def estimate_table_bytes(table: Table) -> int:
@@ -136,7 +136,7 @@ def snapshot_table(table: Table) -> Table:
                  {name: arr.copy() for name, arr in table.columns.items()})
 
 
-def strip_columns(table: Table, names: tuple) -> Table:
+def strip_columns(table: Table, names: tuple[str, ...]) -> Table:
     """``table`` without the ``names`` columns (arrays shared, not
     copied — callers copy when they need isolation)."""
     if not names:
@@ -163,7 +163,7 @@ class CachedResult:
 
     table: Table          # private snapshot; never handed out directly
     nbytes: int
-    aux_names: tuple = ()
+    aux_names: tuple[str, ...] = ()
     hits: int = 0
 
 
@@ -188,7 +188,7 @@ class ResultCacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int | float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -214,7 +214,7 @@ class ResultCache:
     reference, never the data a hit is copying).
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_RESULT_CACHE_BYTES):
+    def __init__(self, max_bytes: int = DEFAULT_RESULT_CACHE_BYTES) -> None:
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
@@ -254,7 +254,7 @@ class ResultCache:
             self._store.move_to_end(key)
         return snapshot_table(strip_columns(entry.table, entry.aux_names))
 
-    def get_full(self, key: ResultKey) -> tuple[Table, tuple] | None:
+    def get_full(self, key: ResultKey) -> tuple[Table, tuple[str, ...]] | None:
         """The raw stored snapshot (aux columns included) plus its aux
         names — the subsumption path's read.
 
@@ -274,7 +274,7 @@ class ResultCache:
 
     # -- population -----------------------------------------------------
     def put(self, key: ResultKey, table: Table,
-            aux_names: tuple = (), owned: bool = False) -> bool:
+            aux_names: tuple[str, ...] = (), owned: bool = False) -> bool:
         """Store a snapshot of ``table`` under ``key``.
 
         Returns ``False`` (and caches nothing) when the key is already

@@ -34,6 +34,7 @@ from repro.relational.logical import (
     SemanticFilterNode,
     SemanticGroupByNode,
     SemanticJoinNode,
+    SemanticSemiFilterNode,
     SortNode,
     UnionNode,
 )
@@ -130,6 +131,13 @@ class CardinalityEstimator:
             right = self.estimate(plan.right)
             return max(left * right * self.semantic_join_selectivity(plan),
                        0.0)
+        if isinstance(plan, SemanticSemiFilterNode):
+            # prune-only upper bound: the DIP probe filter passes at
+            # most its input, and the pass already gated on the build
+            # side being tiny — estimate as the child (exactly what the
+            # generic passthrough below yielded) until sampled probe
+            # selectivities prove worth modeling.
+            return self.estimate(plan.child)
         if isinstance(plan, PipelineNode):
             # stage nodes keep their pre-fusion child pointers, so the
             # outermost stage estimates exactly as the unfused chain did

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import PlanError
 from repro.relational.logical import (
     AggregateNode,
     FilterNode,
@@ -25,6 +26,7 @@ from repro.relational.logical import (
     SemanticFilterNode,
     SemanticGroupByNode,
     SemanticJoinNode,
+    SemanticSemiFilterNode,
     SortNode,
     UnionNode,
 )
@@ -281,6 +283,18 @@ class CostModel:
             unique = min(rows, ndv)
             return Cost(cpu=rows * params.predicate_row,
                         model=unique * params.embed_token)
+        if isinstance(plan, SemanticSemiFilterNode):
+            # DIP-induced probe filter: the column's distinct values
+            # embed once, then score against each probe vector; the
+            # mask applies per input row.
+            rows = self.estimator.estimate(plan.child)
+            ndv = self.estimator.column_ndv(plan.column, plan.child,
+                                            default=rows)
+            unique = min(rows, ndv)
+            pairs = unique * max(len(plan.probes), 1)
+            return Cost(cpu=rows * params.predicate_row
+                        + pairs * params.dim * params.pair_vector_dim,
+                        model=unique * params.embed_token)
         if isinstance(plan, SemanticJoinNode):
             return self.semantic_join_cost(plan)
         if isinstance(plan, SemanticGroupByNode):
@@ -291,7 +305,9 @@ class CostModel:
             pairs = unique * np.sqrt(max(unique, 1.0))  # leaders << unique
             return Cost(cpu=pairs * params.dim * params.pair_vector_dim,
                         model=unique * params.embed_token)
-        return Cost()
+        raise PlanError(
+            f"no cost model for plan node {type(plan).__name__}; "
+            f"add an arm here and to analysis/dispatch_registry.py")
 
     def semantic_join_cost(self, plan: SemanticJoinNode,
                            method: str | None = None) -> Cost:

@@ -27,19 +27,23 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.reuse.analysis import PlanShape, ReuseSpec
 
 #: Default bound on registered entries across all families.
 DEFAULT_REGISTRY_CAPACITY = 1024
 
+#: An ``engine.result_cache.ResultKey`` (kept structural here to avoid
+#: importing the engine package from the reuse layer).
+_EntryKey = tuple[object, ...]
+
 
 @dataclass(frozen=True)
 class ReuseEntry:
     """One subsumption-eligible cached result's matching metadata."""
 
-    key: tuple                   # engine.result_cache.ResultKey
+    key: _EntryKey               # engine.result_cache.ResultKey
     spec: ReuseSpec
     shape: PlanShape
     #: Stored snapshot's row count (LIMIT-bite checks) and full column
@@ -67,7 +71,7 @@ class ReuseStats:
     def hit_rate(self) -> float:
         return self.hits / self.probes if self.probes else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int | float]:
         return {
             "registered": self.registered,
             "probes": self.probes,
@@ -84,15 +88,15 @@ class ReuseStats:
 class ReuseRegistry:
     """Thread-safe family index over subsumption-eligible entries."""
 
-    def __init__(self, capacity: int = DEFAULT_REGISTRY_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_REGISTRY_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
         #: family digest -> (ResultKey -> ReuseEntry), LRU per family
-        self._families: dict[str, OrderedDict] = {}
+        self._families: dict[str, OrderedDict[_EntryKey, ReuseEntry]] = {}
         #: global LRU of keys for the capacity bound
-        self._order: OrderedDict = OrderedDict()
+        self._order: OrderedDict[_EntryKey, str] = OrderedDict()
         self._registered = 0
         self._probes = 0
         self._hits = 0
@@ -138,7 +142,7 @@ class ReuseRegistry:
             self._fallbacks += 1
 
     # -- maintenance ----------------------------------------------------
-    def discard(self, key, stale: bool = False) -> None:
+    def discard(self, key: _EntryKey, stale: bool = False) -> None:
         """Drop one entry (evicted snapshot or version-dead key)."""
         with self._lock:
             family = self._order.get(key)
@@ -149,7 +153,7 @@ class ReuseRegistry:
             if stale:
                 self._stale_drops += 1
 
-    def _drop_locked(self, key, family: str) -> None:
+    def _drop_locked(self, key: _EntryKey, family: str) -> None:
         bucket = self._families.get(family)
         if bucket is not None:
             bucket.pop(key, None)

@@ -20,20 +20,23 @@ modules can use them without importing the server package, which sits
   addressed by hashed key (model name, table name), so independent hot
   keys never contend on one lock while the memory cost stays bounded.
 
-Lock hierarchy (documented in ``docs/serving.md``; always acquire
+Lock hierarchy (canonical declarations in
+``repro/analysis/lock_levels.py``, enforced by ``python -m
+repro.analysis``; prose in ``docs/serving.md``.  Always acquire
 downward, never upward):
 
-1. server/plan-cache mutexes
-2. catalog lock
-3. per-model striped locks (embedding arenas, index caches)
-4. leaf mutexes (metrics counters, single-flight registries)
+1. scheduler / plan-cache mutexes
+2. per-model striped locks (held around build + execute)
+3. catalog lock (taken *under* the stripes during physical lowering)
+4. leaf mutexes (embedding/index/result/kernel caches, counters,
+   single-flight registries)
 """
 
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
-from typing import Iterator
+from contextlib import AbstractContextManager, contextmanager
+from typing import Iterable, Iterator
 
 #: Default stripe count: enough that a handful of hot models/tables
 #: hash apart, small enough to be free to allocate eagerly.
@@ -53,7 +56,7 @@ class RWLock:
     the write lock) avoids upgrades by construction.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._mutex = threading.Lock()
         self._readers_done = threading.Condition(self._mutex)
         self._active_readers = 0
@@ -118,7 +121,7 @@ class StripedRWLock:
     throughput, never correctness).
     """
 
-    def __init__(self, stripes: int = DEFAULT_STRIPES):
+    def __init__(self, stripes: int = DEFAULT_STRIPES) -> None:
         if stripes < 1:
             raise ValueError(f"stripe count must be positive, got {stripes}")
         self._stripes = tuple(RWLock() for _ in range(stripes))
@@ -130,15 +133,15 @@ class StripedRWLock:
         """The stripe lock guarding ``key``."""
         return self._stripes[hash(key) % len(self._stripes)]
 
-    def read(self, key: str):
+    def read(self, key: str) -> AbstractContextManager[None]:
         """``with striped.read(key):`` — shared access to ``key``'s stripe."""
         return self.stripe(key).read()
 
-    def write(self, key: str):
+    def write(self, key: str) -> AbstractContextManager[None]:
         """``with striped.write(key):`` — exclusive access to the stripe."""
         return self.stripe(key).write()
 
-    def stripes_for(self, keys) -> list[RWLock]:
+    def stripes_for(self, keys: Iterable[str]) -> list[RWLock]:
         """Deduped stripe locks for ``keys``, in **bank order**.
 
         This is the only sanctioned way to hold several stripes at

@@ -98,7 +98,7 @@ class WorkerBudget:
     the scheduler already admitted.
     """
 
-    def __init__(self, total: int | None = None):
+    def __init__(self, total: int | None = None) -> None:
         #: Machine-wide worker count (resolved like session parallelism).
         self.total = resolve_workers(total)
         self._active = 0
@@ -126,7 +126,7 @@ class WorkerBudget:
     def __enter__(self) -> int:
         return self.acquire()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.release()
 
 

@@ -39,7 +39,7 @@ def ngrams(word: str, n_min: int, n_max: int, *, boundary: bool = True) -> list[
     grams.
     """
     decorated = f"<{word}>" if boundary else word
-    grams = []
+    grams: list[str] = []
     for size in range(n_min, n_max + 1):
         if size > len(decorated):
             break

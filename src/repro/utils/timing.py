@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 @dataclass
@@ -23,7 +24,7 @@ class Timer:
     _last: float = field(default=0.0, repr=False)
 
     @contextmanager
-    def measure(self):
+    def measure(self) -> Iterator["Timer"]:
         start = time.perf_counter()
         try:
             yield self
@@ -44,7 +45,7 @@ class Timer:
 
 
 @contextmanager
-def timed(sink: dict, key: str):
+def timed(sink: dict[str, float], key: str) -> Iterator[None]:
     """Measure a block and add the duration (seconds) into ``sink[key]``."""
     start = time.perf_counter()
     try:

@@ -1,0 +1,9 @@
+"""Seeded-violation fixtures for the static-analysis suite.
+
+Each module here contains exactly one deliberate invariant violation
+(plus, in ``lock_inversion``, pragma-suppression cases).  They are
+parsed — never imported — by the analyzers, against the miniature
+declaration models in :mod:`repro.analysis.fixtures`;
+``tests/test_static_analysis.py`` asserts each violation is reported
+with the right rule id and location.  Do not "fix" these.
+"""

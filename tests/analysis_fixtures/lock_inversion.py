@@ -1,0 +1,54 @@
+"""Fixture: a lock-hierarchy inversion the checker must catch.
+
+Declared hierarchy (see ``repro.analysis.fixtures._lock_model``):
+Registry._lock = level 1, Store._lock = level 2, Counter._lock =
+level 3.  ``Counter.record`` holds the level-3 lock while calling into
+``Store.read`` (level 2) — an up-hierarchy edge, rule LH001.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+    def lookup(self, key):
+        with self._lock:
+            return self.entries.get(key)
+
+
+class Store:
+    def __init__(self, registry):
+        self._lock = threading.Lock()
+        self.registry = registry
+        self.rows = {}
+
+    def read(self, key):
+        with self._lock:
+            return self.rows.get(key)
+
+
+class Counter:
+    def __init__(self, store):
+        self._lock = threading.Lock()
+        self.store = store
+        self.count = 0
+
+    def record(self, key):
+        with self._lock:
+            self.count += 1
+            # seeded violation: level-3 leaf held across a level-2
+            # acquisition inside Store.read -> LH001 on the next line
+            return self.store.read(key)
+
+    def record_suppressed(self, key):
+        with self._lock:
+            self.count += 1
+            return self.store.read(key)  # analysis: ignore[LH001] fixture: demonstrates a justified suppression
+
+    def record_bare_pragma(self, key):
+        with self._lock:
+            self.count += 1
+            return self.store.read(key)  # analysis: ignore[LH001]

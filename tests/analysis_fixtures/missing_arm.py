@@ -1,0 +1,31 @@
+"""Fixture: a dispatcher with a missing arm and a silent default.
+
+``render`` is registered (``repro.analysis.fixtures._dispatch_model``)
+as a rejecting dispatcher over the ``Node`` family, but it has no arm
+for ``GammaNode`` (rule DX001) and its tail returns instead of raising
+(rule DX002).
+"""
+
+
+class Node:
+    pass
+
+
+class AlphaNode(Node):
+    pass
+
+
+class BetaNode(Node):
+    pass
+
+
+class GammaNode(Node):
+    pass
+
+
+def render(node):
+    if isinstance(node, AlphaNode):
+        return "alpha"
+    if isinstance(node, BetaNode):
+        return "beta"
+    return "?"  # seeded violation: GammaNode falls through silently

@@ -1,0 +1,21 @@
+"""Fixture: a cache mutator that forgets its version bump.
+
+``MiniCatalog`` is declared (``repro.analysis.fixtures._cache_model``)
+with ``register`` and ``drop`` as ``_version`` mutators; ``drop``
+mutates the table map without bumping, so cached plans keyed on the
+old version would survive the drop — rule CK001.
+"""
+
+
+class MiniCatalog:
+    def __init__(self):
+        self._tables = {}
+        self._version = 0
+
+    def register(self, name, table):
+        self._tables[name] = table
+        self._version += 1
+
+    def drop(self, name):
+        # seeded violation: no self._version bump after the mutation
+        self._tables.pop(name, None)
