@@ -44,7 +44,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 import numpy as np
 
-from benchmarks.common import ResultTable, stopwatch
+from benchmarks.common import ResultTable, metrics_snapshot, stopwatch
 from repro.embeddings.pretrained import build_pretrained_model
 from repro.engine.session import Session
 from repro.server import EngineServer
@@ -202,6 +202,9 @@ def run_concurrent(workload: RetailWorkload, model, n_clients: int,
                 metrics["scheduler"]["tenants"].items()
                 if tenant.startswith("client-")
             },
+            # hoisted to the payload's top level by run(): the highest
+            # client count's registry is the one worth keeping
+            "metrics": metrics_snapshot(server),
         }
 
 
@@ -239,6 +242,9 @@ def run(sizes: dict, clients: tuple[int, ...], repeats: int) -> dict:
     reference = serial.pop("reference")
     concurrent = [run_concurrent(workload, model, n, repeats, reference)
                   for n in clients]
+    registry = {}
+    for level in concurrent:
+        registry = level.pop("metrics")
     return {
         "cpu_count": cpu_count,
         "speedup_enforced": cpu_count >= 4,
@@ -249,6 +255,7 @@ def run(sizes: dict, clients: tuple[int, ...], repeats: int) -> dict:
                    else value for key, value in serial.items()},
         "concurrent": concurrent,
         "planner": planner_microbench(workload, model),
+        "metrics": registry,
         "platform": {
             "python": platform.python_version(),
             "numpy": np.__version__,

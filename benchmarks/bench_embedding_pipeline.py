@@ -48,7 +48,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 import numpy as np
 
-from benchmarks.common import ResultTable, stopwatch
+from benchmarks.common import ResultTable, metrics_snapshot, stopwatch
 from repro.embeddings.model import EmbeddingModel
 from repro.embeddings.pretrained import build_pretrained_model
 from repro.semantic.cache import EmbeddingCache
@@ -122,6 +122,20 @@ def seed_matrix_rebuild(store: dict, texts: list[str],
     return rows
 
 
+def _registry_view(cache: EmbeddingCache) -> dict:
+    """Arena counters through the metrics registry, for the payload.
+
+    This bench has no engine state, so it registers the cache's gauges
+    on a private registry — the snapshot shape matches the server
+    benches' ``metrics`` sections.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cache.register_metrics(registry)
+    return metrics_snapshot(registry)
+
+
 def run(n: int, seed: int = 23) -> dict:
     model = build_pretrained_model(seed=7)
     strings = build_workload(model, n, seed=seed)
@@ -164,6 +178,7 @@ def run(n: int, seed: int = 23) -> dict:
         "dict_warm_rebuild_seconds": round(dict_warm.seconds, 4),
         "idspace_gather_speedup": round(gather_speedup, 2),
         "arena": cache.stats(),
+        "metrics": _registry_view(cache),
         "platform": {
             "python": platform.python_version(),
             "numpy": np.__version__,

@@ -44,7 +44,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 import numpy as np
 
-from benchmarks.common import ResultTable, stopwatch
+from benchmarks.common import ResultTable, metrics_snapshot, stopwatch
 from repro.engine.session import Session
 from repro.hardware.jit import NUMBA_AVAILABLE, compile_pipeline
 from repro.relational.expressions import Arith, ColumnRef, Compare, Literal
@@ -204,6 +204,7 @@ def run(rows: int, rounds: int) -> dict:
         "kernel_cache_hit_rate": round(hit_rate, 4),
         "kernel_cache": after,
         "tiny_stays_interpreted": tiny_stays_interpreted,
+        "metrics": metrics_snapshot(fused),
         "platform": {
             "python": platform.python_version(),
             "numpy": np.__version__,

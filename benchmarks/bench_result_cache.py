@@ -16,6 +16,13 @@ Defends the cross-statement result cache's claims:
 3. **Invalidation correctness.**  After ``register_table`` over a
    queried table, the next lookup misses and answers from the new
    contents; after re-warming it hits again.  Enforced.
+4. **No-op tracer overhead.**  The measured servers run with
+   ``trace_sample=0`` (like the committed trajectory); the disabled
+   tracer's per-statement operations — one sample check plus the
+   ``trace.enabled`` branches on the hit path — must cost < 1% of the
+   mean cached statement latency.  Enforced; a second cached server
+   with ``trace_sample=1`` reports the full-sampling overhead for
+   comparison (informational).
 
 Usage::
 
@@ -43,7 +50,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 import numpy as np
 
-from benchmarks.common import ResultTable, stopwatch
+from benchmarks.common import ResultTable, metrics_snapshot, stopwatch
+from repro.obs.trace import NULL_TRACE
 from repro.embeddings.pretrained import build_pretrained_model
 from repro.server import EngineServer
 from repro.storage.table import Table
@@ -74,6 +82,10 @@ STATEMENTS = (
 
 SPEEDUP_TARGET = 10.0
 
+#: Disabled tracing may cost at most this percentage of the mean cached
+#: statement latency (the bound ``docs/observability.md`` cites).
+TRACE_NOOP_BUDGET_PCT = 1.0
+
 
 def canonical_rows(table) -> list[tuple]:
     """Order-insensitive, bit-exact canonical form of a result table."""
@@ -81,10 +93,13 @@ def canonical_rows(table) -> list[tuple]:
     return sorted(rows, key=repr)
 
 
-def build_server(model, sizes: dict, result_cache_bytes: int | None
-                 ) -> EngineServer:
+def build_server(model, sizes: dict, result_cache_bytes: int | None,
+                 trace_sample: float = 0.0) -> EngineServer:
+    # trace_sample=0 by default: the committed trajectory measures the
+    # disabled-tracer hot path (gate 4 bounds what "disabled" costs)
     server = EngineServer(load_default_model=False,
-                          result_cache_bytes=result_cache_bytes)
+                          result_cache_bytes=result_cache_bytes,
+                          trace_sample=trace_sample)
     server.register_model(model, default=True)
     workload = RetailWorkload(seed=7, **sizes)
     workload.register_into(server.state.catalog, detect=False)
@@ -106,6 +121,27 @@ def measure_repeats(server: EngineServer, rounds: int) -> dict:
                 server.sql(statement)
         timings[statement] = clock.seconds
     return timings
+
+
+def noop_tracer_cost(server: EngineServer,
+                     iterations: int = 200_000) -> float:
+    """Per-statement seconds of the disabled tracer's operations.
+
+    Replays exactly what a cached statement executes when
+    ``trace_sample=0``: the inline sample check in ``submit``/``sql``
+    plus the three ``trace.enabled`` branches on the hit path
+    (``plan_for``, the result-cache probe, the finish guard).
+    """
+    tracer = server.state.tracer
+    if tracer.sample > 0.0:
+        raise ValueError("no-op cost needs a trace_sample=0 server")
+    start = time.perf_counter()
+    for _ in range(iterations):
+        trace = tracer.start("statement") if tracer.sample > 0.0 \
+            else NULL_TRACE
+        if trace.enabled or trace.enabled or trace.enabled:
+            raise AssertionError("disabled tracer produced a live trace")
+    return (time.perf_counter() - start) / iterations
 
 
 def run(sizes: dict, rounds: int) -> dict:
@@ -148,8 +184,20 @@ def run(sizes: dict, rounds: int) -> dict:
         invalidation_ok = (not stale_served
                            and truncated_rows == fresh_reference)
 
+        # --- tracer overhead: no-op budget + full-sampling A/B ---------
+        noop_seconds = noop_tracer_cost(cached)
+        mean_cached = (sum(cached_timings.values())
+                       / (rounds * len(STATEMENTS)))
+        noop_pct = 100.0 * noop_seconds / mean_cached if mean_cached \
+            else 0.0
+
         result_cache_stats = cached.state.result_cache.stats().as_dict()
         scheduler_stats = cached.scheduler.stats()
+        registry_snapshot = metrics_snapshot(cached)
+
+    with build_server(model, sizes, result_cache_bytes=None,
+                      trace_sample=1.0) as traced:
+        traced_total = sum(measure_repeats(traced, rounds).values())
 
     per_statement = []
     for index, statement in enumerate(STATEMENTS):
@@ -179,6 +227,17 @@ def run(sizes: dict, rounds: int) -> dict:
         if total_cached else float("inf"),
         "speedup_target": SPEEDUP_TARGET,
         "invalidation_ok": invalidation_ok,
+        "tracing": {
+            "trace_sample": 0.0,
+            "noop_tracer_ns_per_statement": round(noop_seconds * 1e9, 1),
+            "noop_tracer_overhead_pct": round(noop_pct, 3),
+            "noop_budget_pct": TRACE_NOOP_BUDGET_PCT,
+            "traced_cached_seconds": round(traced_total, 6),
+            "full_sampling_overhead_pct": round(
+                100.0 * (traced_total - total_cached) / total_cached, 1)
+            if total_cached else 0.0,
+        },
+        "metrics": registry_snapshot,
         "result_cache": result_cache_stats,
         "result_cache_noops": scheduler_stats["result_cache_noops"],
         "platform": {
@@ -216,10 +275,16 @@ def main(argv: list[str] | None = None) -> None:
               results["total_cached_seconds"],
               f"{results['workload_speedup']}x")
     table.show()
+    tracing = results["tracing"]
     print(f"\nparity: {'OK' if results['parity'] else 'MISMATCH'}   "
           f"invalidation: "
           f"{'OK' if results['invalidation_ok'] else 'STALE'}   "
           f"result-cache noops: {results['result_cache_noops']}")
+    print(f"tracer: no-op "
+          f"{tracing['noop_tracer_ns_per_statement']:.0f} ns/stmt "
+          f"({tracing['noop_tracer_overhead_pct']}% of cached latency, "
+          f"budget {tracing['noop_budget_pct']}%)   full sampling "
+          f"+{tracing['full_sampling_overhead_pct']}%")
 
     failures: list[str] = []
     if not results["parity"]:
@@ -232,6 +297,11 @@ def main(argv: list[str] | None = None) -> None:
             f"< {SPEEDUP_TARGET}x")
     if not results["invalidation_ok"]:
         failures.append("register_table served a stale cached result")
+    if tracing["noop_tracer_overhead_pct"] >= TRACE_NOOP_BUDGET_PCT:
+        failures.append(
+            f"disabled tracer costs "
+            f"{tracing['noop_tracer_overhead_pct']}% of the cached hot "
+            f"path (budget {TRACE_NOOP_BUDGET_PCT}%)")
     if failures:
         raise SystemExit("FAIL: " + "; ".join(failures))
 

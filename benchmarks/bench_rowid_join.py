@@ -46,7 +46,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 import numpy as np
 
 from benchmarks.bench_embedding_pipeline import build_workload
-from benchmarks.common import ResultTable, stopwatch
+from benchmarks.common import ResultTable, metrics_snapshot, stopwatch
 from repro.embeddings.pretrained import build_pretrained_model
 from repro.embeddings.subword import fnv1a
 from repro.relational.logical import SemanticJoinNode
@@ -231,6 +231,8 @@ def bench_join_parity(model, n_join: int, workers: int) -> dict:
         "index_cache_misses": index_stats.misses,
         "index_cache_hits": index_stats.hits,
         "index_reused_across_queries": index_stats.hits >= 1,
+        # hoisted to the payload's top level by run()
+        "metrics": metrics_snapshot(session),
     }
 
 
@@ -251,6 +253,7 @@ def run(n_subword: int, n_join: int, quick: bool = False) -> dict:
             "machine": platform.machine(),
         },
     }
+    results["metrics"] = results["join_parity"].pop("metrics")
     # the 1.5x target only binds where there are cores to scale onto AND
     # the batch is full-size: at --quick n the parallel path engages for
     # a fraction of the work, so CI smoke checks parity only

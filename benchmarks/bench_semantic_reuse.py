@@ -47,7 +47,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 import numpy as np
 
-from benchmarks.common import ResultTable, stopwatch
+from benchmarks.common import ResultTable, metrics_snapshot, stopwatch
 from repro.embeddings.pretrained import build_pretrained_model
 from repro.embeddings.thesaurus import default_thesaurus
 from repro.optimizer.optimizer import OptimizerConfig
@@ -205,6 +205,7 @@ def run(sizes: dict, speedup_target: float) -> dict:
 
         reuse_stats = reuse_server.state.reuse_registry.stats().as_dict()
         scheduler_stats = reuse_server.scheduler.stats()
+        registry_snapshot = metrics_snapshot(reuse_server)
 
     # --- approximate-index plans prove ineligible (own servers) -------
     ann_config = OptimizerConfig(semantic_join_methods=("index:lsh",))
@@ -237,6 +238,7 @@ def run(sizes: dict, speedup_target: float) -> dict:
         "invalidation_ok": invalidation_ok,
         "reuse_registry": reuse_stats,
         "reuse_noops": scheduler_stats["reuse_noops"],
+        "metrics": registry_snapshot,
         "platform": {
             "python": platform.python_version(),
             "numpy": np.__version__,

@@ -91,6 +91,26 @@ def _format(value) -> str:
     return str(value)
 
 
+def metrics_snapshot(owner) -> dict:
+    """Flat metrics-registry snapshot for a ``BENCH_*.json`` payload.
+
+    ``owner`` is anything with a reachable
+    :class:`~repro.obs.metrics.MetricsRegistry` — an ``EngineServer``
+    or ``Session`` (via ``.state``), an ``EngineState``, or a registry
+    itself.  The shape is the JSON exporter's flat mapping, so every
+    committed benchmark records the engine counters (cache hits,
+    scheduler admissions, kernel compiles, ...) that produced its
+    numbers alongside the numbers themselves.
+    """
+    from repro.obs.export import json_snapshot
+    from repro.obs.metrics import MetricsRegistry
+
+    if isinstance(owner, MetricsRegistry):
+        return json_snapshot(owner)
+    state = getattr(owner, "state", owner)
+    return json_snapshot(state.metrics_registry)
+
+
 @contextmanager
 def stopwatch():
     """Context manager measuring elapsed wall time (``.seconds``)."""

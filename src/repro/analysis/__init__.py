@@ -12,9 +12,11 @@ declarations the analyzers enforce live beside them:
   surface and its declared default.
 - :mod:`repro.analysis.cache_dimensions` — version-bump protocol and
   pre-captured-key cache paths.
+- :mod:`repro.analysis.metric_names` — the metric-name vocabulary the
+  observability registry may register.
 
 Rule families: ``LH*`` locks, ``DX*`` dispatch, ``CK*`` cache keys,
-``AN*`` the suite itself (pragma hygiene).  Suppress a false positive
+``MN*`` metric names, ``AN*`` the suite itself (pragma hygiene).  Suppress a false positive
 with ``# analysis: ignore[RULE] <why>`` on the offending line; see
 ``docs/static-analysis.md``.
 """
@@ -32,6 +34,7 @@ def engine_config() -> AnalysisConfig:
     from repro.analysis.cache_dimensions import engine_cache_model
     from repro.analysis.dispatch_registry import engine_dispatch_model
     from repro.analysis.lock_levels import engine_lock_model
+    from repro.analysis.metric_names import engine_metric_names_model
 
     package_dir = Path(__file__).resolve().parent.parent
     repo_root = package_dir.parent.parent
@@ -41,6 +44,7 @@ def engine_config() -> AnalysisConfig:
         locks=engine_lock_model(),
         dispatch=engine_dispatch_model(),
         cache=engine_cache_model(),
+        metrics=engine_metric_names_model(),
     )
 
 

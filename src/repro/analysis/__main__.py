@@ -37,10 +37,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.fixture is not None:
         kind, root = args.fixture
         config = fixture_config(kind, Path(root))
-        rules = (kind if kind != "lock" else "locks",) \
-            if args.rules == ",".join(ALL_RULES) else rules
-        rules = tuple({"lock": "locks", "dispatch": "dispatch",
-                       "cache": "cache"}.get(r, r) for r in rules)
+        rules = (kind,) if args.rules == ",".join(ALL_RULES) else rules
+        rules = tuple({"lock": "locks", "metric": "metrics"}.get(r, r)
+                      for r in rules)
     else:
         config = engine_config()
 

@@ -216,13 +216,14 @@ class AnalysisConfig:
     locks: "object | None" = None      # LockModel
     dispatch: "object | None" = None   # DispatchModel
     cache: "object | None" = None      # CacheModel
+    metrics: "object | None" = None    # MetricNamesModel
 
 
 #: Registered analyzer entry points, filled by the sibling modules to
 #: avoid an import cycle (each registers ``name -> callable``).
 ANALYZERS: dict[str, Callable[[AnalysisConfig], list[Finding]]] = {}
 
-ALL_RULES = ("locks", "dispatch", "cache")
+ALL_RULES = ("locks", "dispatch", "cache", "metrics")
 
 
 def pragma_findings(package: Package) -> list[Finding]:
@@ -258,7 +259,8 @@ def run_analysis(config: AnalysisConfig,
                  rules: tuple[str, ...] = ALL_RULES) -> list[Finding]:
     """Run the selected analyzers, apply pragmas, return sorted findings."""
     # The analyzer modules register themselves on import.
-    from repro.analysis import cachekeys, dispatch, locks  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        cachekeys, dispatch, locks, metricnames)
 
     findings: list[Finding] = []
     for rule in rules:

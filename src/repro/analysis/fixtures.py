@@ -21,10 +21,11 @@ from repro.analysis.cachekeys import CacheModel, VersionBump
 from repro.analysis.core import AnalysisConfig, Package
 from repro.analysis.dispatch import DispatchModel, DispatcherSpec, Family
 from repro.analysis.locks import LockDecl, LockModel
+from repro.analysis.metricnames import MetricDecl, MetricNamesModel
 
 FIXTURE_PACKAGE = "analysis_fixtures"
 
-FIXTURE_KINDS = ("lock", "dispatch", "cache")
+FIXTURE_KINDS = ("lock", "dispatch", "cache", "metric")
 
 
 def fixture_config(kind: str, root: Path) -> AnalysisConfig:
@@ -37,6 +38,8 @@ def fixture_config(kind: str, root: Path) -> AnalysisConfig:
         return AnalysisConfig(package=package, dispatch=_dispatch_model())
     if kind == "cache":
         return AnalysisConfig(package=package, cache=_cache_model())
+    if kind == "metric":
+        return AnalysisConfig(package=package, metrics=_metric_model())
     raise ValueError(f"unknown fixture kind {kind!r}; "
                      f"choose from {FIXTURE_KINDS}")
 
@@ -67,6 +70,15 @@ def _dispatch_model() -> DispatchModel:
         families=(Family(name="node", base=f"{prefix}.Node"),),
         specs=(DispatcherSpec(function=f"{prefix}.render",
                               family="node", default="reject"),),
+    )
+
+
+def _metric_model() -> MetricNamesModel:
+    return MetricNamesModel(
+        declarations=(
+            MetricDecl("fixture_requests_total", "counter",
+                       "requests served"),
+        ),
     )
 
 

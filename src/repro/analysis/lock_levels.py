@@ -26,8 +26,10 @@ Levels (acquire downward only):
    recurses into its own reentrant lock).
 4. **Leaf locks** — embedding-cache internals, index cache, result
    cache, kernel cache, reuse registry, worker budget, counters, the
-   semantic cache-creation latch.  A leaf lock is never held across a
-   call into the catalog, plan cache, or scheduler (rule LH003).
+   semantic cache-creation latch, and the observability instruments
+   (``obs.metrics`` counters/histograms, the metrics registry, the
+   tracer ring).  A leaf lock is never held across a call into the
+   catalog, plan cache, or scheduler (rule LH003).
 
 Historical note: before the static-analysis suite landed, the docs
 placed the catalog at level 2 and the stripes at level 3 — the checker
@@ -87,6 +89,20 @@ DECLARATIONS: tuple[LockDecl, ...] = (
     LockDecl(name="lowering._CACHE_CREATE_LOCK",
              owner=f"{PKG}.semantic.lowering", attr="_CACHE_CREATE_LOCK",
              level=4),
+    # -- level 4: observability instruments ----------------------------
+    # Instruments never call out while locked, so they are safe leaves;
+    # subsystems above level 4 may update them inside their own
+    # critical sections, level-4 caches declare the same-level edge in
+    # ALLOWED_SAME_LEVEL below.
+    LockDecl(name="Counter._lock",
+             owner=f"{PKG}.obs.metrics.Counter", attr="_lock", level=4),
+    LockDecl(name="Histogram._lock",
+             owner=f"{PKG}.obs.metrics.Histogram", attr="_lock", level=4),
+    LockDecl(name="MetricsRegistry._lock",
+             owner=f"{PKG}.obs.metrics.MetricsRegistry", attr="_lock",
+             level=4),
+    LockDecl(name="Tracer._lock",
+             owner=f"{PKG}.obs.trace.Tracer", attr="_lock", level=4),
 )
 
 #: Same-level edges that are deliberate and deadlock-free: the
@@ -95,6 +111,13 @@ DECLARATIONS: tuple[LockDecl, ...] = (
 #: anything, so the pair cannot invert.
 ALLOWED_SAME_LEVEL: frozenset[tuple[str, str]] = frozenset({
     ("EmbeddingCache._lock", "EmbeddingCache._stats_lock"),
+    # Level-4 caches bump their metric instruments inside their own
+    # critical sections; an instrument lock is always innermost and
+    # acquires nothing, so these edges cannot invert.
+    ("ResultCache._lock", "Counter._lock"),
+    ("ReuseRegistry._lock", "Counter._lock"),
+    ("KernelCache._lock", "Counter._lock"),
+    ("KernelCache._lock", "Histogram._lock"),
 })
 
 #: Attribute name -> class it holds, engine-wide.  This is how the
@@ -113,6 +136,21 @@ ATTR_TYPES: dict[str, str] = {
     "model_locks": f"{PKG}.utils.locks.StripedRWLock",
     "budget": f"{PKG}.utils.parallel.WorkerBudget",
     "worker_budget": f"{PKG}.utils.parallel.WorkerBudget",
+    "metrics_registry": f"{PKG}.obs.metrics.MetricsRegistry",
+    "tracer": f"{PKG}.obs.trace.Tracer",
+    # Migrated stat counters: every private ``_<counter>`` attribute
+    # below is an obs Counter engine-wide, so the checker sees (and
+    # gates) instrument updates made while subsystem locks are held.
+    **{attr: f"{PKG}.obs.metrics.Counter" for attr in (
+        "_hits", "_misses", "_puts", "_evictions", "_stale_evictions",
+        "_invalidations", "_oversize_skips", "_reuse_fetches",
+        "_text_memo_hits", "_registrations", "_probes", "_fallbacks",
+        "_stale_drops", "_admitted", "_rejected", "_result_cache_noops",
+        "_reuse_noops", "_dispatches", "_compiles",
+        "_single_flight_waits", "statements_total")},
+    **{attr: f"{PKG}.obs.metrics.Histogram" for attr in (
+        "_queue_wait_hist", "_compile_hist", "statement_seconds",
+        "operator_seconds")},
 }
 
 #: Dict-valued attribute name -> element class, for ``d.get(k)`` /

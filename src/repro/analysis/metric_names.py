@@ -1,0 +1,136 @@
+"""The engine's declared metric-name vocabulary.
+
+Every literal name passed to ``MetricsRegistry.counter/gauge/histogram``
+anywhere in the engine must be declared here, with its kind — the
+metric-name lint (:mod:`repro.analysis.metricnames`) enforces it in
+both directions (rules MN001/MN002), so ``docs/observability.md``'s
+metric catalog, this table, and the registrations in the source cannot
+drift apart.  Names follow Prometheus conventions: ``_total`` suffix
+for counters, ``_seconds``/``_bytes`` units, base names for gauges.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metricnames import MetricDecl, MetricNamesModel
+
+DECLARED_METRICS: tuple[MetricDecl, ...] = (
+    # -- engine-wide (EngineState / Tracer) ----------------------------
+    MetricDecl("engine_statements_total", "counter",
+               "statements served (all paths)"),
+    MetricDecl("engine_statement_seconds", "histogram",
+               "end-to-end wall seconds per executed statement"),
+    MetricDecl("engine_operator_seconds", "histogram",
+               "wall seconds per physical operator"),
+    MetricDecl("engine_traces_total", "counter",
+               "statement traces sampled and completed"),
+    MetricDecl("catalog_version", "gauge",
+               "monotonic catalog/statistics version"),
+    # -- plan cache ----------------------------------------------------
+    MetricDecl("plan_cache_hits_total", "counter", "plan cache hits"),
+    MetricDecl("plan_cache_misses_total", "counter", "plan cache misses"),
+    MetricDecl("plan_cache_text_memo_hits_total", "counter",
+               "byte-identical statement texts that skipped the lexer"),
+    MetricDecl("plan_cache_evictions_total", "counter", "LRU evictions"),
+    MetricDecl("plan_cache_stale_evictions_total", "counter",
+               "entries dropped on version/model mismatch"),
+    MetricDecl("plan_cache_entries", "gauge", "cached plans resident"),
+    MetricDecl("plan_cache_hit_ratio", "gauge",
+               "hits / (hits + misses)"),
+    # -- result cache --------------------------------------------------
+    MetricDecl("result_cache_hits_total", "counter", "result cache hits"),
+    MetricDecl("result_cache_misses_total", "counter",
+               "result cache misses"),
+    MetricDecl("result_cache_puts_total", "counter",
+               "result snapshots stored"),
+    MetricDecl("result_cache_evictions_total", "counter",
+               "byte-budget evictions"),
+    MetricDecl("result_cache_stale_evictions_total", "counter",
+               "entries dropped on generation mismatch"),
+    MetricDecl("result_cache_invalidations_total", "counter",
+               "entries dropped by explicit invalidate()"),
+    MetricDecl("result_cache_oversize_skips_total", "counter",
+               "results too large to admit"),
+    MetricDecl("result_cache_reuse_fetches_total", "counter",
+               "snapshot fetches on behalf of the reuse subsystem"),
+    MetricDecl("result_cache_entries", "gauge",
+               "cached result snapshots resident"),
+    MetricDecl("result_cache_bytes", "gauge", "snapshot bytes resident"),
+    MetricDecl("result_cache_hit_ratio", "gauge",
+               "hits / (hits + misses)"),
+    # -- semantic-reuse registry ---------------------------------------
+    MetricDecl("reuse_registered_total", "counter",
+               "cached statements registered as reuse candidates"),
+    MetricDecl("reuse_probes_total", "counter", "subsumption probes"),
+    MetricDecl("reuse_hits_total", "counter",
+               "statements answered residually from a super-result"),
+    MetricDecl("reuse_misses_total", "counter",
+               "probes with no containing candidate"),
+    MetricDecl("reuse_fallbacks_total", "counter",
+               "candidate matches whose snapshot was already gone"),
+    MetricDecl("reuse_stale_drops_total", "counter",
+               "candidates dropped on generation mismatch"),
+    MetricDecl("reuse_entries", "gauge", "registered candidates"),
+    MetricDecl("reuse_families", "gauge", "distinct statement families"),
+    MetricDecl("reuse_hit_ratio", "gauge", "hits / probes"),
+    # -- kernel cache --------------------------------------------------
+    MetricDecl("kernel_cache_hits_total", "counter",
+               "compiled-kernel cache hits"),
+    MetricDecl("kernel_cache_misses_total", "counter",
+               "compiled-kernel cache misses"),
+    MetricDecl("kernel_cache_compiles_total", "counter",
+               "actual compilations"),
+    MetricDecl("kernel_cache_single_flight_waits_total", "counter",
+               "misses coalesced onto another thread's compile"),
+    MetricDecl("kernel_cache_evictions_total", "counter", "LRU evictions"),
+    MetricDecl("kernel_cache_entries", "gauge",
+               "compiled kernels resident"),
+    MetricDecl("kernel_cache_hit_ratio", "gauge",
+               "hits / (hits + misses)"),
+    MetricDecl("kernel_compile_seconds", "histogram",
+               "wall seconds per compile_pipeline call"),
+    # -- scheduler -----------------------------------------------------
+    MetricDecl("scheduler_dispatches_total", "counter",
+               "queries handed to the admission classifier"),
+    MetricDecl("scheduler_admitted_total", "counter", "queries admitted"),
+    MetricDecl("scheduler_rejected_total", "counter",
+               "queries rejected at admission"),
+    MetricDecl("scheduler_result_cache_noops_total", "counter",
+               "result-cache hits recorded as interactive no-ops"),
+    MetricDecl("scheduler_reuse_noops_total", "counter",
+               "reuse hits recorded as interactive no-ops"),
+    MetricDecl("scheduler_running", "gauge", "queries executing now"),
+    MetricDecl("scheduler_queued", "gauge",
+               "queries waiting, per lane label"),
+    MetricDecl("scheduler_queue_wait_seconds", "histogram",
+               "seconds from admission to worker pickup"),
+    # -- embedding arenas (per-model label) ----------------------------
+    MetricDecl("embedding_arena_hits", "gauge", "embedding cache hits"),
+    MetricDecl("embedding_arena_misses", "gauge",
+               "embedding cache misses"),
+    MetricDecl("embedding_arena_rows", "gauge",
+               "interned strings (arena rows)"),
+    MetricDecl("embedding_arena_bytes", "gauge", "arena bytes in use"),
+    MetricDecl("embedding_arena_hit_ratio", "gauge",
+               "hits / (hits + misses)"),
+    # -- vector-index cache --------------------------------------------
+    MetricDecl("index_cache_hits", "gauge", "vector-index cache hits"),
+    MetricDecl("index_cache_misses", "gauge",
+               "vector-index cache misses"),
+    MetricDecl("index_cache_builds", "gauge",
+               "actual index constructions"),
+    MetricDecl("index_cache_single_flight_waits", "gauge",
+               "misses coalesced onto another thread's build"),
+    MetricDecl("index_cache_entries", "gauge",
+               "built vector indexes resident"),
+    MetricDecl("index_cache_generation", "gauge",
+               "monotonic clear() token"),
+    MetricDecl("index_cache_hit_ratio", "gauge",
+               "hits / (hits + misses)"),
+)
+
+
+def engine_metric_names_model() -> MetricNamesModel:
+    return MetricNamesModel(
+        declarations=DECLARED_METRICS,
+        declaration_module="repro.analysis.metric_names",
+    )

@@ -1,0 +1,143 @@
+"""Metric-name drift lint (rules MN001–MN003).
+
+Checks the declared metric vocabulary in
+:mod:`repro.analysis.metric_names` against every registration call in
+the source:
+
+- **MN001** — a registration (``<registry>.counter/gauge/histogram``)
+  uses a name not declared in the vocabulary, or declares it under a
+  different kind.
+- **MN002** — a declared name is never registered anywhere in the
+  tree (dead catalog entry; the docs would list a metric that does not
+  exist).
+- **MN003** — a registration's name is not a string literal, so the
+  vocabulary cannot be checked statically.
+
+A call counts as a registration when its receiver *name* matches
+``registr|metrics`` (``registry``, ``metrics_registry``, a local
+``metrics = ...``) — by convention every ``MetricsRegistry`` binding in
+the engine carries such a name, and nothing else does.  The filter is
+what keeps ``np.histogram(values, bins=...)`` and other same-named
+calls out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.core import (
+    ANALYZERS, AnalysisConfig, Finding, Package, SourceModule)
+
+#: The three registration entry points on MetricsRegistry.
+_KINDS = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+#: Receiver names that identify a MetricsRegistry binding.
+_RECEIVER_RE = re.compile(r"registr|metrics")
+
+
+@dataclass(frozen=True)
+class MetricDecl:
+    """One declared metric: name, instrument kind, one-line help."""
+
+    name: str
+    kind: str
+    help: str = ""
+
+
+@dataclass(frozen=True)
+class MetricNamesModel:
+    declarations: tuple[MetricDecl, ...]
+    #: Module (within the analyzed package) holding the declarations —
+    #: where MN002 findings are reported.
+    declaration_module: str = ""
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    """The terminal name of a call receiver: ``registry`` in
+    ``registry.counter(...)``, ``metrics_registry`` in
+    ``self.state.metrics_registry.gauge(...)``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _name_argument(call: ast.Call) -> ast.expr | None:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+def check_metric_names(config: AnalysisConfig) -> list[Finding]:
+    model: MetricNamesModel | None = config.metrics
+    if model is None:
+        return []
+    package: Package = config.package
+    declared = {decl.name: decl for decl in model.declarations}
+    registered: set[str] = set()
+    findings: list[Finding] = []
+    for module in package.modules.values():
+        if module.name == model.declaration_module:
+            continue
+        findings.extend(
+            _check_module(module, package, declared, registered))
+    for decl in sorted(set(declared) - registered):
+        findings.append(Finding(
+            "MN002", _declaration_path(package, model), 1,
+            f"metric {decl!r} is declared but never registered — "
+            f"remove the declaration or register the instrument"))
+    return findings
+
+
+def _check_module(module: SourceModule, package: Package,
+                  declared: dict[str, MetricDecl],
+                  registered: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _KINDS:
+            continue
+        receiver = _receiver_name(func.value)
+        if receiver is None or not _RECEIVER_RE.search(receiver):
+            continue
+        kind = _KINDS[func.attr]
+        name_node = _name_argument(node)
+        if not isinstance(name_node, ast.Constant) \
+                or not isinstance(name_node.value, str):
+            findings.append(Finding(
+                "MN003", package.rel_path(module), node.lineno,
+                f"metric name passed to .{func.attr}() is not a string "
+                f"literal — the vocabulary cannot be checked statically"))
+            continue
+        name = name_node.value
+        registered.add(name)
+        decl = declared.get(name)
+        if decl is None:
+            findings.append(Finding(
+                "MN001", package.rel_path(module), node.lineno,
+                f"metric {name!r} is not declared in the metric-name "
+                f"vocabulary (analysis/metric_names.py)"))
+        elif decl.kind != kind:
+            findings.append(Finding(
+                "MN001", package.rel_path(module), node.lineno,
+                f"metric {name!r} registered as {kind} but declared "
+                f"as {decl.kind}"))
+    return findings
+
+
+def _declaration_path(package: Package, model: MetricNamesModel) -> str:
+    module = package.modules.get(model.declaration_module)
+    if module is not None:
+        return package.rel_path(module)
+    return model.declaration_module or "<metric declarations>"
+
+
+ANALYZERS["metrics"] = check_metric_names

@@ -38,6 +38,7 @@ import threading
 from collections import OrderedDict
 
 from repro.hardware.jit import PipelineKernel, PipelineSpec, compile_pipeline
+from repro.obs.metrics import MetricsRegistry, hit_ratio
 
 DEFAULT_KERNEL_CACHE_CAPACITY = 256
 
@@ -48,24 +49,73 @@ _KernelKey = tuple[str, str, str]
 class KernelCache:
     """LRU of :class:`PipelineKernel` with single-flight compilation."""
 
-    def __init__(self, capacity: int = DEFAULT_KERNEL_CACHE_CAPACITY) -> None:
+    #: Fixed edges for the compile-latency histogram: generated-source
+    #: ``compile()`` lands in the sub-millisecond buckets, numba
+    #: type-specialization in the 0.1–10 s tail.
+    COMPILE_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+
+    def __init__(self, capacity: int = DEFAULT_KERNEL_CACHE_CAPACITY,
+                 registry: MetricsRegistry | None = None) -> None:
         if capacity <= 0:
             raise ValueError("kernel cache capacity must be positive")
         self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        #: Actual compilations (one per distinct key under any
-        #: concurrency; a duplicate compile is a single-flight bug the
-        #: stress tests assert against).
-        self.compiles = 0
-        #: Concurrent misses that coalesced onto another thread's compile.
-        self.single_flight_waits = 0
-        self.evictions = 0
-        #: Total wall seconds spent inside ``compile_pipeline``.
-        self.compile_seconds = 0.0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._hits = registry.counter(
+            "kernel_cache_hits_total", help="compiled-kernel cache hits")
+        self._misses = registry.counter(
+            "kernel_cache_misses_total", help="compiled-kernel cache misses")
+        self._compiles = registry.counter(
+            "kernel_cache_compiles_total",
+            help="actual compilations (one per distinct key)")
+        self._single_flight_waits = registry.counter(
+            "kernel_cache_single_flight_waits_total",
+            help="misses coalesced onto another thread's compile")
+        self._evictions = registry.counter(
+            "kernel_cache_evictions_total", help="LRU evictions")
+        self._compile_hist = registry.histogram(
+            "kernel_compile_seconds", buckets=self.COMPILE_BUCKETS,
+            help="wall seconds per compile_pipeline call")
+        registry.gauge(
+            "kernel_cache_entries", fn=lambda: len(self._entries),
+            help="compiled kernels resident")
+        registry.gauge(
+            "kernel_cache_hit_ratio",
+            fn=lambda: hit_ratio(self._hits.value, self._misses.value),
+            help="hits / (hits + misses); 0.0 before any probe")
         self._entries: OrderedDict[_KernelKey, PipelineKernel] = OrderedDict()
         self._building: dict[_KernelKey, threading.Event] = {}
         self._lock = threading.Lock()
+
+    # The pre-registry public counter attributes stay readable — tests
+    # and benchmarks assert on them directly.
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def compiles(self) -> int:
+        """Actual compilations (one per distinct key under any
+        concurrency; a duplicate compile is a single-flight bug the
+        stress tests assert against)."""
+        return self._compiles.value
+
+    @property
+    def single_flight_waits(self) -> int:
+        """Concurrent misses that coalesced onto another compile."""
+        return self._single_flight_waits.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def compile_seconds(self) -> float:
+        """Total wall seconds spent inside ``compile_pipeline``."""
+        return self._compile_hist.sum
 
     def get_or_compile(self, fingerprint: str, spec: PipelineSpec,
                        model: str = "", backend: str = "auto",
@@ -83,18 +133,18 @@ class KernelCache:
                 kernel = self._entries.get(key)
                 if kernel is not None:
                     self._entries.move_to_end(key)
-                    self.hits += 1
+                    self._hits.inc()
                     return kernel, True
                 event = self._building.get(key)
                 if event is None:
                     # this thread compiles; racers wait on the event
                     event = threading.Event()
                     self._building[key] = event
-                    self.misses += 1
+                    self._misses.inc()
                     break
                 if not coalesced:
                     coalesced = True
-                    self.single_flight_waits += 1
+                    self._single_flight_waits.inc()
             event.wait()
             # compiler finished (or failed): re-check the entries; on
             # failure the first waiter through becomes the new compiler
@@ -103,11 +153,11 @@ class KernelCache:
             with self._lock:
                 self._entries[key] = kernel
                 self._entries.move_to_end(key)
-                self.compiles += 1
-                self.compile_seconds += kernel.compile_seconds
+                self._compiles.inc()
+                self._compile_hist.observe(kernel.compile_seconds)
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
-                    self.evictions += 1
+                    self._evictions.inc()
             return kernel, False
         finally:
             with self._lock:
@@ -117,12 +167,12 @@ class KernelCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-            self.hits = 0
-            self.misses = 0
-            self.compiles = 0
-            self.single_flight_waits = 0
-            self.evictions = 0
-            self.compile_seconds = 0.0
+            self._hits.reset()
+            self._misses.reset()
+            self._compiles.reset()
+            self._single_flight_waits.reset()
+            self._evictions.reset()
+            self._compile_hist.reset()
 
     def stats(self) -> dict[str, int | float]:
         """Counters for ``server.metrics()["kernels"]`` (one snapshot)."""

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.engine.sql.canonical import CanonicalQuery
+from repro.obs.metrics import MetricsRegistry, hit_ratio
 
 #: Default number of cached plans (and memoized texts) kept.
 DEFAULT_PLAN_CACHE_CAPACITY = 256
@@ -83,8 +84,7 @@ class PlanCacheStats:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return hit_ratio(self.hits, self.misses)
 
     def as_dict(self) -> dict[str, int | float]:
         return {
@@ -102,7 +102,8 @@ class PlanCacheStats:
 class PlanCache:
     """LRU cache of optimized plans keyed on canonical digest + version."""
 
-    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> None:
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY,
+                 registry: MetricsRegistry | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
@@ -110,11 +111,25 @@ class PlanCache:
         self._plans: OrderedDict[_PlanKey, CachedPlan] = OrderedDict()
         self._texts: OrderedDict[tuple[str, str], CanonicalQuery] = \
             OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._text_memo_hits = 0
-        self._evictions = 0
-        self._stale_evictions = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._hits = registry.counter(
+            "plan_cache_hits_total", help="optimized-plan cache hits")
+        self._misses = registry.counter(
+            "plan_cache_misses_total", help="optimized-plan cache misses")
+        self._text_memo_hits = registry.counter(
+            "plan_cache_text_memo_hits_total",
+            help="exact-text memo hits (lexer skipped)")
+        self._evictions = registry.counter(
+            "plan_cache_evictions_total", help="LRU evictions")
+        self._stale_evictions = registry.counter(
+            "plan_cache_stale_evictions_total",
+            help="old-catalog-version entries swept")
+        registry.gauge("plan_cache_entries", fn=lambda: len(self._plans),
+                       help="cached plans resident")
+        registry.gauge(
+            "plan_cache_hit_ratio",
+            fn=lambda: hit_ratio(self._hits.value, self._misses.value),
+            help="hits / (hits + misses); 0.0 before any probe")
         self._newest_version = -1
 
     # -- lookups --------------------------------------------------------
@@ -128,7 +143,7 @@ class PlanCache:
         with self._lock:
             memo = self._texts.get((text, model_name))
             if memo is not None:
-                self._text_memo_hits += 1
+                self._text_memo_hits.inc()
                 self._texts.move_to_end((text, model_name))
             return memo
 
@@ -139,9 +154,9 @@ class PlanCache:
         with self._lock:
             entry = self._plans.get(key)
             if entry is None:
-                self._misses += 1
+                self._misses.inc()
                 return None
-            self._hits += 1
+            self._hits.inc()
             entry.hits += 1
             self._plans.move_to_end(key)
             return entry
@@ -170,7 +185,7 @@ class PlanCache:
             self._plans.move_to_end(key)
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
             return entry
 
     # -- maintenance ----------------------------------------------------
@@ -184,10 +199,10 @@ class PlanCache:
         with self._lock:
             families = {key[0] for key in self._plans}
             return PlanCacheStats(
-                hits=self._hits, misses=self._misses,
-                text_memo_hits=self._text_memo_hits,
-                evictions=self._evictions,
-                stale_evictions=self._stale_evictions,
+                hits=self._hits.value, misses=self._misses.value,
+                text_memo_hits=self._text_memo_hits.value,
+                evictions=self._evictions.value,
+                stale_evictions=self._stale_evictions.value,
                 entries=len(self._plans), families=len(families))
 
     def __len__(self) -> int:
@@ -214,4 +229,4 @@ class PlanCache:
         stale = [key for key in self._plans if key[2] < version]
         for key in stale:
             del self._plans[key]
-            self._stale_evictions += 1
+            self._stale_evictions.inc()

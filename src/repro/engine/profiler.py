@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import hit_ratio
 from repro.relational.physical import FusedPipelineOp, PhysicalOperator
 
 
@@ -60,11 +61,14 @@ class QueryProfile:
     lane: str | None = None
     #: Tenant the query was accounted to, if it went through the server.
     tenant: str | None = None
+    #: The statement's span tree (:class:`repro.obs.trace.Trace`), when
+    #: the statement was sampled.  The operator spans and ``operators``
+    #: are built from the same rows, so the two views cannot disagree.
+    trace: object | None = None
 
     @property
     def cache_hit_rate(self) -> float:
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        return hit_ratio(self.cache_hits, self.cache_misses)
 
     @classmethod
     def from_tree(cls, root: PhysicalOperator,
@@ -123,4 +127,7 @@ class QueryProfile:
             lines.append(f"{'  ' * op.depth}{op.label}  "
                          f"rows={op.rows_out}  "
                          f"{op.seconds * 1e3:.2f} ms")
+        if self.trace is not None and getattr(self.trace, "enabled", False):
+            lines.append("trace:")
+            lines.append(self.trace.pretty())
         return "\n".join(lines)

@@ -66,6 +66,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import NamedTuple
 
+from repro.obs.metrics import MetricsRegistry, hit_ratio
 from repro.semantic.cache import RETIRED_GENERATIONS
 from repro.storage.table import Table
 
@@ -185,8 +186,7 @@ class ResultCacheStats:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return hit_ratio(self.hits, self.misses)
 
     def as_dict(self) -> dict[str, int | float]:
         return {
@@ -214,21 +214,43 @@ class ResultCache:
     reference, never the data a hit is copying).
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_RESULT_CACHE_BYTES) -> None:
+    def __init__(self, max_bytes: int = DEFAULT_RESULT_CACHE_BYTES,
+                 registry: MetricsRegistry | None = None) -> None:
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
         self._store: OrderedDict[ResultKey, CachedResult] = OrderedDict()
         self._bytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._puts = 0
-        self._evictions = 0
-        self._stale_evictions = 0
-        self._invalidations = 0
-        self._oversize_skips = 0
-        self._reuse_fetches = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._hits = registry.counter(
+            "result_cache_hits_total", help="exact result-snapshot hits")
+        self._misses = registry.counter(
+            "result_cache_misses_total", help="exact result-snapshot misses")
+        self._puts = registry.counter(
+            "result_cache_puts_total", help="snapshots stored")
+        self._evictions = registry.counter(
+            "result_cache_evictions_total", help="byte-budget LRU evictions")
+        self._stale_evictions = registry.counter(
+            "result_cache_stale_evictions_total",
+            help="version/generation-dead entries swept")
+        self._invalidations = registry.counter(
+            "result_cache_invalidations_total",
+            help="entries dropped by explicit invalidate()")
+        self._oversize_skips = registry.counter(
+            "result_cache_oversize_skips_total",
+            help="results larger than the whole byte budget, not cached")
+        self._reuse_fetches = registry.counter(
+            "result_cache_reuse_fetches_total",
+            help="full-snapshot reads by the subsumption path")
+        registry.gauge("result_cache_entries", fn=lambda: len(self._store),
+                       help="cached result snapshots resident")
+        registry.gauge("result_cache_bytes", fn=lambda: self._bytes,
+                       help="estimated resident snapshot bytes")
+        registry.gauge(
+            "result_cache_hit_ratio",
+            fn=lambda: hit_ratio(self._hits.value, self._misses.value),
+            help="exact hits / probes; 0.0 before any probe")
         self._newest_version = -1
         self._newest_index_generation = -1
         # size of RETIRED_GENERATIONS at the last sweep: the set only
@@ -247,9 +269,9 @@ class ResultCache:
         with self._lock:
             entry = self._store.get(key)
             if entry is None:
-                self._misses += 1
+                self._misses.inc()
                 return None
-            self._hits += 1
+            self._hits.inc()
             entry.hits += 1
             self._store.move_to_end(key)
         return snapshot_table(strip_columns(entry.table, entry.aux_names))
@@ -268,7 +290,7 @@ class ResultCache:
             entry = self._store.get(key)
             if entry is None:
                 return None
-            self._reuse_fetches += 1
+            self._reuse_fetches.inc()
             self._store.move_to_end(key)
             return entry.table, entry.aux_names
 
@@ -300,7 +322,7 @@ class ResultCache:
         nbytes = estimate_table_bytes(table)
         if nbytes > self.max_bytes:
             with self._lock:
-                self._oversize_skips += 1
+                self._oversize_skips.inc()
             return False
         snapshot = table if owned else snapshot_table(table)
         with self._lock:
@@ -313,11 +335,11 @@ class ResultCache:
             self._store[key] = CachedResult(table=snapshot, nbytes=nbytes,
                                             aux_names=tuple(aux_names))
             self._bytes += nbytes
-            self._puts += 1
+            self._puts.inc()
             while self._bytes > self.max_bytes:
                 _, evicted = self._store.popitem(last=False)
                 self._bytes -= evicted.nbytes
-                self._evictions += 1
+                self._evictions.inc()
             return True
 
     # -- maintenance ----------------------------------------------------
@@ -327,18 +349,19 @@ class ResultCache:
             dropped = len(self._store)
             self._store.clear()
             self._bytes = 0
-            self._invalidations += dropped
+            self._invalidations.inc(dropped)
             return dropped
 
     def stats(self) -> ResultCacheStats:
         with self._lock:
             return ResultCacheStats(
-                hits=self._hits, misses=self._misses, puts=self._puts,
-                evictions=self._evictions,
-                stale_evictions=self._stale_evictions,
-                invalidations=self._invalidations,
-                oversize_skips=self._oversize_skips,
-                reuse_fetches=self._reuse_fetches,
+                hits=self._hits.value, misses=self._misses.value,
+                puts=self._puts.value,
+                evictions=self._evictions.value,
+                stale_evictions=self._stale_evictions.value,
+                invalidations=self._invalidations.value,
+                oversize_skips=self._oversize_skips.value,
+                reuse_fetches=self._reuse_fetches.value,
                 entries=len(self._store), bytes=self._bytes,
                 max_bytes=self.max_bytes)
 
@@ -389,4 +412,4 @@ class ResultCache:
         for stored in stale:
             entry = self._store.pop(stored)
             self._bytes -= entry.nbytes
-            self._stale_evictions += 1
+            self._stale_evictions.inc()

@@ -29,6 +29,9 @@ from repro.engine.sql.canonical import CanonicalQuery, canonicalize
 from repro.engine.sql.parser import parse_sql
 from repro.engine.state import DEFAULT_MODEL_NAME, EngineState, plan_models
 from repro.errors import CatalogError
+from repro.obs.trace import (
+    NULL_TRACE, AnyTrace, Trace, attach_operator_spans,
+    attach_profile_spans)
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 from repro.polystore.source import DataSource
 from repro.relational.logical import LogicalPlan, ScanNode
@@ -206,34 +209,70 @@ class Session:
         """
         if not optimize:
             return self.execute(self.sql_plan(text), optimize=False)
-        planned = self.plan_for(text)
+        # inline sample check: with tracing disabled the whole statement
+        # pays one attribute load + branch here instead of a start() call
+        # (the result-cache hit path is ~tens of microseconds, so even
+        # no-op method calls would show up against the <1% budget)
+        tracer = self.state.tracer
+        trace: AnyTrace = tracer.start("statement") \
+            if tracer.sample > 0.0 else NULL_TRACE
+        self.state.statements_total.inc()
+        planned = self.plan_for(text, trace=trace)
         key = self.state.result_key(planned)   # captured pre-execution
         started = time.perf_counter()
-        cached = self.state.fetch_result(key)
+        if trace.enabled:
+            with trace.span("result_cache.probe") as probe:
+                cached = self.state.fetch_result(key)
+                probe.annotate(hit=cached is not None,
+                               cacheable=key is not None)
+        else:
+            cached = self.state.fetch_result(key)
         if cached is not None:
             profile = QueryProfile(
                 total_seconds=time.perf_counter() - started)
             profile.plan_cache_hit = planned.cache_hit
             profile.result_cache_hit = True
+            if trace.enabled:
+                self._finish_statement(trace, profile)
             self.last_profile = profile
             return cached
-        reused = self.state.fetch_reuse(planned, key)
+        with trace.span("reuse.probe") as probe:
+            reused = self.state.fetch_reuse(planned, key)
+            probe.annotate(hit=reused is not None)
         if reused is not None:
             profile = QueryProfile(
                 total_seconds=time.perf_counter() - started)
             profile.plan_cache_hit = planned.cache_hit
             profile.result_cache_hit = False
             profile.reuse_hit = True
+            if trace.enabled:
+                self._finish_statement(trace, profile)
             self.last_profile = profile
             return reused
-        result = self.execute(planned.plan, optimize=False)
+        result = self.execute(planned.plan, optimize=False, trace=trace)
         result = self.state.store_result(key, result, planned)
         if self.last_profile is not None:
             self.last_profile.plan_cache_hit = planned.cache_hit
             if key is not None:
                 self.last_profile.result_cache_hit = False
                 self.last_profile.reuse_hit = False
+            if trace.enabled:
+                self._finish_statement(trace, self.last_profile)
         return result
+
+    def _finish_statement(self, trace: AnyTrace,
+                          profile: QueryProfile) -> None:
+        """Seal a statement's trace and pin it to the profile."""
+        trace.annotate(
+            plan_cache_hit=profile.plan_cache_hit,
+            result_cache_hit=profile.result_cache_hit,
+            reuse_hit=profile.reuse_hit)
+        # root seconds = sum of child spans (parse + probes + execute),
+        # which covers the whole statement regardless of which path
+        # served it
+        self.state.tracer.finish(trace)
+        if trace.enabled:
+            profile.trace = trace
 
     def sql_plan(self, text: str) -> LogicalPlan:
         """Parse and bind a SQL query to an (unoptimized) logical plan."""
@@ -241,7 +280,8 @@ class Session:
         binder = Binder(self.catalog, self.default_model_name)
         return binder.bind(statement)
 
-    def plan_for(self, text: str) -> PlannedStatement:
+    def plan_for(self, text: str,
+                 trace: AnyTrace = NULL_TRACE) -> PlannedStatement:
         """An optimized plan for ``text`` plus hit flag and cost estimate.
 
         The cache key is (canonical AST digest, literal tuple, catalog
@@ -260,7 +300,10 @@ class Session:
             # the shared state's: cached plans would not match what this
             # session's optimizer would produce
             optimizer = self._optimizer()
-            plan = optimizer.optimize(self.sql_plan(text))
+            with trace.span("frontend.parse"):
+                plan = self.sql_plan(text)
+            with trace.span("optimize"):
+                plan = optimizer.optimize(plan)
             return PlannedStatement(
                 plan, False, optimizer.last_report.estimated_cost)
         # (canonical stays None above: without the shared-cache key
@@ -268,11 +311,25 @@ class Session:
         model = self.default_model_name
         version = self.catalog.version
         statement = None
-        canonical = cache.canonical_for(text, model)
-        if canonical is None:
-            statement = parse_sql(text)
-            canonical = canonicalize(statement)
-        entry = cache.get(canonical, version, model)
+        if trace.enabled:
+            with trace.span("frontend.parse") as parse_span:
+                canonical = cache.canonical_for(text, model)
+                if canonical is None:
+                    statement = parse_sql(text)
+                    canonical = canonicalize(statement)
+                parse_span.annotate(text_memo_hit=statement is None)
+            with trace.span("plan_cache.probe") as probe:
+                entry = cache.get(canonical, version, model)
+                probe.annotate(hit=entry is not None,
+                               catalog_version=version, model=model)
+        else:
+            # duplicated untraced arm: memo probe + cache get are the
+            # repeated-statement hot path, kept span-free when disabled
+            canonical = cache.canonical_for(text, model)
+            if canonical is None:
+                statement = parse_sql(text)
+                canonical = canonicalize(statement)
+            entry = cache.get(canonical, version, model)
         if entry is not None:
             if statement is not None:
                 # a textually new spelling of a cached statement: memo it
@@ -282,19 +339,21 @@ class Session:
                                     canonical=canonical,
                                     catalog_version=version,
                                     model_name=model, reuse=entry.reuse)
-        if statement is None:
-            statement = parse_sql(text)
-        plan = Binder(self.catalog, model).bind(statement)
-        reuse = None
-        if self.state.reuse_registry is not None:
-            # subsumption analysis + aux-column augmentation happen
-            # before optimization, so the optimizer plans (and the plan
-            # cache stores) the score-carrying variant once
-            from repro.reuse.analysis import analyze_and_augment
+        with trace.span("frontend.bind"):
+            if statement is None:
+                statement = parse_sql(text)
+            plan = Binder(self.catalog, model).bind(statement)
+            reuse = None
+            if self.state.reuse_registry is not None:
+                # subsumption analysis + aux-column augmentation happen
+                # before optimization, so the optimizer plans (and the
+                # plan cache stores) the score-carrying variant once
+                from repro.reuse.analysis import analyze_and_augment
 
-            reuse, plan = analyze_and_augment(plan)
+                reuse, plan = analyze_and_augment(plan)
         optimizer = self._optimizer()
-        plan = optimizer.optimize(plan)
+        with trace.span("optimize"):
+            plan = optimizer.optimize(plan)
         estimated = optimizer.last_report.estimated_cost
         cache.put(text, canonical, version, model, plan, estimated,
                   reuse=reuse)
@@ -305,7 +364,8 @@ class Session:
     def optimize(self, plan: LogicalPlan) -> LogicalPlan:
         return self._optimizer().optimize(plan)
 
-    def execute(self, plan: LogicalPlan, optimize: bool = True) -> Table:
+    def execute(self, plan: LogicalPlan, optimize: bool = True,
+                trace: AnyTrace = NULL_TRACE) -> Table:
         """Run a logical plan; stores a :class:`QueryProfile`."""
         if optimize:
             plan = self.optimize(plan)
@@ -319,12 +379,20 @@ class Session:
                     plan_models(plan)):
                 stack.enter_context(stripe.read())
             started = time.perf_counter()
-            root = build_physical(plan, self.context)
-            result = root.execute()
+            with trace.span("execute") as exec_span:
+                root = build_physical(plan, self.context)
+                result = root.execute()
             elapsed = time.perf_counter() - started
         self.context.record_semantic_metrics()
-        self.last_profile = QueryProfile.from_tree(
+        profile = QueryProfile.from_tree(
             root, elapsed, self.context.embedding_cache)
+        self.state.statement_seconds.observe(elapsed)
+        for op in profile.operators:
+            self.state.operator_seconds.observe(op.seconds)
+        # operator spans mirror the profile's operator table — same
+        # rows, so the two views cannot disagree
+        attach_profile_spans(exec_span, profile)
+        self.last_profile = profile
         return result
 
     def explain(self, query: str | LogicalPlan,
@@ -344,15 +412,22 @@ class Session:
         The estimated/actual gap is the cardinality feedback the paper's
         adaptive execution (§VI) acts on — here surfaced for the user.
         """
-        plan = self.sql_plan(query) if isinstance(query, str) else query
+        trace = Trace("explain_analyze", clock=time.perf_counter)
+        with trace.span("frontend.parse"):
+            plan = self.sql_plan(query) if isinstance(query, str) else query
         optimizer = self._optimizer()
         if optimize:
-            plan = optimizer.optimize(plan)
+            with trace.span("optimize"):
+                plan = optimizer.optimize(plan)
 
         root = build_physical(plan, self.context)
-        started = time.perf_counter()
-        root.execute()
-        elapsed = time.perf_counter() - started
+        with trace.span("execute") as exec_span:
+            root.execute()
+        trace.finish()
+        elapsed = exec_span.seconds
+        attach_operator_spans(
+            exec_span,
+            QueryProfile.from_tree(root, elapsed).operators)
 
         lines = [f"EXPLAIN ANALYZE  (total {elapsed * 1e3:.2f} ms)"]
 
@@ -375,6 +450,10 @@ class Session:
                 visit(logical_child, physical_child, indent + 1)
 
         visit(plan, root, 1)
+        # the span tree is built from the same operator rows as the
+        # table above, so the two sections cannot disagree on timings
+        lines.append("trace:")
+        lines.extend("  " + line for line in trace.pretty().splitlines())
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

@@ -43,6 +43,8 @@ from repro.engine.result_cache import (
     ResultKey,
     strip_columns,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.optimizer.fusion import FUSION_MODES
 from repro.optimizer.optimizer import OptimizerConfig
 from repro.polystore.federation import Federation
@@ -86,9 +88,32 @@ class EngineState:
                  plan_cache_capacity: int | None = None,
                  result_cache_bytes: int | None = None,
                  semantic_reuse: bool = True,
-                 compiled_pipelines: str | None = None):
+                 compiled_pipelines: str | None = None,
+                 trace_sample: float = 1.0,
+                 trace_log: object = None):
         self.seed = seed
+        #: One registry per engine state: every subsystem registers its
+        #: instruments here, and every exporter reads from here.
+        self.metrics_registry = MetricsRegistry()
+        #: Per-statement span tracer (``trace_sample`` is the sampling
+        #: rate; ``trace_log`` an optional NDJSON sink path/file).
+        self.tracer = Tracer(sample=trace_sample, sink=trace_log,
+                             registry=self.metrics_registry)
+        self.statements_total = self.metrics_registry.counter(
+            "engine_statements_total",
+            help="statements served (all paths: cached, reused, executed)")
+        self.statement_seconds = self.metrics_registry.histogram(
+            "engine_statement_seconds",
+            buckets=(0.0001, 0.001, 0.01, 0.1, 1.0, 10.0),
+            help="end-to-end wall seconds per executed statement")
+        self.operator_seconds = self.metrics_registry.histogram(
+            "engine_operator_seconds",
+            buckets=(0.0001, 0.001, 0.01, 0.1, 1.0, 10.0),
+            help="wall seconds per physical operator")
         self.catalog = Catalog()
+        self.metrics_registry.gauge(
+            "catalog_version", fn=lambda: self.catalog.version,
+            help="monotonic catalog/statistics version")
         self.models = ModelRegistry()
         self.federation = Federation(self.catalog)
         self.workers = resolve_workers(parallelism)
@@ -99,22 +124,27 @@ class EngineState:
         # seed 0 matches what lazy creation in semantic.lowering always
         # used, so index randomization is unchanged by the extraction
         self.index_cache = IndexCache()
+        self.index_cache.register_metrics(self.metrics_registry)
         self.model_locks = StripedRWLock()
         self.default_model_name = DEFAULT_MODEL_NAME
         self.plan_cache = PlanCache(
-            plan_cache_capacity or DEFAULT_PLAN_CACHE_CAPACITY)
+            plan_cache_capacity or DEFAULT_PLAN_CACHE_CAPACITY,
+            registry=self.metrics_registry)
         # result_cache_bytes=0 disables cross-statement result caching
         # (every statement executes); None takes the default budget
         if result_cache_bytes is None:
             result_cache_bytes = DEFAULT_RESULT_CACHE_BYTES
-        self.result_cache = (ResultCache(result_cache_bytes)
-                             if result_cache_bytes else None)
+        self.result_cache = (
+            ResultCache(result_cache_bytes,
+                        registry=self.metrics_registry)
+            if result_cache_bytes else None)
         # semantic subsumption rides on result-cache snapshots: without
         # them there is nothing to answer residually from
         if semantic_reuse and self.result_cache is not None:
             from repro.reuse.registry import ReuseRegistry
 
-            self.reuse_registry = ReuseRegistry()
+            self.reuse_registry = ReuseRegistry(
+                registry=self.metrics_registry)
         else:
             self.reuse_registry = None
         config = optimizer_config or OptimizerConfig()
@@ -137,7 +167,7 @@ class EngineState:
         #: Compiled fused-pipeline kernels, shared by every client the
         #: way the plan cache is (single-flight compiles; see
         #: engine.kernel_cache for the invalidation story).
-        self.kernel_cache = KernelCache()
+        self.kernel_cache = KernelCache(registry=self.metrics_registry)
         if load_default_model:
             from repro.embeddings.pretrained import build_pretrained_model
 
@@ -164,7 +194,8 @@ class EngineState:
             cache_parallelism=self.workers,
             embedding_cache=self.embedding_caches,
             index_cache=self.index_cache,
-            kernel_cache=self.kernel_cache)
+            kernel_cache=self.kernel_cache,
+            metrics_registry=self.metrics_registry)
 
     def result_key(self, planned) -> ResultKey | None:
         """The result-cache key for a planned statement, or ``None``.

@@ -1,0 +1,153 @@
+"""Exporters over a :class:`MetricsRegistry`.
+
+Three formats, one source of truth:
+
+- :func:`prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=}`` rows,
+  ``_sum`` / ``_count`` for histograms);
+- :func:`json_snapshot` — a flat ``{name{labels}: value}`` dict, the
+  machine-readable twin of the Prometheus page;
+- the NDJSON trace log, written by :class:`repro.obs.trace.Tracer`.
+
+:func:`parse_prometheus` is the validating reader used by the tests
+and the CI observability smoke step: it re-parses the exposition text
+and returns the samples, raising :class:`ValueError` on any line that
+does not scan.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, flat_name)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_text(labels: tuple[tuple[str, str], ...],
+                extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = (*labels, *extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for inst in registry.collect():
+        if inst.name not in seen_headers:
+            seen_headers.add(inst.name)
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+        if isinstance(inst, Histogram):
+            for le, cumulative in inst.cumulative():
+                lines.append(
+                    f"{inst.name}_bucket"
+                    f"{_label_text(inst.labels, (('le', _fmt(le)),))}"
+                    f" {cumulative}")
+            lines.append(f"{inst.name}_sum{_label_text(inst.labels)}"
+                         f" {_fmt(inst.sum)}")
+            lines.append(f"{inst.name}_count{_label_text(inst.labels)}"
+                         f" {inst.count}")
+        elif isinstance(inst, (Counter, Gauge)):
+            lines.append(f"{inst.name}{_label_text(inst.labels)}"
+                         f" {_fmt(inst.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def json_snapshot(registry: MetricsRegistry) -> dict[str, float]:
+    """Flat ``{name{labels}: value}`` snapshot of every instrument.
+
+    Histograms expand to ``_sum``, ``_count``, and cumulative
+    ``_bucket{le=}`` entries so the snapshot carries exactly the same
+    samples as :func:`prometheus_text`.
+    """
+    out: dict[str, float] = {}
+    for inst in registry.collect():
+        if isinstance(inst, Histogram):
+            for le, cumulative in inst.cumulative():
+                key = flat_name(f"{inst.name}_bucket",
+                                (*inst.labels, ("le", _fmt(le))))
+                out[key] = cumulative
+            out[flat_name(f"{inst.name}_sum", inst.labels)] = inst.sum
+            out[flat_name(f"{inst.name}_count", inst.labels)] = inst.count
+        elif isinstance(inst, (Counter, Gauge)):
+            out[flat_name(inst.name, inst.labels)] = inst.value
+    return out
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``{name{labels}: value}``.
+
+    A strict validator, not a general client: every non-comment line
+    must be a well-formed sample, every ``# TYPE`` must name a known
+    kind, and histogram ``_count`` must equal the ``+Inf`` bucket.
+    """
+    samples: dict[str, float] = {}
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or not _NAME_RE.fullmatch(parts[2]) \
+                    or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: bad TYPE line: {line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        labels: list[tuple[str, str]] = []
+        label_text = match.group("labels")
+        if label_text:
+            for part in label_text.split(","):
+                pair = _LABEL_RE.match(part)
+                if pair is None:
+                    raise ValueError(
+                        f"line {lineno}: bad label {part!r} in {line!r}")
+                labels.append((pair.group(1), pair.group(2)))
+        raw = match.group("value")
+        try:
+            value = float(raw.replace("+Inf", "inf"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad value {raw!r} in {line!r}") from exc
+        key = match.group("name") + _label_text(tuple(labels))
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = value
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        count_keys = [k for k in samples
+                      if k.split("{")[0] == f"{name}_count"]
+        for count_key in count_keys:
+            label_part = count_key[len(f"{name}_count"):]
+            inf_key = f"{name}_bucket" + (
+                label_part[:-1] + ',le="+Inf"}' if label_part
+                else '{le="+Inf"}')
+            if samples.get(inf_key) != samples[count_key]:
+                raise ValueError(
+                    f"histogram {name}: +Inf bucket != count")
+    return samples

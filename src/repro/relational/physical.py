@@ -63,6 +63,11 @@ class ExecutionContext:
     #: loosely: no cycle).  ``None`` = compile fused pipelines inline,
     #: uncached (bare ``execute_plan`` calls outside an engine).
     kernel_cache: object | None = None
+    #: obs.metrics.MetricsRegistry owned by the engine state (typed
+    #: loosely: no cycle).  ``None`` for bare ``execute_plan`` calls;
+    #: when set, caches created through this context register their
+    #: gauges on it.
+    metrics_registry: object | None = None
     metrics: dict = field(default_factory=dict)
 
     def model(self, name: str):

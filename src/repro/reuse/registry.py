@@ -29,6 +29,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry, hit_ratio
 from repro.reuse.analysis import PlanShape, ReuseSpec
 
 #: Default bound on registered entries across all families.
@@ -69,7 +70,7 @@ class ReuseStats:
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.probes if self.probes else 0.0
+        return hit_ratio(self.hits, self.probes - self.hits)
 
     def as_dict(self) -> dict[str, int | float]:
         return {
@@ -88,7 +89,8 @@ class ReuseStats:
 class ReuseRegistry:
     """Thread-safe family index over subsumption-eligible entries."""
 
-    def __init__(self, capacity: int = DEFAULT_REGISTRY_CAPACITY) -> None:
+    def __init__(self, capacity: int = DEFAULT_REGISTRY_CAPACITY,
+                 registry: MetricsRegistry | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
@@ -97,12 +99,31 @@ class ReuseRegistry:
         self._families: dict[str, OrderedDict[_EntryKey, ReuseEntry]] = {}
         #: global LRU of keys for the capacity bound
         self._order: OrderedDict[_EntryKey, str] = OrderedDict()
-        self._registered = 0
-        self._probes = 0
-        self._hits = 0
-        self._misses = 0
-        self._fallbacks = 0
-        self._stale_drops = 0
+        metrics = registry if registry is not None else MetricsRegistry()
+        self._registrations = metrics.counter(
+            "reuse_registered_total",
+            help="subsumption-eligible results indexed")
+        self._probes = metrics.counter(
+            "reuse_probes_total", help="containment-family probes")
+        self._hits = metrics.counter(
+            "reuse_hits_total", help="statements answered residually")
+        self._misses = metrics.counter(
+            "reuse_misses_total", help="probes with no containing entry")
+        self._fallbacks = metrics.counter(
+            "reuse_fallbacks_total",
+            help="containment held but a guard forced normal execution")
+        self._stale_drops = metrics.counter(
+            "reuse_stale_drops_total",
+            help="version-dead or evicted entries dropped on sight")
+        metrics.gauge("reuse_entries", fn=lambda: len(self._order),
+                      help="indexed entries resident")
+        metrics.gauge("reuse_families", fn=lambda: len(self._families),
+                      help="distinct containment families indexed")
+        metrics.gauge(
+            "reuse_hit_ratio",
+            fn=lambda: hit_ratio(
+                self._hits.value, self._probes.value - self._hits.value),
+            help="hits / probes; 0.0 before any probe")
 
     # -- population -----------------------------------------------------
     def register(self, entry: ReuseEntry) -> None:
@@ -114,7 +135,7 @@ class ReuseRegistry:
             bucket.move_to_end(entry.key)
             self._order[entry.key] = family
             self._order.move_to_end(entry.key)
-            self._registered += 1
+            self._registrations.inc()
             while len(self._order) > self.capacity:
                 evicted_key, evicted_family = self._order.popitem(last=False)
                 self._drop_locked(evicted_key, evicted_family)
@@ -123,7 +144,7 @@ class ReuseRegistry:
     def candidates(self, family: str) -> list[ReuseEntry]:
         """Snapshot of the family's entries, most recently used first."""
         with self._lock:
-            self._probes += 1
+            self._probes.inc()
             bucket = self._families.get(family)
             if not bucket:
                 return []
@@ -131,15 +152,15 @@ class ReuseRegistry:
 
     def record_hit(self) -> None:
         with self._lock:
-            self._hits += 1
+            self._hits.inc()
 
     def record_miss(self) -> None:
         with self._lock:
-            self._misses += 1
+            self._misses.inc()
 
     def record_fallback(self) -> None:
         with self._lock:
-            self._fallbacks += 1
+            self._fallbacks.inc()
 
     # -- maintenance ----------------------------------------------------
     def discard(self, key: _EntryKey, stale: bool = False) -> None:
@@ -151,7 +172,7 @@ class ReuseRegistry:
             del self._order[key]
             self._drop_locked(key, family)
             if stale:
-                self._stale_drops += 1
+                self._stale_drops.inc()
 
     def _drop_locked(self, key: _EntryKey, family: str) -> None:
         bucket = self._families.get(family)
@@ -170,10 +191,11 @@ class ReuseRegistry:
     def stats(self) -> ReuseStats:
         with self._lock:
             return ReuseStats(
-                registered=self._registered, probes=self._probes,
-                hits=self._hits, misses=self._misses,
-                fallbacks=self._fallbacks,
-                stale_drops=self._stale_drops,
+                registered=self._registrations.value,
+                probes=self._probes.value,
+                hits=self._hits.value, misses=self._misses.value,
+                fallbacks=self._fallbacks.value,
+                stale_drops=self._stale_drops.value,
                 entries=len(self._order), families=len(self._families))
 
     def __len__(self) -> int:

@@ -51,6 +51,7 @@ import weakref
 import numpy as np
 
 from repro.embeddings.model import EmbeddingModel
+from repro.obs.metrics import MetricsRegistry, hit_ratio
 from repro.utils.locks import RWLock
 from repro.utils.text import normalize_token
 
@@ -132,8 +133,31 @@ class EmbeddingCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return hit_ratio(self.hits, self.misses)
+
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        """Expose arena counters as per-model callback gauges.
+
+        The counters stay plain ints (``clear()`` resets them; the
+        prefetch experiments read them directly), so the registry
+        observes them through read-time callbacks.  Idempotent: when a
+        cache for the same model is rebuilt, registration re-binds the
+        existing gauges to the new instance.
+        """
+        labels = {"model": self.model.name}
+        registry.gauge("embedding_arena_hits", fn=lambda: self.hits,
+                       labels=labels, help="embedding cache hits")
+        registry.gauge("embedding_arena_misses", fn=lambda: self.misses,
+                       labels=labels, help="embedding cache misses")
+        registry.gauge("embedding_arena_rows", fn=lambda: self.rows,
+                       labels=labels, help="interned strings (arena rows)")
+        registry.gauge("embedding_arena_bytes", fn=lambda: self.nbytes,
+                       labels=labels, help="arena bytes in use")
+        registry.gauge(
+            "embedding_arena_hit_ratio",
+            fn=lambda: hit_ratio(self.hits, self.misses),
+            labels=labels,
+            help="hits / (hits + misses); 0.0 before any probe")
 
     # ------------------------------------------------------------------
     # Id-space API

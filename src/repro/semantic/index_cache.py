@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, hit_ratio
 from repro.semantic.cache import RETIRED_GENERATIONS, EmbeddingCache
 from repro.vector.bruteforce import BruteForceIndex
 from repro.vector.hnsw import HNSWIndex
@@ -101,6 +102,33 @@ class IndexCache:
     _building: dict[tuple, threading.Event] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
+
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        """Expose the cache's counters as callback gauges.
+
+        The counters stay plain ints — ``clear()`` resets them and the
+        stress tests read them directly — so the registry observes them
+        through read-time callbacks instead of owning them.
+        """
+        registry.gauge("index_cache_hits", fn=lambda: self.hits,
+                       help="vector-index cache hits")
+        registry.gauge("index_cache_misses", fn=lambda: self.misses,
+                       help="vector-index cache misses")
+        registry.gauge("index_cache_builds", fn=lambda: self.builds,
+                       help="actual index constructions")
+        registry.gauge(
+            "index_cache_single_flight_waits",
+            fn=lambda: self.single_flight_waits,
+            help="misses coalesced onto another thread's build")
+        registry.gauge("index_cache_entries", fn=lambda: len(self._store),
+                       help="built vector indexes resident")
+        registry.gauge("index_cache_generation",
+                       fn=lambda: self.generation,
+                       help="monotonic clear() token")
+        registry.gauge(
+            "index_cache_hit_ratio",
+            fn=lambda: hit_ratio(self.hits, self.misses),
+            help="hits / (hits + misses); 0.0 before any probe")
 
     def get_for_ids(self, kind: str, row_ids: np.ndarray,
                     cache: EmbeddingCache

@@ -43,6 +43,7 @@ def cache_for(context: ExecutionContext, model_name: str) -> EmbeddingCache:
     caches: dict = context.embedding_cache  # type: ignore[assignment]
     cache = caches.get(model_name)
     if cache is None:
+        created = False
         with _CACHE_CREATE_LOCK:
             cache = caches.get(model_name)
             if cache is None:
@@ -52,6 +53,13 @@ def cache_for(context: ExecutionContext, model_name: str) -> EmbeddingCache:
                 cache = EmbeddingCache(
                     context.model(model_name), parallelism=workers)
                 caches[model_name] = cache
+                created = True
+        # register OUTSIDE the creation latch: registration takes the
+        # level-4 registry lock, and holding two level-4 locks would
+        # add a same-level edge for no benefit (gauge registration is
+        # idempotent, so a racing duplicate is harmless).
+        if created and context.metrics_registry is not None:
+            cache.register_metrics(context.metrics_registry)
     return cache
 
 

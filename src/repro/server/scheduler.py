@@ -36,6 +36,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.errors import AdmissionError, ServerError
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.parallel import WorkerBudget
 
 #: Estimated-cost boundary between the interactive and heavy lanes, in
@@ -130,8 +131,13 @@ class _TenantMetrics:
 class Scheduler:
     """Bounded worker pool with cost-classified admission queues."""
 
+    #: Fixed edges for the queue-wait histogram: sub-millisecond is an
+    #: idle pool, 0.1 s+ means admission is absorbing a burst.
+    QUEUE_WAIT_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+
     def __init__(self, config: SchedulerConfig | None = None,
-                 budget: WorkerBudget | None = None):
+                 budget: WorkerBudget | None = None,
+                 registry: MetricsRegistry | None = None):
         self.config = config or SchedulerConfig()
         #: Shared machine budget; the pool size and every query's kernel
         #: share both derive from it.
@@ -142,12 +148,33 @@ class Scheduler:
         self._work_ready = threading.Condition(self._mutex)
         self._idle = threading.Condition(self._mutex)
         self._running = 0
-        self._dispatches = 0
         self._closed = False
-        self._admitted = 0
-        self._rejected = 0
-        self._result_cache_noops = 0
-        self._reuse_noops = 0
+        metrics = registry if registry is not None else MetricsRegistry()
+        self._dispatches = metrics.counter(
+            "scheduler_dispatches_total",
+            help="queue pops handed to a worker")
+        self._admitted = metrics.counter(
+            "scheduler_admitted_total", help="queries admitted to a lane")
+        self._rejected = metrics.counter(
+            "scheduler_rejected_total",
+            help="admissions refused (queue depth or tenant cap)")
+        self._result_cache_noops = metrics.counter(
+            "scheduler_result_cache_noops_total",
+            help="result-cache hits served without occupying a worker")
+        self._reuse_noops = metrics.counter(
+            "scheduler_reuse_noops_total",
+            help="subsumption-reuse hits served without a worker")
+        self._queue_wait_hist = metrics.histogram(
+            "scheduler_queue_wait_seconds",
+            buckets=self.QUEUE_WAIT_BUCKETS,
+            help="admission-to-dispatch wait per executed query")
+        metrics.gauge("scheduler_running", fn=lambda: self._running,
+                      help="queries currently on a worker")
+        for lane_name in ("interactive", "heavy"):
+            metrics.gauge(
+                "scheduler_queued", labels={"lane": lane_name},
+                fn=(lambda lane_=lane_name: len(self._lanes[lane_])),
+                help="queries waiting per lane")
         #: queued+running queries per tenant (the fairness-cap gauge)
         self._tenant_inflight: dict[str, int] = {}
         self._tenants: dict[str, _TenantMetrics] = {}
@@ -190,19 +217,19 @@ class Scheduler:
                 raise ServerError("scheduler is closed")
             queue = self._lanes[lane]
             if len(queue) >= self.config.max_queue_depth:
-                self._rejected += 1
+                self._rejected.inc()
                 raise AdmissionError(
                     f"{lane} lane at max queue depth "
                     f"({self.config.max_queue_depth}); retry later")
             cap = self.config.max_inflight_per_tenant
             inflight = self._tenant_inflight.get(tenant, 0)
             if cap is not None and inflight >= cap:
-                self._rejected += 1
+                self._rejected.inc()
                 raise AdmissionError(
                     f"tenant {tenant!r} at max in-flight queries "
                     f"({cap}); retry later")
             self._tenant_inflight[tenant] = inflight + 1
-            self._admitted += 1
+            self._admitted.inc()
             metrics = self._tenants.setdefault(tenant, _TenantMetrics())
             metrics.queries += 1
             metrics.by_lane[lane] += 1
@@ -235,10 +262,10 @@ class Scheduler:
                 raise ServerError("scheduler is closed")
             metrics = self._tenants.setdefault(tenant, _TenantMetrics())
             if kind == "reuse":
-                self._reuse_noops += 1
+                self._reuse_noops.inc()
                 metrics.reuse_hits += 1
             else:
-                self._result_cache_noops += 1
+                self._result_cache_noops.inc()
                 metrics.result_cache_hits += 1
             metrics.queries += 1
             metrics.by_lane["interactive"] += 1
@@ -271,11 +298,11 @@ class Scheduler:
     def _pop_locked(self) -> tuple[QueryTicket, object] | None:
         interactive = self._lanes["interactive"]
         heavy = self._lanes["heavy"]
-        lane = self.pick_lane(self._dispatches + 1, bool(interactive),
+        lane = self.pick_lane(self._dispatches.value + 1, bool(interactive),
                               bool(heavy), self.config.heavy_pick_every)
         if lane is None:
             return None
-        self._dispatches += 1
+        self._dispatches.inc()
         return self._lanes[lane].popleft()
 
     def _worker_loop(self) -> None:
@@ -322,6 +349,7 @@ class Scheduler:
                 self._queue_wait_total += ticket.queue_wait_seconds
                 self._queue_wait_max = max(self._queue_wait_max,
                                            ticket.queue_wait_seconds)
+                self._queue_wait_hist.observe(ticket.queue_wait_seconds)
             if (self._running == 0
                     and not any(self._lanes.values())):
                 self._idle.notify_all()
@@ -355,13 +383,13 @@ class Scheduler:
 
     def stats(self) -> dict:
         with self._mutex:
-            queries = self._admitted
+            queries = self._admitted.value
             return {
                 "workers": self.budget.total,
                 "admitted": queries,
-                "rejected": self._rejected,
-                "result_cache_noops": self._result_cache_noops,
-                "reuse_noops": self._reuse_noops,
+                "rejected": self._rejected.value,
+                "result_cache_noops": self._result_cache_noops.value,
+                "reuse_noops": self._reuse_noops.value,
                 "running": self._running,
                 "queued": {lane: len(queue)
                            for lane, queue in self._lanes.items()},

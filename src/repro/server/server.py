@@ -33,6 +33,8 @@ from repro.engine.profiler import QueryProfile
 from repro.engine.session import PlannedStatement, Session
 from repro.engine.state import EngineState, plan_models
 from repro.errors import ServerError
+from repro.obs.export import json_snapshot, prometheus_text
+from repro.obs.trace import NULL_TRACE, AnyTrace, attach_profile_spans
 from repro.optimizer.optimizer import OptimizerConfig
 from repro.relational.physical import DEFAULT_BATCH_SIZE, build_physical
 from repro.server.scheduler import QueryTicket, Scheduler, SchedulerConfig
@@ -58,7 +60,9 @@ class EngineServer:
                  result_cache_bytes: int | None = None,
                  semantic_reuse: bool = True,
                  compiled_pipelines: str | None = None,
-                 scheduler_config: SchedulerConfig | None = None):
+                 scheduler_config: SchedulerConfig | None = None,
+                 trace_sample: float = 1.0,
+                 trace_log: object = None):
         self.state = EngineState(
             seed=seed, load_default_model=load_default_model,
             optimizer_config=optimizer_config, batch_size=batch_size,
@@ -66,7 +70,8 @@ class EngineServer:
             plan_cache_capacity=plan_cache_capacity,
             result_cache_bytes=result_cache_bytes,
             semantic_reuse=semantic_reuse,
-            compiled_pipelines=compiled_pipelines)
+            compiled_pipelines=compiled_pipelines,
+            trace_sample=trace_sample, trace_log=trace_log)
         config = scheduler_config or SchedulerConfig()
         if config.workers is None:
             # one budget backs the pool and the kernels; an explicit
@@ -74,7 +79,8 @@ class EngineServer:
             budget = WorkerBudget(parallelism)
         else:
             budget = WorkerBudget(config.workers)
-        self.scheduler = Scheduler(config, budget=budget)
+        self.scheduler = Scheduler(config, budget=budget,
+                                   registry=self.state.metrics_registry)
         self._closed = False
         # the admin session plans statements submitted without a client
         # session (server.sql / server.submit convenience paths)
@@ -154,7 +160,14 @@ class EngineServer:
         self._check_open()
         client = session if session is not None else self._admin
         tenant = tenant if tenant is not None else client.tenant
-        planned = client.plan_for(text)
+        # inline sample check — the result-cache hit path below is tens
+        # of microseconds, so with tracing disabled it pays one branch
+        # here, not a start() call (see the bench's no-op overhead gate)
+        tracer = self.state.tracer
+        trace: AnyTrace = tracer.start("statement", tenant=tenant) \
+            if tracer.sample > 0.0 else NULL_TRACE
+        self.state.statements_total.inc()
+        planned = client.plan_for(text, trace=trace)
         # result cache before admission: a hit skips execution entirely,
         # so it never competes for a worker — the scheduler records it
         # as an interactive-lane no-op.  The key (catalog version +
@@ -162,7 +175,13 @@ class EngineServer:
         # and reused for the post-execution store on a miss.
         key = self.state.result_key(planned)
         started = time.perf_counter()
-        cached = self.state.fetch_result(key)
+        if trace.enabled:
+            with trace.span("result_cache.probe") as probe:
+                cached = self.state.fetch_result(key)
+                probe.annotate(hit=cached is not None,
+                               cacheable=key is not None)
+        else:
+            cached = self.state.fetch_result(key)
         if cached is not None:
             ticket = self.scheduler.complete_cached(
                 cached, tenant=tenant,
@@ -174,13 +193,17 @@ class EngineServer:
             profile.result_cache_hit = True
             profile.lane = ticket.lane
             profile.tenant = ticket.tenant
+            if trace.enabled:
+                self._finish_submit(trace, profile)
             client.last_profile = profile
             return ticket
         # subsumption next: a containing cached statement answers the
         # refinement with a cheap residual (refilter/truncate/project of
         # its snapshot) in the calling thread — an interactive-lane
         # no-op that never competes for a worker
-        reused = self.state.fetch_reuse(planned, key)
+        with trace.span("reuse.probe") as probe:
+            reused = self.state.fetch_reuse(planned, key)
+            probe.annotate(hit=reused is not None)
         if reused is not None:
             ticket = self.scheduler.complete_cached(
                 reused, tenant=tenant,
@@ -193,15 +216,32 @@ class EngineServer:
             profile.reuse_hit = True
             profile.lane = ticket.lane
             profile.tenant = ticket.tenant
+            self._finish_submit(trace, profile)
             client.last_profile = profile
             return ticket
 
         def run(ticket: QueryTicket, workers: int) -> Table:
-            return self._execute(client, planned, ticket, workers, key)
+            # the trace rides the closure onto the worker thread —
+            # explicit propagation, never a thread-local, so the pool
+            # cannot leak spans between concurrent statements
+            return self._execute(client, planned, ticket, workers, key,
+                                 trace)
 
         return self.scheduler.submit(
             run, estimated_cost=planned.estimated_cost, tenant=tenant,
             plan_cache_hit=planned.cache_hit)
+
+    def _finish_submit(self, trace: AnyTrace,
+                       profile: QueryProfile) -> None:
+        """Seal a statement trace and pin it to the profile."""
+        trace.annotate(
+            lane=profile.lane, tenant=profile.tenant,
+            plan_cache_hit=profile.plan_cache_hit,
+            result_cache_hit=profile.result_cache_hit,
+            reuse_hit=profile.reuse_hit)
+        self.state.tracer.finish(trace)
+        if trace.enabled:
+            profile.trace = trace
 
     def sql(self, text: str, tenant: str = "admin") -> Table:
         """Blocking convenience: submit and wait for the result."""
@@ -222,8 +262,14 @@ class EngineServer:
 
     def _execute(self, client: "ClientSession", planned: PlannedStatement,
                  ticket: QueryTicket, workers: int,
-                 result_key=None) -> Table:
+                 result_key=None, trace: AnyTrace | None = None) -> Table:
         """Run one admitted query on a worker thread."""
+        trace = trace if trace is not None else NULL_TRACE
+        # the queue wait was measured by the scheduler's clock; graft
+        # it in as a pre-measured span rather than re-timing it
+        trace.span_at("scheduler.queue", ticket.queue_wait_seconds,
+                      lane=ticket.lane, tenant=ticket.tenant,
+                      workers=workers)
         # fresh context per query: shared caches, private metrics dict,
         # kernel parallelism = this query's leased share of the budget
         context = self.state.make_context(
@@ -236,8 +282,9 @@ class EngineServer:
                     plan_models(planned.plan)):
                 stack.enter_context(stripe.read())
             started = time.perf_counter()
-            root = build_physical(planned.plan, context)
-            result = root.execute()
+            with trace.span("execute") as exec_span:
+                root = build_physical(planned.plan, context)
+                result = root.execute()
             elapsed = time.perf_counter() - started
         context.record_semantic_metrics()
         # the shared arenas accumulate counters across every client, so
@@ -265,6 +312,11 @@ class EngineServer:
         if result_key is not None:
             profile.result_cache_hit = False
             profile.reuse_hit = False
+        self.state.statement_seconds.observe(elapsed)
+        for op in profile.operators:
+            self.state.operator_seconds.observe(op.seconds)
+        attach_profile_spans(exec_span, profile)
+        self._finish_submit(trace, profile)
         client.last_profile = profile
         return result
 
@@ -287,6 +339,23 @@ class EngineServer:
             "vector_index_cache": self.state.index_cache.stats(),
             "catalog_version": self.state.catalog.version,
         }
+
+    def export_prometheus(self) -> str:
+        """Every instrument in Prometheus text exposition format.
+
+        Reads the same registry the ``metrics()`` dict is built from —
+        the subsystem ``stats()`` methods read their registered
+        instruments — so the two surfaces agree by construction.
+        """
+        return prometheus_text(self.state.metrics_registry)
+
+    def export_json(self) -> dict[str, float]:
+        """Flat ``{name{labels}: value}`` snapshot of every instrument."""
+        return json_snapshot(self.state.metrics_registry)
+
+    def traces(self) -> list:
+        """Recently completed statement traces (bounded ring)."""
+        return self.state.tracer.completed()
 
     def drain(self, timeout: float | None = None) -> bool:
         """Wait until every admitted query has finished."""

@@ -5,12 +5,15 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 
 @dataclass
 class Timer:
     """Accumulating wall-clock timer.
+
+    The clock is injectable so tests (and the tracer's deterministic
+    stubs) can drive it with fake time.
 
     >>> timer = Timer()
     >>> with timer.measure():
@@ -21,15 +24,17 @@ class Timer:
 
     elapsed: float = 0.0
     calls: int = 0
+    clock: Callable[[], float] = field(default=time.perf_counter,
+                                       repr=False)
     _last: float = field(default=0.0, repr=False)
 
     @contextmanager
     def measure(self) -> Iterator["Timer"]:
-        start = time.perf_counter()
+        start = self.clock()
         try:
             yield self
         finally:
-            self._last = time.perf_counter() - start
+            self._last = self.clock() - start
             self.elapsed += self._last
             self.calls += 1
 
@@ -45,10 +50,11 @@ class Timer:
 
 
 @contextmanager
-def timed(sink: dict[str, float], key: str) -> Iterator[None]:
+def timed(sink: dict[str, float], key: str,
+          clock: Callable[[], float] = time.perf_counter) -> Iterator[None]:
     """Measure a block and add the duration (seconds) into ``sink[key]``."""
-    start = time.perf_counter()
+    start = clock()
     try:
         yield
     finally:
-        sink[key] = sink.get(key, 0.0) + (time.perf_counter() - start)
+        sink[key] = sink.get(key, 0.0) + (clock() - start)

@@ -1,0 +1,15 @@
+"""Seeded metric-name drift for the MN001 self-test.
+
+``serve`` registers one declared metric and one undeclared one; the
+metric-name lint must report exactly the second registration.
+"""
+
+
+class MiniRegistry:
+    def counter(self, name, help=""):
+        return object()
+
+
+def serve(registry: MiniRegistry) -> None:
+    registry.counter("fixture_requests_total", help="requests served")
+    registry.counter("mystery_total", help="never declared")  # MN001 here

@@ -170,6 +170,34 @@ def test_fixture_version_skip_reported():
     assert "_version" in ck[0].message
 
 
+def test_fixture_metric_drift_reported():
+    findings = run_analysis(
+        fixture_config("metric", FIXTURES), rules=("metrics",))
+    mn = [f for f in findings if f.rule == "MN001"]
+    assert len(mn) == 1
+    assert mn[0].path == "analysis_fixtures/metric_drift.py"
+    assert mn[0].line == line_of(FIXTURES / "metric_drift.py",
+                                 "MN001 here")
+    assert "mystery_total" in mn[0].message
+    # the declared-and-registered name produced no finding, and the
+    # declared vocabulary has no dead entries
+    assert not [f for f in findings if f.rule == "MN002"]
+
+
+def test_engine_metric_vocabulary_matches_runtime():
+    """Every name the engine actually registers is declared, and with
+    the right kind — checked dynamically, complementing the static
+    rule (which cannot see conditional registrations)."""
+    from repro.analysis.metric_names import DECLARED_METRICS
+    from repro.engine.state import EngineState
+
+    declared = {d.name: d.kind for d in DECLARED_METRICS}
+    state = EngineState(load_default_model=False,
+                        result_cache_bytes=1 << 20)
+    for inst in state.metrics_registry.collect():
+        assert declared.get(inst.name) == inst.kind, inst.name
+
+
 # -- the CLI ------------------------------------------------------------
 
 def _run_cli(*args: str) -> subprocess.CompletedProcess:
@@ -189,7 +217,8 @@ def test_cli_engine_tree_exits_zero():
 
 
 @pytest.mark.parametrize("kind,rule", [
-    ("lock", "LH001"), ("dispatch", "DX001"), ("cache", "CK001")])
+    ("lock", "LH001"), ("dispatch", "DX001"), ("cache", "CK001"),
+    ("metric", "MN001")])
 def test_cli_fixture_exits_nonzero(kind, rule):
     proc = _run_cli("--fixture", kind, str(FIXTURES))
     assert proc.returncode == 1, proc.stdout + proc.stderr
