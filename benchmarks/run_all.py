@@ -41,6 +41,7 @@ def main() -> None:
         bench_embedding_pipeline,
         bench_fused_pipelines,
         bench_result_cache,
+        bench_rewrite_depth,
         bench_fig2_motivating_query,
         bench_fig3_consolidation,
         bench_fig4_optimization_ladder,
@@ -68,6 +69,7 @@ def main() -> None:
         ("PR 4 — cross-statement result cache", bench_result_cache),
         ("PR 5 — semantic subsumption reuse", bench_semantic_reuse),
         ("PR 6 — compiled fused pipelines", bench_fused_pipelines),
+        ("PR 9 — rewrite depth + generic plans", bench_rewrite_depth),
     ]
     # the PR benchmarks take argv directly (their own argparse): run
     # them quick at small scale — full runs rewrite the committed
@@ -77,7 +79,8 @@ def main() -> None:
     pr_bench_argv = ["--quick"] if scale == "small" else []
     takes_argv = {bench_embedding_pipeline, bench_rowid_join,
                   bench_concurrent_serving, bench_result_cache,
-                  bench_semantic_reuse, bench_fused_pipelines}
+                  bench_semantic_reuse, bench_fused_pipelines,
+                  bench_rewrite_depth}
     total_start = time.perf_counter()
     for title, module in sections:
         banner = f"  {title}  "
@@ -105,6 +108,8 @@ _GATE_KEYS = (
     "speedup_enforced", "workload_speedup", "refinement_speedup",
     "speedup", "idspace_gather_speedup", "chain_speedup",
     "kernel_cache_hit_rate", "tiny_stays_interpreted", "speedup_target",
+    "rewrite_parity", "rewrite_converged", "generic_hit_rate",
+    "generic_parity", "demotion_ok",
 )
 
 

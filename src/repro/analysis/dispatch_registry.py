@@ -85,9 +85,23 @@ SPECS: tuple[DispatcherSpec, ...] = (
     DispatcherSpec(
         function=f"{PKG}.engine.explain.explain_plan",
         family="plan", kind="method", method="label"),
+    DispatcherSpec(
+        function=f"{PKG}.optimizer.parameterize._Rebinder._rebuild",
+        family="plan", default="reject"),
     # -- relational expression dispatchers -----------------------------
     DispatcherSpec(
         function=f"{PKG}.optimizer.rules.substitute",
+        family="expr", default="reject"),
+    DispatcherSpec(
+        function=f"{PKG}.optimizer.rules.normalize_predicate",
+        family="expr", default="declared",
+        must_handle=("And", "Or", "Not", "Compare"),
+        justification="NNF normalization only rewrites boolean "
+                      "connectives (and flips equality under Not); "
+                      "every other expression is already normal and "
+                      "returned verbatim"),
+    DispatcherSpec(
+        function=f"{PKG}.optimizer.parameterize._Rebinder.expr",
         family="expr", default="reject"),
     DispatcherSpec(
         function=f"{PKG}.relational.logical.infer_dtype",

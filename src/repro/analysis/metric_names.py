@@ -36,6 +36,19 @@ DECLARED_METRICS: tuple[MetricDecl, ...] = (
     MetricDecl("plan_cache_entries", "gauge", "cached plans resident"),
     MetricDecl("plan_cache_hit_ratio", "gauge",
                "hits / (hits + misses)"),
+    MetricDecl("plan_cache_generic_hits_total", "counter",
+               "statements served from a promoted generic plan"),
+    MetricDecl("plan_cache_promotions_total", "counter",
+               "families promoted to a generic plan"),
+    MetricDecl("plan_cache_demotions_total", "counter",
+               "generic plans dropped after a fingerprint mismatch"),
+    MetricDecl("plan_cache_generic_rechecks_total", "counter",
+               "generic serves diverted through full optimization"),
+    MetricDecl("plan_cache_generic_entries", "gauge",
+               "promoted generic plans resident"),
+    # -- optimizer -----------------------------------------------------
+    MetricDecl("optimizer_rewrite_nonconvergence_total", "counter",
+               "rewrite fixpoints that hit max_passes still firing"),
     # -- result cache --------------------------------------------------
     MetricDecl("result_cache_hits_total", "counter", "result cache hits"),
     MetricDecl("result_cache_misses_total", "counter",

@@ -15,6 +15,15 @@ the previous query.  The plan cache short-circuits that at two levels:
    annotated).  A hit goes straight to ``build_physical``; a cached
    plan is never mutated by execution, so one entry serves any number
    of concurrent clients.
+3. **Generic plans** — when enough *distinct* literal tuples of one
+   family optimize to the same literal-masked plan fingerprint, the
+   family is **promoted**: new literals are bound into a parameterized
+   template and the per-literal optimization is skipped entirely
+   (PostgreSQL's generic-vs-custom plan decision, applied to this
+   engine).  Periodic rechecks divert a serve through the full
+   optimizer; a fingerprint mismatch **demotes** the family for good.
+   See ``optimizer/parameterize.py`` for the fingerprint/site
+   machinery and ``docs/optimizer.md`` for the promotion contract.
 
 Invalidation is **versioned**, not evented: every ``register_table``,
 ``drop``, or statistics refresh bumps ``Catalog.version``, and since
@@ -39,14 +48,34 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.engine.sql.canonical import CanonicalQuery
+from repro.errors import PlanError
 from repro.obs.metrics import MetricsRegistry, hit_ratio
+from repro.optimizer.parameterize import (
+    ParameterizeError,
+    bind_parameters,
+    coerce_to_sites,
+    literal_sites,
+    parameter_order,
+    plan_fingerprint,
+    unparameterizable_reason,
+)
+from repro.reuse.registry import FamilyDigestTracker, FamilyKey
 
 #: Default number of cached plans (and memoized texts) kept.
 DEFAULT_PLAN_CACHE_CAPACITY = 256
+
+#: Distinct literal tuples that must optimize to one fingerprint
+#: before the family is promoted to a generic plan.
+DEFAULT_GENERIC_PROMOTION_THRESHOLD = 3
+
+#: Every Nth generic serve is instead a forced miss: the statement
+#: takes the full optimizer path and :meth:`PlanCache.observe`
+#: compares the outcome against the generic plan's fingerprint.
+DEFAULT_GENERIC_RECHECK_INTERVAL = 16
 
 #: ``(*CanonicalQuery.key, catalog_version, model_name)`` — the literal
 #: tuple inside ``CanonicalQuery.key`` is heterogeneous, hence ``Any``.
@@ -71,6 +100,33 @@ class CachedPlan:
 
 
 @dataclass
+class GenericPlan:
+    """A promoted family's parameterized plan template.
+
+    ``template`` is one exemplar's fully optimized plan; serving binds
+    the incoming statement's canonical parameters into its literal
+    sites (``order`` maps site index -> parameter index, proven unique
+    at promotion time).  The result is structurally identical to what
+    the optimizer would have produced — that is exactly what the
+    matching fingerprints of ``promotion_threshold`` distinct literal
+    tuples established — so the per-literal optimization is skipped.
+    """
+
+    template: object             # relational.logical.LogicalPlan
+    #: Template literal values in site order (types are authoritative:
+    #: incoming parameters are coerced back to these types).
+    sites: list = field(default_factory=list)
+    #: Site index -> canonical parameter index.
+    order: list = field(default_factory=list)
+    #: Literal-masked structural fingerprint rechecks compare against.
+    fingerprint: str = ""
+    estimated_cost: float = 0.0
+    catalog_version: int = 0
+    model_name: str = ""
+    serves: int = 0
+
+
+@dataclass
 class PlanCacheStats:
     """Counters the benchmarks and server metrics read."""
 
@@ -81,6 +137,11 @@ class PlanCacheStats:
     stale_evictions: int = 0
     entries: int = 0
     families: int = 0
+    generic_hits: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    generic_rechecks: int = 0
+    generic_entries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -96,6 +157,11 @@ class PlanCacheStats:
             "stale_evictions": self.stale_evictions,
             "entries": self.entries,
             "families": self.families,
+            "generic_hits": self.generic_hits,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "generic_rechecks": self.generic_rechecks,
+            "generic_entries": self.generic_entries,
         }
 
 
@@ -103,14 +169,24 @@ class PlanCache:
     """LRU cache of optimized plans keyed on canonical digest + version."""
 
     def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY,
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None,
+                 enable_generic: bool = True) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
+        #: Generic-plan promotion knobs (mutable; benchmarks tune them).
+        self.enable_generic = enable_generic
+        self.generic_promotion_threshold = \
+            DEFAULT_GENERIC_PROMOTION_THRESHOLD
+        self.generic_recheck_interval = DEFAULT_GENERIC_RECHECK_INTERVAL
         self._lock = threading.Lock()
         self._plans: OrderedDict[_PlanKey, CachedPlan] = OrderedDict()
         self._texts: OrderedDict[tuple[str, str], CanonicalQuery] = \
             OrderedDict()
+        #: Promoted families; FamilyDigestTracker is lock-free and
+        #: mutated only under self._lock (engine lock hierarchy).
+        self._generics: dict[FamilyKey, GenericPlan] = {}
+        self._tracker = FamilyDigestTracker()
         registry = registry if registry is not None else MetricsRegistry()
         self._hits = registry.counter(
             "plan_cache_hits_total", help="optimized-plan cache hits")
@@ -124,8 +200,25 @@ class PlanCache:
         self._stale_evictions = registry.counter(
             "plan_cache_stale_evictions_total",
             help="old-catalog-version entries swept")
+        self._generic_hits = registry.counter(
+            "plan_cache_generic_hits_total",
+            help="statements served from a promoted generic plan "
+                 "(per-literal optimization skipped)")
+        self._promotions = registry.counter(
+            "plan_cache_promotions_total",
+            help="families promoted to a generic plan")
+        self._demotions = registry.counter(
+            "plan_cache_demotions_total",
+            help="generic plans dropped after a fingerprint mismatch")
+        self._generic_rechecks = registry.counter(
+            "plan_cache_generic_rechecks_total",
+            help="generic serves diverted to full optimization to "
+                 "re-verify the family fingerprint")
         registry.gauge("plan_cache_entries", fn=lambda: len(self._plans),
                        help="cached plans resident")
+        registry.gauge("plan_cache_generic_entries",
+                       fn=lambda: len(self._generics),
+                       help="promoted generic plans resident")
         registry.gauge(
             "plan_cache_hit_ratio",
             fn=lambda: hit_ratio(self._hits.value, self._misses.value),
@@ -161,6 +254,105 @@ class PlanCache:
             self._plans.move_to_end(key)
             return entry
 
+    def get_generic(self, canonical: CanonicalQuery, catalog_version: int,
+                    model_name: str) -> tuple[object, float] | None:
+        """Serve the family's generic plan for these literals, if any.
+
+        Returns ``(plan, estimated_cost)`` with the statement's
+        parameters bound into the template, or ``None`` when the family
+        is not promoted, the parameters cannot be typed to the
+        template's sites, or this serve is a scheduled **recheck** —
+        every ``generic_recheck_interval``-th serve deliberately misses
+        so the caller runs the full optimizer and :meth:`observe`
+        compares the outcome against the promoted fingerprint.
+        """
+        if not self.enable_generic:
+            return None
+        key: FamilyKey = (canonical.digest, catalog_version, model_name)
+        with self._lock:
+            generic = self._generics.get(key)
+            if generic is None:
+                return None
+            generic.serves += 1
+            if generic.serves % self.generic_recheck_interval == 0:
+                self._generic_rechecks.inc()
+                return None
+            values = coerce_to_sites(generic.sites, generic.order,
+                                     canonical.parameters)
+            if values is None:
+                return None
+            try:
+                plan = bind_parameters(generic.template, values)
+            except (ParameterizeError, PlanError):
+                # e.g. a bound literal fails a node invariant the full
+                # binder would also reject — fall through to that path
+                return None
+            self._generic_hits.inc()
+            return plan, generic.estimated_cost
+
+    def observe(self, canonical: CanonicalQuery, catalog_version: int,
+                model_name: str, plan: object,
+                estimated_cost: float) -> None:
+        """Feed one *fully optimized* statement into promotion tracking.
+
+        Call this whenever the optimizer actually ran (exact-cache
+        miss and generic miss).  Three outcomes:
+
+        - the family already has a generic plan: compare fingerprints —
+          a mismatch means a literal **did** change the chosen plan, so
+          the generic entry is dropped and the family permanently
+          demoted at this catalog version (recheck serves land here);
+        - no generic yet: accumulate ``(fingerprint, parameters)``
+          evidence, and promote once ``generic_promotion_threshold``
+          distinct literal tuples agree on one fingerprint with a
+          provably unique site<->parameter mapping;
+        - the plan is structurally unparameterizable (data-induced
+          predicates, approximate access paths): demote permanently.
+        """
+        if not self.enable_generic:
+            return
+        key: FamilyKey = (canonical.digest, catalog_version, model_name)
+        with self._lock:
+            if self._tracker.is_demoted(key):
+                return
+            try:
+                fingerprint = plan_fingerprint(plan)  # type: ignore[arg-type]
+            except ParameterizeError:
+                self._tracker.demote(key)
+                return
+            generic = self._generics.get(key)
+            if generic is not None:
+                if generic.fingerprint != fingerprint:
+                    del self._generics[key]
+                    self._tracker.demote(key)
+                    self._demotions.inc()
+                return
+            reason = unparameterizable_reason(plan)  # type: ignore[arg-type]
+            if reason is not None:
+                self._tracker.demote(key)
+                return
+            try:
+                sites = literal_sites(plan)  # type: ignore[arg-type]
+            except ParameterizeError:
+                self._tracker.demote(key)
+                return
+            order = parameter_order(sites, canonical.parameters)
+            exemplars = self._tracker.observe(key, fingerprint,
+                                              canonical.parameters)
+            if order is None:
+                # mapping not provable from THIS exemplar (duplicate or
+                # folded values) — evidence still counts, promotion
+                # waits for an exemplar with distinct literals
+                return
+            if exemplars >= self.generic_promotion_threshold:
+                self._generics[key] = GenericPlan(
+                    template=plan, sites=sites, order=order,
+                    fingerprint=fingerprint,
+                    estimated_cost=estimated_cost,
+                    catalog_version=catalog_version,
+                    model_name=model_name)
+                self._promotions.inc()
+
     # -- population -----------------------------------------------------
     def memo_text(self, text: str, model_name: str,
                   canonical: CanonicalQuery) -> None:
@@ -190,10 +382,12 @@ class PlanCache:
 
     # -- maintenance ----------------------------------------------------
     def invalidate(self) -> None:
-        """Drop every cached plan (text memos survive: parse output is
-        catalog-independent)."""
+        """Drop every cached plan, generic plan, and digest record
+        (text memos survive: parse output is catalog-independent)."""
         with self._lock:
             self._plans.clear()
+            self._generics.clear()
+            self._tracker.clear()
 
     def stats(self) -> PlanCacheStats:
         with self._lock:
@@ -203,7 +397,12 @@ class PlanCache:
                 text_memo_hits=self._text_memo_hits.value,
                 evictions=self._evictions.value,
                 stale_evictions=self._stale_evictions.value,
-                entries=len(self._plans), families=len(families))
+                entries=len(self._plans), families=len(families),
+                generic_hits=self._generic_hits.value,
+                promotions=self._promotions.value,
+                demotions=self._demotions.value,
+                generic_rechecks=self._generic_rechecks.value,
+                generic_entries=len(self._generics))
 
     def __len__(self) -> int:
         with self._lock:
@@ -230,3 +429,8 @@ class PlanCache:
         for key in stale:
             del self._plans[key]
             self._stale_evictions.inc()
+        stale_generics = [key for key in self._generics
+                          if key[1] < version]
+        for generic_key in stale_generics:
+            del self._generics[generic_key]
+        self._tracker.sweep_versions_before(version)

@@ -104,7 +104,8 @@ class Session:
                  shared_state: EngineState | None = None,
                  result_cache_bytes: int | None = None,
                  semantic_reuse: bool = True,
-                 compiled_pipelines: str | None = None):
+                 compiled_pipelines: str | None = None,
+                 generic_plans: bool = True):
         if shared_state is None:
             shared_state = EngineState(
                 seed=seed, load_default_model=load_default_model,
@@ -112,7 +113,8 @@ class Session:
                 parallelism=parallelism,
                 result_cache_bytes=result_cache_bytes,
                 semantic_reuse=semantic_reuse,
-                compiled_pipelines=compiled_pipelines)
+                compiled_pipelines=compiled_pipelines,
+                generic_plans=generic_plans)
         self.state = shared_state
         # shared references, not copies: mutating through any facade is
         # visible to every session over the same state
@@ -292,6 +294,13 @@ class Session:
         which case the entry is stored under the pre-bump version, ages
         out on the next lookup, and the statement is re-planned once
         against the now-stable statistics.
+
+        An exact miss additionally probes the family's **generic plan**
+        (see :mod:`repro.engine.plan_cache`): a family whose literals
+        provably don't steer plan choice serves a parameterized
+        template with this statement's literals bound in, skipping
+        bind + optimize entirely.  Every full optimization on this path
+        feeds ``PlanCache.observe`` for promotion/demotion tracking.
         """
         cache = self.state.plan_cache
         if cache is None or (self.optimizer_config
@@ -339,6 +348,22 @@ class Session:
                                     canonical=canonical,
                                     catalog_version=version,
                                     model_name=model, reuse=entry.reuse)
+        # exact miss: a promoted family can still serve a generic plan
+        # with these literals bound in, skipping bind+optimize entirely
+        if trace.enabled:
+            with trace.span("plan_cache.generic_probe") as generic_span:
+                generic = cache.get_generic(canonical, version, model)
+                generic_span.annotate(hit=generic is not None)
+        else:
+            generic = cache.get_generic(canonical, version, model)
+        if generic is not None:
+            if statement is not None:
+                cache.memo_text(text, model, canonical)
+            generic_plan, generic_cost = generic
+            return PlannedStatement(generic_plan, True, generic_cost,
+                                    canonical=canonical,
+                                    catalog_version=version,
+                                    model_name=model)
         with trace.span("frontend.bind"):
             if statement is None:
                 statement = parse_sql(text)
@@ -357,6 +382,12 @@ class Session:
         estimated = optimizer.last_report.estimated_cost
         cache.put(text, canonical, version, model, plan, estimated,
                   reuse=reuse)
+        if reuse is None or not getattr(reuse, "aux_columns", ()):
+            # promotion evidence (and recheck verification) — skipped
+            # for plans the reuse analysis actually *augmented*: their
+            # aux score columns are tied to the registered result-cache
+            # snapshot and must not leak into a family-wide template
+            cache.observe(canonical, version, model, plan, estimated)
         return PlannedStatement(plan, False, estimated,
                                 canonical=canonical, catalog_version=version,
                                 model_name=model, reuse=reuse)

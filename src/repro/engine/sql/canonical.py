@@ -11,13 +11,17 @@ of extracted literal values in template order.
 
 Why literals are *parameterized out* of the template but kept in the
 full cache key: the template digest groups statements into **families**
-("same shape, different constants") for metrics and eviction, but the
-cached plan itself is keyed on the concrete parameter tuple as well —
-a different constant legitimately changes selectivity estimates, and
-with them the optimizer's join order and access-path choices, so
-serving one family-wide generic plan would silently pessimize (or
-worse, alter DIP-derived predicates).  This mirrors the custom-plan
-default of mainstream engines.
+("same shape, different constants"), but the cached plan itself is
+keyed on the concrete parameter tuple as well — a different constant
+legitimately changes selectivity estimates, and with them the
+optimizer's join order and access-path choices, so per-literal
+("custom") plans are the default, mirroring mainstream engines.  A
+family only graduates to a shared **generic plan** after the plan
+cache has *observed* that several distinct literal tuples all optimize
+to the same literal-masked plan fingerprint — and even then rechecks
+and demotion guard the assumption (see
+:mod:`repro.engine.plan_cache` and ``docs/optimizer.md``).  Families
+whose plans embed DIP-derived predicates never qualify.
 
 The digest is BLAKE2b over the template text: collision-resistant, and
 stable across processes (no reliance on Python's randomized ``hash``).

@@ -89,6 +89,7 @@ class EngineState:
                  result_cache_bytes: int | None = None,
                  semantic_reuse: bool = True,
                  compiled_pipelines: str | None = None,
+                 generic_plans: bool = True,
                  trace_sample: float = 1.0,
                  trace_log: object = None):
         self.seed = seed
@@ -127,9 +128,12 @@ class EngineState:
         self.index_cache.register_metrics(self.metrics_registry)
         self.model_locks = StripedRWLock()
         self.default_model_name = DEFAULT_MODEL_NAME
+        # generic_plans=False pins every statement to per-literal
+        # optimization (the promotion machinery never engages)
         self.plan_cache = PlanCache(
             plan_cache_capacity or DEFAULT_PLAN_CACHE_CAPACITY,
-            registry=self.metrics_registry)
+            registry=self.metrics_registry,
+            enable_generic=generic_plans)
         # result_cache_bytes=0 disables cross-statement result caching
         # (every statement executes); None takes the default budget
         if result_cache_bytes is None:

@@ -14,12 +14,15 @@ from repro.optimizer.dip import DataInducedPredicates
 from repro.optimizer.fusion import PipelineFusion
 from repro.optimizer.join_order import JoinOrderOptimizer
 from repro.optimizer.physical_selection import PhysicalSelector
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.rules import (
+    DEFAULT_PHASES,
     DEFAULT_RULES,
     PruneColumns,
     RewriteRule,
     RuleContext,
     rewrite_fixpoint,
+    rewrite_phases,
 )
 from repro.relational.logical import LogicalPlan
 from repro.relational.physical import ExecutionContext
@@ -60,6 +63,12 @@ class OptimizationReport:
     physical_decisions: list[tuple[str, str]] = field(default_factory=list)
     pipelines_fused: int = 0
     estimated_cost: float = 0.0
+    #: Bottom-up rewrite passes executed across every fixpoint.
+    rewrite_passes: int = 0
+    #: False when any rewrite fixpoint hit ``max_passes`` while rules
+    #: were still firing (also counted on
+    #: ``optimizer_rewrite_nonconvergence_total``).
+    rewrite_converged: bool = True
 
 
 class Optimizer:
@@ -74,6 +83,14 @@ class Optimizer:
             execution_context=execution_context)
         self.cost_model = CostModel(self.estimator, self.config.cost_params)
         self.execution_context = execution_context
+        registry = getattr(execution_context, "metrics_registry", None)
+        if not isinstance(registry, MetricsRegistry):
+            # standalone optimizers (no engine state) count into a
+            # private sink; registration is idempotent on shared ones
+            registry = MetricsRegistry()
+        self._nonconvergence = registry.counter(
+            "optimizer_rewrite_nonconvergence_total",
+            help="rewrite fixpoints that hit max_passes still firing")
         self.last_report = OptimizationReport()
 
     def optimize(self, plan: LogicalPlan) -> LogicalPlan:
@@ -84,8 +101,12 @@ class Optimizer:
                                cost_model=self.cost_model)
 
         if config.enable_rules:
-            plan = rewrite_fixpoint(plan, config.rules or DEFAULT_RULES,
-                                    rule_ctx)
+            # an explicit rule list (ablation configs) runs as one flat
+            # fixpoint; the default suite runs the phased pipeline
+            if config.rules is not None:
+                plan = rewrite_fixpoint(plan, config.rules, rule_ctx)
+            else:
+                plan = rewrite_phases(plan, DEFAULT_PHASES, rule_ctx)
         if config.enable_prune:
             plan = PruneColumns().run(plan)
         if config.enable_join_order:
@@ -99,9 +120,20 @@ class Optimizer:
             plan = dip.run(plan)
             report.dip_applied = dip.applied
             if dip.applied and config.enable_rules:
-                # derived predicates may enable further pushdowns
-                plan = rewrite_fixpoint(plan, config.rules or DEFAULT_RULES,
-                                        rule_ctx)
+                # derived predicates may enable further pushdowns ...
+                fired_before = dict(rule_ctx.applied)
+                if config.rules is not None:
+                    plan = rewrite_fixpoint(plan, config.rules, rule_ctx)
+                else:
+                    plan = rewrite_phases(plan, DEFAULT_PHASES, rule_ctx)
+                # ... and filters that sank into join inputs change the
+                # estimates the join order was chosen on: re-trigger it
+                if config.enable_join_order and _pushdowns_fired(
+                        fired_before, rule_ctx.applied):
+                    reorder = JoinOrderOptimizer(self.estimator,
+                                                 self.cost_model)
+                    plan = reorder.run(plan)
+                    report.joins_reordered += reorder.reordered
         if config.enable_physical:
             if config.semantic_join_methods is not None:
                 selector = PhysicalSelector(
@@ -119,6 +151,18 @@ class Optimizer:
             report.pipelines_fused = fusion.fused
 
         report.rules_applied = dict(rule_ctx.applied)
+        report.rewrite_passes = rule_ctx.passes
+        report.rewrite_converged = rule_ctx.converged
+        if not rule_ctx.converged:
+            self._nonconvergence.inc()
         report.estimated_cost = self.cost_model.estimate_total(plan)
         self.last_report = report
         return plan
+
+
+def _pushdowns_fired(before: dict[str, int], after: dict[str, int]) -> bool:
+    """Did any pushdown rule fire between the two applied-count
+    snapshots?  (Join-order re-trigger condition after DIP.)"""
+    return any(after.get(name, 0) > before.get(name, 0)
+               for name in after
+               if name.startswith("push_filter"))

@@ -5,6 +5,24 @@ the rule set bottom-up to fixpoint.  The rules encode the "decades of
 database community research" the paper wants applied to context-rich
 plans: filter pushdown through (semantic) joins, predicate reordering
 around expensive model operators, projection pruning.
+
+The optimizer runs the suite in three **phases** (see
+:data:`DEFAULT_PHASES` and ``docs/optimizer.md``), each to its own
+fixpoint:
+
+1. *normalize* — Not/Or normalization exposes conjuncts hidden under
+   negations so the pushdown phase can sink them independently;
+2. *pushdown* — filter merging plus every pushdown rule (each splits
+   conjunctions internally, so parts sink independently and the
+   unpushable residue stays put);
+3. *breakup* — remaining conjunctive filters are broken into chains
+   (``And`` -> stacked single-predicate filters) so costing, EXPLAIN,
+   and predicate ordering see one predicate per operator.
+
+:data:`DEFAULT_RULES` remains the flat one-phase suite (what ablation
+configs and direct ``rewrite_fixpoint`` callers use); it excludes
+:class:`BreakupSelections`, which would ping-pong with
+:class:`MergeFilters` inside a single fixpoint.
 """
 
 from __future__ import annotations
@@ -51,6 +69,13 @@ class RuleContext:
     estimator: object | None = None   # CardinalityEstimator
     cost_model: object | None = None  # CostModel
     applied: dict[str, int] = field(default_factory=dict)
+    #: Total bottom-up passes executed across every fixpoint this
+    #: context was threaded through.
+    passes: int = 0
+    #: False when any fixpoint ran out of ``max_passes`` while rules
+    #: were still firing — the optimizer surfaces this on its report
+    #: and the ``optimizer_rewrite_nonconvergence_total`` counter.
+    converged: bool = True
 
     def record(self, rule_name: str) -> None:
         self.applied[rule_name] = self.applied.get(rule_name, 0) + 1
@@ -68,12 +93,59 @@ class RewriteRule:
 
 def _resolves_in(columns: set[str], schema: Schema) -> bool:
     """True when every referenced column can be resolved in ``schema``."""
-    for name in columns:
-        try:
-            schema.index_of(name)
-        except Exception:
-            return False
+    return all(_resolves_one(name, schema) for name in columns)
+
+
+def _resolves_one(name: str, schema: Schema) -> bool:
+    try:
+        schema.index_of(name)
+    except Exception:
+        return False
     return True
+
+
+#: How a comparison operator flips under NOT.  Only equality flips:
+#: ``NOT (a < b)`` is *not* ``a >= b`` for float columns containing
+#: NaN (both orderings evaluate False on NaN rows, so the negation and
+#: the flipped comparison disagree), while ``=``/``!=`` negate cleanly
+#: (``NaN = x`` is False and ``NaN != x`` is True under either spelling).
+_NEGATED_COMPARE = {"=": "!=", "!=": "="}
+
+
+def normalize_predicate(expr: Expr) -> Expr:
+    """Not/Or-aware normalization: push negations inward (De Morgan),
+    eliminate double negation, and flip negated equalities, so the
+    conjuncts hidden under ``NOT (a OR b)`` become visible to
+    ``split_conjuncts`` and can sink independently.
+
+    Idempotent by construction: the result contains no ``Not`` above an
+    ``And``/``Or``/``Not``/equality, so a second application is the
+    identity — which is what makes :class:`NormalizePredicate`
+    convergent inside a fixpoint.
+    """
+    if isinstance(expr, And):
+        return And(normalize_predicate(expr.left),
+                   normalize_predicate(expr.right))
+    if isinstance(expr, Or):
+        return Or(normalize_predicate(expr.left),
+                  normalize_predicate(expr.right))
+    if isinstance(expr, Not):
+        inner = expr.operand
+        if isinstance(inner, Not):
+            return normalize_predicate(inner.operand)
+        if isinstance(inner, And):
+            return Or(normalize_predicate(Not(inner.left)),
+                      normalize_predicate(Not(inner.right)))
+        if isinstance(inner, Or):
+            return And(normalize_predicate(Not(inner.left)),
+                       normalize_predicate(Not(inner.right)))
+        if isinstance(inner, Compare) and inner.op in _NEGATED_COMPARE:
+            return Compare(_NEGATED_COMPARE[inner.op], inner.left,
+                           inner.right)
+        return Not(inner)
+    # leaves (ColumnRef/Literal/Compare/Arith/InList/Func) are already
+    # normal: negations cannot hide conjuncts below them
+    return expr
 
 
 class MergeFilters(RewriteRule):
@@ -88,8 +160,58 @@ class MergeFilters(RewriteRule):
         return None
 
 
+class NormalizePredicate(RewriteRule):
+    """Rewrite filter predicates to negation normal form.
+
+    ``NOT (a OR b)`` hides two conjuncts the pushdown rules could sink
+    to different inputs; after normalization they are ordinary
+    ``split_conjuncts`` parts.  See :func:`normalize_predicate` for the
+    NaN caveat that keeps inequality flips out of the normalization.
+    """
+
+    name = "normalize_predicate"
+
+    def apply(self, node, ctx):
+        if not isinstance(node, FilterNode):
+            return None
+        normalized = normalize_predicate(node.predicate)
+        if normalized.same_as(node.predicate):
+            return None
+        return FilterNode(node.child, normalized)
+
+
+class BreakupSelections(RewriteRule):
+    """``Filter(x, a AND b) -> Filter(Filter(x, b), a)`` (selection
+    breakup: one predicate per filter operator).
+
+    Runs in its own phase (:data:`DEFAULT_PHASES`), never in the same
+    fixpoint as :class:`MergeFilters` — the pair would ping-pong and
+    trip the non-convergence guard.
+    """
+
+    name = "breakup_selections"
+
+    def apply(self, node, ctx):
+        if not isinstance(node, FilterNode):
+            return None
+        parts = split_conjuncts(node.predicate)
+        if len(parts) < 2:
+            return None
+        plan = node.child
+        for part in reversed(parts):
+            plan = FilterNode(plan, part)
+        return plan
+
+
 class PushFilterThroughProject(RewriteRule):
-    """Move a filter below a projection, substituting aliases."""
+    """Move a filter below a projection, substituting aliases.
+
+    Rename-aware and *partial*: each conjunct is substituted through the
+    projection's alias mapping independently, so the parts a renaming
+    projection can absorb sink below it while the rest (aliases without
+    a child-resolvable substitution, references to computed columns the
+    child cannot provide) stay above as the residual filter.
+    """
 
     name = "push_filter_through_project"
 
@@ -99,14 +221,25 @@ class PushFilterThroughProject(RewriteRule):
             return None
         project = node.child
         mapping = {alias: expr for expr, alias in project.exprs}
-        try:
-            rewritten = substitute(node.predicate, mapping)
-        except KeyError:
+        pushable, residual = [], []
+        for part in split_conjuncts(node.predicate):
+            try:
+                rewritten = substitute(part, mapping)
+            except KeyError:
+                residual.append(part)
+                continue
+            if _resolves_in(rewritten.columns(), project.child.schema):
+                pushable.append(rewritten)
+            else:
+                residual.append(part)
+        if not pushable:
             return None
-        if not _resolves_in(rewritten.columns(), project.child.schema):
-            return None
-        return ProjectNode(FilterNode(project.child, rewritten),
-                           project.exprs)
+        rewritten_plan = ProjectNode(
+            FilterNode(project.child, combine_conjuncts(pushable)),
+            project.exprs)
+        if residual:
+            return FilterNode(rewritten_plan, combine_conjuncts(residual))
+        return rewritten_plan
 
 
 class PushFilterIntoJoin(RewriteRule):
@@ -186,7 +319,20 @@ class PushFilterBelowSemanticFilter(RewriteRule):
 
 
 class PushFilterThroughAggregate(RewriteRule):
-    """Push group-key-only predicates below an aggregate."""
+    """Push group-key-only predicates below an aggregate.
+
+    A conjunct is pushable only when every column it references resolves
+    in the aggregate's *output* schema to a group-key position; it is
+    then substituted through the key mapping back to the child's
+    canonical column names before it sinks.  The old string-set check
+    (predicate columns vs. output key names) pushed output spellings
+    into the child unsubstituted — sound only while output key names
+    happen to equal child column names, and wrong the moment a key is
+    renamed (qualified child fields referenced by an unqualified
+    spelling, or a group key flowing through a renaming projection).
+    The mapping refuses anything that is not a plain ``ColumnRef``
+    target, so future expression-valued keys stay above the aggregate.
+    """
 
     name = "push_filter_through_aggregate"
 
@@ -197,12 +343,15 @@ class PushFilterThroughAggregate(RewriteRule):
         aggregate = node.child
         if not aggregate.group_keys:
             return None
-        key_fields = set(aggregate.schema.names[:len(aggregate.group_keys)])
         pushable, residual = [], []
         for part in split_conjuncts(node.predicate):
-            if part.columns() <= key_fields:
-                pushable.append(part)
-            else:
+            mapping = self._key_mapping(part, aggregate)
+            if mapping is None:
+                residual.append(part)
+                continue
+            try:
+                pushable.append(substitute(part, mapping))
+            except KeyError:
                 residual.append(part)
         if not pushable:
             return None
@@ -211,6 +360,27 @@ class PushFilterThroughAggregate(RewriteRule):
         if residual:
             return FilterNode(new_aggregate, combine_conjuncts(residual))
         return new_aggregate
+
+    @staticmethod
+    def _key_mapping(part, aggregate) -> dict[str, Expr] | None:
+        """Referenced column -> child key column, or ``None`` when any
+        reference lands outside the group keys (aggregate results,
+        unresolvable names, ambiguous spellings)."""
+        child_schema = aggregate.child.schema
+        mapping: dict[str, Expr] = {}
+        for name in part.columns():
+            try:
+                index = aggregate.schema.index_of(name)
+            except Exception:
+                return None
+            if index >= len(aggregate.group_keys):
+                return None  # references an aggregate result
+            target = _group_key_expr(aggregate.group_keys[index],
+                                     child_schema)
+            if not isinstance(target, ColumnRef):
+                return None  # expression-valued keys never sink
+            mapping[name] = target
+        return mapping
 
 
 class OrderFilterChain(RewriteRule):
@@ -272,6 +442,7 @@ class RemoveTrivialProject(RewriteRule):
 
 DEFAULT_RULES: list[RewriteRule] = [
     MergeFilters(),
+    NormalizePredicate(),
     PushFilterThroughProject(),
     PushFilterIntoJoin(),
     PushFilterThroughSemanticJoin(),
@@ -281,16 +452,48 @@ DEFAULT_RULES: list[RewriteRule] = [
     RemoveTrivialProject(),
 ]
 
+#: The optimizer's phased suite: normalize, then merge + push down,
+#: then break remaining conjunctions into filter chains.  Each phase is
+#: individually convergent; ``BreakupSelections`` and ``MergeFilters``
+#: never share a fixpoint.
+DEFAULT_PHASES: list[list[RewriteRule]] = [
+    [NormalizePredicate()],
+    DEFAULT_RULES,
+    [BreakupSelections(), OrderFilterChain(), RemoveTrivialProject()],
+]
+
 
 def rewrite_fixpoint(plan: LogicalPlan, rules: list[RewriteRule],
                      ctx: RuleContext | None = None,
                      max_passes: int = 10) -> LogicalPlan:
-    """Apply ``rules`` bottom-up repeatedly until no rule fires."""
+    """Apply ``rules`` bottom-up repeatedly until no rule fires.
+
+    When ``max_passes`` bottom-up passes are exhausted while rules are
+    still firing (a runaway rule pair), ``ctx.converged`` flips to
+    False instead of the old silent exit — the optimizer reports it and
+    bumps ``optimizer_rewrite_nonconvergence_total``.
+    """
     ctx = ctx or RuleContext()
+    changed = True
     for _ in range(max_passes):
         plan, changed = _rewrite_once(plan, rules, ctx)
+        ctx.passes += 1
         if not changed:
             break
+    if changed:
+        ctx.converged = False
+    return plan
+
+
+def rewrite_phases(plan: LogicalPlan,
+                   phases: list[list[RewriteRule]] | None = None,
+                   ctx: RuleContext | None = None,
+                   max_passes: int = 10) -> LogicalPlan:
+    """Run each phase of ``phases`` (default :data:`DEFAULT_PHASES`) to
+    its own fixpoint, in order, sharing one :class:`RuleContext`."""
+    ctx = ctx or RuleContext()
+    for rules in (phases if phases is not None else DEFAULT_PHASES):
+        plan = rewrite_fixpoint(plan, rules, ctx, max_passes=max_passes)
     return plan
 
 
@@ -314,19 +517,52 @@ def _rewrite_once(plan: LogicalPlan, rules: list[RewriteRule],
 
 def _split_by_side(predicate: Expr, left_schema: Schema,
                    right_schema: Schema):
-    """Partition conjuncts by which join input they reference."""
+    """Partition conjuncts by which join input they reference.
+
+    A conjunct sinks to a side only when *every* column it references
+    resolves on that side and *none* resolves on the other: a name
+    present in both inputs (``brand`` against ``p.brand``/``k.brand``)
+    is ambiguous, and pushing it to whichever side happened to be
+    checked first silently picks one meaning and changes results.
+    Ambiguous conjuncts stay in the residual, exactly like conjuncts
+    spanning both sides.
+    """
     left_parts: list[Expr] = []
     right_parts: list[Expr] = []
     residual: list[Expr] = []
     for part in split_conjuncts(predicate):
         columns = part.columns()
-        if columns and _resolves_in(columns, left_schema):
+        sides = set()
+        for name in columns:
+            on_left = _resolves_one(name, left_schema)
+            on_right = _resolves_one(name, right_schema)
+            if on_left and on_right:
+                sides.add("ambiguous")
+            elif on_left:
+                sides.add("left")
+            elif on_right:
+                sides.add("right")
+            else:
+                sides.add("unresolved")
+        if sides == {"left"}:
             left_parts.append(part)
-        elif columns and _resolves_in(columns, right_schema):
+        elif sides == {"right"}:
             right_parts.append(part)
         else:
             residual.append(part)
     return left_parts, right_parts, residual
+
+
+def _group_key_expr(key: str, child_schema: Schema) -> Expr:
+    """The child-side expression a group key stands for.
+
+    Today group keys are plain column names, so this resolves ``key``
+    to its canonical child spelling; when aggregate keys grow
+    expression support this is the single place that changes, and
+    ``PushFilterThroughAggregate`` already refuses non-``ColumnRef``
+    results.
+    """
+    return ColumnRef(child_schema.names[child_schema.index_of(key)])
 
 
 def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:

@@ -86,6 +86,93 @@ class ReuseStats:
         }
 
 
+#: A plan-family identity for digest tracking:
+#: ``(canonical digest, catalog version, model name)``.
+FamilyKey = tuple[str, int, str]
+
+
+@dataclass
+class FamilyDigest:
+    """What one statement family's optimizations have shown so far."""
+
+    #: Masked structural fingerprint every exemplar agreed on.
+    fingerprint: str
+    #: Distinct canonical parameter tuples optimized to ``fingerprint``.
+    exemplars: set[tuple]
+    #: Permanently literal-sensitive (fingerprint mismatch seen) or
+    #: structurally unparameterizable — never promote again.
+    demoted: bool = False
+
+
+class FamilyDigestTracker:
+    """Per-family evidence that literals don't steer plan choice.
+
+    Generic-plan promotion (``engine/plan_cache.py``) asks one
+    question: *have enough distinct literal tuples of this family
+    optimized to the same literal-masked plan fingerprint?*  This
+    tracker accumulates that evidence and remembers refusals.
+
+    **Not thread-safe by design** — it holds no lock of its own and is
+    mutated only under :class:`~repro.engine.plan_cache.PlanCache`'s
+    lock (taking a second lock here would add an ordering edge to the
+    engine's lock hierarchy for no benefit).
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[FamilyKey, FamilyDigest] = {}
+
+    def observe(self, key: FamilyKey, fingerprint: str,
+                parameters: tuple) -> int:
+        """Record one full optimization's outcome for the family.
+
+        Returns the number of distinct parameter tuples that have
+        produced the family's (single) fingerprint, or ``-1`` when the
+        family is demoted — either previously, or right now because
+        ``fingerprint`` disagrees with the recorded one (the literals
+        provably steer the optimizer, so the family may never serve a
+        generic plan again at this catalog version).
+        """
+        record = self._families.get(key)
+        if record is None:
+            self._families[key] = FamilyDigest(
+                fingerprint=fingerprint, exemplars={parameters})
+            return 1
+        if record.demoted:
+            return -1
+        if record.fingerprint != fingerprint:
+            record.demoted = True
+            record.exemplars.clear()
+            return -1
+        record.exemplars.add(parameters)
+        return len(record.exemplars)
+
+    def demote(self, key: FamilyKey) -> None:
+        """Permanently bar the family from promotion (refusal path)."""
+        record = self._families.get(key)
+        if record is None:
+            record = FamilyDigest(fingerprint="", exemplars=set())
+            self._families[key] = record
+        record.demoted = True
+        record.exemplars.clear()
+
+    def is_demoted(self, key: FamilyKey) -> bool:
+        record = self._families.get(key)
+        return record is not None and record.demoted
+
+    def sweep_versions_before(self, version: int) -> None:
+        """Drop records for older catalog versions (they can never be
+        consulted again — the version is part of the key)."""
+        stale = [key for key in self._families if key[1] < version]
+        for key in stale:
+            del self._families[key]
+
+    def clear(self) -> None:
+        self._families.clear()
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+
 class ReuseRegistry:
     """Thread-safe family index over subsumption-eligible entries."""
 

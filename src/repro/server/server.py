@@ -60,6 +60,7 @@ class EngineServer:
                  result_cache_bytes: int | None = None,
                  semantic_reuse: bool = True,
                  compiled_pipelines: str | None = None,
+                 generic_plans: bool = True,
                  scheduler_config: SchedulerConfig | None = None,
                  trace_sample: float = 1.0,
                  trace_log: object = None):
@@ -71,6 +72,7 @@ class EngineServer:
             result_cache_bytes=result_cache_bytes,
             semantic_reuse=semantic_reuse,
             compiled_pipelines=compiled_pipelines,
+            generic_plans=generic_plans,
             trace_sample=trace_sample, trace_log=trace_log)
         config = scheduler_config or SchedulerConfig()
         if config.workers is None:

@@ -3,8 +3,11 @@
 import pytest
 
 from repro.optimizer.rules import (
+    DEFAULT_PHASES,
     DEFAULT_RULES,
+    BreakupSelections,
     MergeFilters,
+    NormalizePredicate,
     PruneColumns,
     PushFilterBelowSemanticFilter,
     PushFilterIntoJoin,
@@ -13,10 +16,21 @@ from repro.optimizer.rules import (
     PushFilterThroughSemanticJoin,
     RemoveTrivialProject,
     RuleContext,
+    normalize_predicate,
     rewrite_fixpoint,
+    rewrite_phases,
     substitute,
 )
-from repro.relational.expressions import AggExpr, AggFunc, ColumnRef, col, lit
+from repro.relational.expressions import (
+    AggExpr,
+    AggFunc,
+    ColumnRef,
+    Compare,
+    Not,
+    Or,
+    col,
+    lit,
+)
 from repro.relational.logical import (
     AggregateNode,
     FilterNode,
@@ -213,3 +227,240 @@ class TestFixpoint:
         once = rewrite_fixpoint(plan, DEFAULT_RULES)
         twice = rewrite_fixpoint(once, DEFAULT_RULES)
         assert once.pretty() == twice.pretty()
+
+
+@pytest.fixture()
+def scan_q(products_table):
+    """A second scan of products (qualifier q): every column name is
+    then present on both sides of a self-join, so unqualified suffixes
+    are ambiguous between the inputs."""
+    return ScanNode("products", products_table.schema, qualifier="q")
+
+
+class TestSplitBySideAmbiguity:
+    """Regression: a column resolving in *both* join inputs used to be
+    silently pushed to the left side, changing results."""
+
+    def test_ambiguous_column_stays_residual(self, scan_p, scan_q):
+        join = JoinNode(scan_p, scan_q, JoinType.INNER,
+                        ["p.pid"], ["q.pid"])
+        plan = FilterNode(join, col("price") > 20)  # p.price or q.price?
+        assert PushFilterIntoJoin().apply(plan, RuleContext()) is None
+
+    def test_qualified_column_still_pushes(self, scan_p, scan_q, context):
+        join = JoinNode(scan_p, scan_q, JoinType.INNER,
+                        ["p.pid"], ["q.pid"])
+        plan = FilterNode(join, col("p.price") > 20)
+        rewritten = PushFilterIntoJoin().apply(plan, RuleContext())
+        assert isinstance(rewritten, JoinNode)
+        assert isinstance(rewritten.left, FilterNode)
+        assert not isinstance(rewritten.right, FilterNode)
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_mixed_conjunct_splits_only_unambiguous(self, scan_p, scan_q,
+                                                    context):
+        join = JoinNode(scan_p, scan_q, JoinType.INNER,
+                        ["p.pid"], ["q.pid"])
+        plan = FilterNode(join, (col("p.price") > 2) & (col("brand")
+                                                        == "acme"))
+        rewritten = PushFilterIntoJoin().apply(plan, RuleContext())
+        # the qualified part sank left; the ambiguous part is residual
+        assert isinstance(rewritten, FilterNode)
+        assert rewritten.predicate.columns() == {"brand"}
+        assert isinstance(rewritten.child, JoinNode)
+        assert isinstance(rewritten.child.left, FilterNode)
+
+    def test_ambiguous_column_semantic_join(self, scan_p, scan_q):
+        join = SemanticJoinNode(scan_p, scan_q, "p.ptype", "q.ptype",
+                                "wiki-ft-100", 0.9)
+        plan = FilterNode(join, col("brand") == "acme")
+        assert PushFilterThroughSemanticJoin().apply(
+            plan, RuleContext()) is None
+
+    def test_qualified_column_semantic_join_pushes(self, scan_p, scan_q):
+        join = SemanticJoinNode(scan_p, scan_q, "p.ptype", "q.ptype",
+                                "wiki-ft-100", 0.9)
+        plan = FilterNode(join, col("q.brand") == "acme")
+        rewritten = PushFilterThroughSemanticJoin().apply(
+            plan, RuleContext())
+        assert isinstance(rewritten, SemanticJoinNode)
+        assert isinstance(rewritten.right, FilterNode)
+        assert not isinstance(rewritten.left, FilterNode)
+
+
+class TestAggregateKeySubstitution:
+    """Regression: pushed group-key predicates must be substituted back
+    to the child's canonical column names, not copied verbatim."""
+
+    def test_suffix_spelling_pushes_substituted(self, scan_p, context):
+        # group key spelled "brand"; child's canonical name is
+        # "p.brand", and so is the aggregate's output field
+        aggregate = AggregateNode(scan_p, ["brand"],
+                                  [AggExpr(AggFunc.COUNT, None, "n")])
+        plan = FilterNode(aggregate, col("p.brand") == "acme")
+        rewritten = PushFilterThroughAggregate().apply(plan, RuleContext())
+        assert isinstance(rewritten, AggregateNode)
+        assert isinstance(rewritten.child, FilterNode)
+        assert rewritten.child.predicate.columns() == {"p.brand"}
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_substitution_disambiguates_child_columns(self, scan_p,
+                                                      scan_q, context):
+        # the aggregate's child is a self-join: pushing the predicate's
+        # "brand" spelling verbatim would be ambiguous in the child;
+        # substitution rewrites it to the key's canonical "p.brand"
+        join = JoinNode(scan_p, scan_q, JoinType.INNER,
+                        ["p.pid"], ["q.pid"])
+        aggregate = AggregateNode(join, ["p.brand"],
+                                  [AggExpr(AggFunc.COUNT, None, "n")])
+        plan = FilterNode(aggregate, col("brand") == "acme")
+        rewritten = PushFilterThroughAggregate().apply(plan, RuleContext())
+        assert isinstance(rewritten, AggregateNode)
+        assert rewritten.child.predicate.columns() == {"p.brand"}
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_non_key_reference_refused(self, scan_p):
+        aggregate = AggregateNode(scan_p, ["brand"],
+                                  [AggExpr(AggFunc.COUNT, None, "n")])
+        plan = FilterNode(aggregate, (col("p.brand") == "acme")
+                          & (col("n") > 1))
+        rewritten = PushFilterThroughAggregate().apply(plan, RuleContext())
+        # key part sinks, aggregate-result part stays residual
+        assert isinstance(rewritten, FilterNode)
+        assert rewritten.predicate.columns() == {"n"}
+        assert isinstance(rewritten.child, AggregateNode)
+
+
+class TestNormalizePredicate:
+    def test_double_negation(self):
+        expr = Not(Not(col("p.price") > 3))
+        assert normalize_predicate(expr).same_as(col("p.price") > 3)
+
+    def test_de_morgan_not_or(self):
+        expr = Not(Or(col("p.brand") == "acme", col("p.price") > 100))
+        normalized = normalize_predicate(expr)
+        expected = (col("p.brand") != "acme") & Not(col("p.price") > 100)
+        assert normalized.same_as(expected)
+
+    def test_inequalities_not_flipped(self):
+        # NOT(a < b) is NOT a >= b under NaN semantics: keep the Not
+        normalized = normalize_predicate(Not(col("p.price") < 3))
+        assert isinstance(normalized, Not)
+
+    def test_equality_flips(self):
+        normalized = normalize_predicate(Not(col("p.brand") == "acme"))
+        assert isinstance(normalized, Compare)
+        assert normalized.op == "!="
+
+    def test_idempotent(self):
+        expr = Not(Or(Not(col("p.brand") == "x"), col("p.price") > 1))
+        once = normalize_predicate(expr)
+        assert normalize_predicate(once).same_as(once)
+
+    def test_rule_preserves_semantics(self, scan_p, context):
+        plan = FilterNode(scan_p, Not(Or(col("p.brand") == "acme",
+                                         col("p.price") > 100)))
+        rewritten = NormalizePredicate().apply(plan, RuleContext())
+        assert rewritten is not None
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_unmasks_conjuncts_for_join_pushdown(self, scan_p, scan_k,
+                                                 context):
+        # NOT(p-pred OR k-pred) hides two single-side conjuncts; the
+        # phased suite normalizes, then sinks each below the join
+        join = JoinNode(scan_p, scan_k, JoinType.CROSS)
+        plan = FilterNode(join, Not(Or(col("p.brand") == "acme",
+                                       col("k.category") == "clothes")))
+        rewritten = rewrite_phases(plan, ctx=RuleContext())
+        assert isinstance(rewritten, JoinNode)
+        assert isinstance(rewritten.left, FilterNode)
+        assert isinstance(rewritten.right, FilterNode)
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+
+class TestBreakupSelections:
+    def test_splits_conjunction_into_chain(self, scan_p, context):
+        plan = FilterNode(scan_p, (col("p.price") > 2)
+                          & (col("p.brand") == "acme"))
+        rewritten = BreakupSelections().apply(plan, RuleContext())
+        assert isinstance(rewritten, FilterNode)
+        assert isinstance(rewritten.child, FilterNode)
+        assert isinstance(rewritten.child.child, ScanNode)
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+    def test_single_conjunct_untouched(self, scan_p):
+        plan = FilterNode(scan_p, col("p.price") > 2)
+        assert BreakupSelections().apply(plan, RuleContext()) is None
+
+    def test_not_in_merge_fixpoint(self):
+        # MergeFilters and BreakupSelections must never share a
+        # fixpoint: the pair ping-pongs forever
+        merge_names = {rule.name for rule in DEFAULT_RULES}
+        assert "breakup_selections" not in merge_names
+        for phase in DEFAULT_PHASES:
+            names = {rule.name for rule in phase}
+            assert not ({"merge_filters", "breakup_selections"} <= names)
+
+    def test_phases_end_in_filter_chain(self, scan_p, context):
+        plan = FilterNode(scan_p, (col("p.price") > 2)
+                          & (col("p.brand") == "acme"))
+        ctx = RuleContext()
+        rewritten = rewrite_phases(plan, ctx=ctx)
+        assert ctx.converged
+        assert isinstance(rewritten, FilterNode)
+        assert isinstance(rewritten.child, FilterNode)
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+
+class TestPartialProjectPushdown:
+    def test_unmapped_alias_stays_residual(self, scan_p, context):
+        project = ProjectNode(scan_p, [(col("p.price"), "p.price"),
+                                       (col("p.brand"), "brand")])
+        plan = FilterNode(project, (col("brand") == "acme")
+                          & (col("price") > 3))
+        rewritten = PushFilterThroughProject().apply(plan, RuleContext())
+        # "brand" maps through the projection and sinks; "price" is not
+        # a projection alias (only "p.price" is) and stays residual
+        assert isinstance(rewritten, FilterNode)
+        assert rewritten.predicate.columns() == {"price"}
+        assert isinstance(rewritten.child, ProjectNode)
+        assert isinstance(rewritten.child.child, FilterNode)
+        assert rewritten.child.child.predicate.columns() == {"p.brand"}
+        assert _rows(plan, context) == _rows(rewritten, context)
+
+
+class TestNonConvergence:
+    def test_pingpong_pair_flagged(self, scan_p):
+        plan = FilterNode(scan_p, (col("p.price") > 2)
+                          & (col("p.brand") == "acme"))
+        ctx = RuleContext()
+        rewrite_fixpoint(plan, [MergeFilters(), BreakupSelections()],
+                         ctx, max_passes=6)
+        assert ctx.converged is False
+        assert ctx.passes == 6
+
+    def test_convergent_suite_not_flagged(self, scan_p):
+        plan = FilterNode(scan_p, (col("p.price") > 2)
+                          & (col("p.brand") == "acme"))
+        ctx = RuleContext()
+        rewrite_phases(plan, ctx=ctx)
+        assert ctx.converged is True
+        assert ctx.passes >= 2
+
+    def test_optimizer_reports_and_counts(self, catalog):
+        from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+
+        config = OptimizerConfig(
+            rules=[MergeFilters(), BreakupSelections()],
+            enable_prune=False, enable_join_order=False,
+            enable_dip=False, enable_physical=False,
+            compiled_pipelines="off")
+        optimizer = Optimizer(catalog, config=config)
+        scan = ScanNode("products", catalog.get("products").schema,
+                        qualifier="p")
+        plan = FilterNode(scan, (col("p.price") > 2)
+                          & (col("p.brand") == "acme"))
+        optimizer.optimize(plan)
+        report = optimizer.last_report
+        assert report.rewrite_converged is False
+        assert optimizer._nonconvergence.value >= 1

@@ -1,0 +1,297 @@
+"""Plan-equivalence harness: every rewrite preserves results, bit for bit.
+
+Hypothesis generates small logical plans over the shared products/kb
+catalog — filter-over-scan, renaming projections, cross joins,
+self-joins with duplicated column suffixes, semantic operators,
+aggregates — with randomized predicate trees (``And``/``Or``/``Not``
+over comparisons on both sides).  For each plan the harness checks:
+
+- every rule in :data:`DEFAULT_RULES` (plus ``BreakupSelections``),
+  applied *individually* wherever it fires, leaves the sorted row set
+  bit-identical;
+- the full flat fixpoint and the phased suite
+  (:func:`rewrite_phases` over :data:`DEFAULT_PHASES`) do too;
+- the whole :class:`Optimizer` stack (prune, join order, DIP,
+  physical selection, fusion) still answers identically to the naive
+  plan.
+
+Generated plans never carry LIMIT: sorted-row comparison is only
+meaningful on order-insensitive plans, and LIMIT's row choice is
+legitimately plan-dependent.
+
+Two explicit regression shapes ride along (also unit-tested in
+``test_optimizer_rules.py``) so the harness pins the bugs this PR
+fixed even when shrinking never reaches them: the self-join whose
+unqualified column resolves on *both* sides, and the aggregate whose
+group key is spelled differently above and below the aggregate.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.rules import (
+    DEFAULT_PHASES,
+    DEFAULT_RULES,
+    BreakupSelections,
+    RuleContext,
+    rewrite_fixpoint,
+    rewrite_phases,
+)
+from repro.relational.expressions import (
+    AggExpr,
+    AggFunc,
+    And,
+    Compare,
+    Not,
+    Or,
+    col,
+    lit,
+)
+from repro.relational.logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    JoinType,
+    LogicalPlan,
+    ProjectNode,
+    ScanNode,
+    SemanticFilterNode,
+    SemanticJoinNode,
+)
+from repro.relational.physical import execute_plan
+
+SETTINGS = settings(max_examples=30, deadline=None, derandomize=True,
+                    suppress_health_check=[
+                        HealthCheck.function_scoped_fixture,
+                        HealthCheck.too_slow])
+
+#: Rules exercised one at a time (DEFAULT_RULES never contains
+#: BreakupSelections — it would ping-pong with MergeFilters — but on
+#: its own it must be equivalence-preserving like any other rule).
+ALL_RULES = [*DEFAULT_RULES, BreakupSelections()]
+
+_MODEL = "wiki-ft-100"
+
+_P_STRINGS = ["acme", "globex", "initech", "umbrella"]
+_K_STRINGS = ["clothes", "animal", "vehicle", "food"]
+_OPS = [">", "<", ">=", "<=", "=", "!="]
+
+
+_SCHEMAS: dict[str, object] = {}
+
+
+def _atom_p(draw):
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return _compare("p.price", draw(st.sampled_from(_OPS)),
+                        draw(st.sampled_from([2.0, 20.0, 120.0, 500.0])))
+    if kind == 1:
+        return _compare("p.brand", draw(st.sampled_from(["=", "!="])),
+                        draw(st.sampled_from(_P_STRINGS)))
+    return _compare("p.pid", draw(st.sampled_from(_OPS)),
+                    float(draw(st.integers(0, 7))))
+
+
+def _compare(name, op, value):
+    return Compare(op, col(name), lit(value))
+
+
+@st.composite
+def predicates(draw, side="p", max_depth=2):
+    """A boolean predicate tree over one join side."""
+    def leaf():
+        if side == "k":
+            op = draw(st.sampled_from(["=", "!="]))
+            return _compare("k.category", op,
+                            draw(st.sampled_from(_K_STRINGS)))
+        return _atom_p(draw)
+
+    def tree(depth):
+        if depth == 0 or draw(st.booleans()):
+            return leaf()
+        shape = draw(st.integers(0, 2))
+        if shape == 0:
+            return And(tree(depth - 1), tree(depth - 1))
+        if shape == 1:
+            return Or(tree(depth - 1), tree(depth - 1))
+        return Not(tree(depth - 1))
+
+    return tree(max_depth)
+
+
+@st.composite
+def plans(draw, catalog):
+    """A small logical plan: a filtered shape over products/kb."""
+    _SCHEMAS["products"] = catalog.get("products").schema
+    _SCHEMAS["kb"] = catalog.get("kb").schema
+    scan_p = ScanNode("products", _SCHEMAS["products"], qualifier="p")
+    scan_k = ScanNode("kb", _SCHEMAS["kb"], qualifier="k")
+    shape = draw(st.integers(0, 5))
+    if shape == 0:
+        return FilterNode(scan_p, draw(predicates()))
+    if shape == 1:
+        # renaming projection: part of the mapping is a rename, part a
+        # computed column — pushdown must substitute, not copy
+        project = ProjectNode(scan_p, [
+            (col("p.price"), "cost"),
+            (col("p.brand"), "maker"),
+            (col("p.pid"), "p.pid"),
+        ])
+        pred = _compare("cost", draw(st.sampled_from(_OPS)),
+                        draw(st.sampled_from([2.0, 20.0, 500.0])))
+        if draw(st.booleans()):
+            pred = And(pred, _compare(
+                "maker", "=", draw(st.sampled_from(_P_STRINGS))))
+        return FilterNode(project, pred)
+    if shape == 2:
+        join = JoinNode(scan_p, scan_k, JoinType.CROSS)
+        pred = And(draw(predicates(side="p")), draw(predicates(side="k")))
+        if draw(st.booleans()):
+            pred = Not(Or(Not(pred), _compare("k.category", "=", "ghost")))
+        return FilterNode(join, pred)
+    if shape == 3:
+        # self-join: both inputs carry every column suffix, so only
+        # qualified predicates are executable (unqualified ones are a
+        # SchemaError — covered by TestRegressionShapes)
+        scan_q = ScanNode("products", _SCHEMAS["products"], qualifier="q")
+        join = JoinNode(scan_p, scan_q, JoinType.INNER,
+                        ["p.pid"], ["q.pid"])
+        pred = draw(predicates(side="p"))
+        if draw(st.booleans()):
+            pred = And(pred, _compare("q.brand", "=",
+                                      draw(st.sampled_from(_P_STRINGS))))
+        return FilterNode(join, pred)
+    if shape == 4:
+        semantic = SemanticFilterNode(scan_p, "p.ptype",
+                                      draw(st.sampled_from(
+                                          ["clothes", "vehicle"])),
+                                      _MODEL, 0.7)
+        return FilterNode(semantic, draw(predicates(side="p")))
+    aggregate = AggregateNode(
+        scan_p, [draw(st.sampled_from(["p.brand", "brand"]))],
+        [AggExpr(AggFunc.COUNT, None, "n")])
+    return FilterNode(aggregate, _compare(
+        "p.brand", "=", draw(st.sampled_from(_P_STRINGS))))
+
+
+def _rows(plan: LogicalPlan, context) -> list[str]:
+    return sorted(map(str, execute_plan(plan, context).to_rows()))
+
+
+def _apply_everywhere(plan: LogicalPlan, rule) -> LogicalPlan:
+    """One bottom-up pass of a single rule (no fixpoint)."""
+    rebuilt = plan.with_children(tuple(
+        _apply_everywhere(child, rule) for child in plan.children))
+    replaced = rule.apply(rebuilt, RuleContext())
+    return replaced if replaced is not None else rebuilt
+
+
+class TestEveryRulePreservesResults:
+    @given(data=st.data())
+    @SETTINGS
+    def test_single_rules(self, data, catalog, context):
+        plan = data.draw(plans(catalog))
+        baseline = _rows(plan, context)
+        for rule in ALL_RULES:
+            rewritten = _apply_everywhere(plan, rule)
+            assert _rows(rewritten, context) == baseline, rule.name
+
+    @given(data=st.data())
+    @SETTINGS
+    def test_flat_fixpoint(self, data, catalog, context):
+        plan = data.draw(plans(catalog))
+        rewritten = rewrite_fixpoint(plan, DEFAULT_RULES, RuleContext())
+        assert _rows(rewritten, context) == _rows(plan, context)
+
+    @given(data=st.data())
+    @SETTINGS
+    def test_phased_suite(self, data, catalog, context):
+        plan = data.draw(plans(catalog))
+        ctx = RuleContext()
+        rewritten = rewrite_phases(plan, DEFAULT_PHASES, ctx)
+        assert ctx.converged
+        assert _rows(rewritten, context) == _rows(plan, context)
+
+
+class TestFullOptimizerPreservesResults:
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None, derandomize=True,
+              suppress_health_check=[
+                  HealthCheck.function_scoped_fixture,
+                  HealthCheck.too_slow])
+    def test_optimize_bit_identical(self, data, catalog, registry, context):
+        plan = data.draw(plans(catalog))
+        baseline = _rows(plan, context)
+        optimizer = Optimizer(catalog, models=registry,
+                              execution_context=context)
+        optimized = optimizer.optimize(plan)
+        assert optimizer.last_report.rewrite_converged
+        assert _rows(optimized, context) == baseline
+
+
+class TestRegressionShapes:
+    """The two bugs this PR fixed, pinned as explicit equivalence cases."""
+
+    def _scans(self, catalog):
+        schema = catalog.get("products").schema
+        return (ScanNode("products", schema, qualifier="p"),
+                ScanNode("products", schema, qualifier="q"))
+
+    def test_ambiguous_selfjoin_column(self, catalog, context):
+        # "price" resolves in BOTH join inputs: executing the plan is a
+        # SchemaError.  The old _split_by_side pushed the predicate to
+        # the left child, where it suddenly resolved — turning an
+        # ambiguity error into silently wrong one-sided filtering.  The
+        # fixed rules must leave the predicate above the join so the
+        # error is preserved.
+        from repro.errors import SchemaError
+
+        scan_p, scan_q = self._scans(catalog)
+        join = JoinNode(scan_p, scan_q, JoinType.INNER,
+                        ["p.pid"], ["q.pid"])
+        plan = FilterNode(join, _compare("price", ">", 20.0))
+        with pytest.raises(SchemaError, match="ambiguous"):
+            _rows(plan, context)
+        for rule in ALL_RULES:
+            rewritten = _apply_everywhere(plan, rule)
+            assert isinstance(rewritten, FilterNode), rule.name
+            assert rewritten.predicate.columns() == {"price"}, rule.name
+        rewritten = rewrite_phases(plan, DEFAULT_PHASES, RuleContext())
+        with pytest.raises(SchemaError, match="ambiguous"):
+            _rows(rewritten, context)
+
+    def test_ambiguous_semantic_join_column(self, catalog, context):
+        from repro.errors import SchemaError
+
+        scan_p, scan_q = self._scans(catalog)
+        join = SemanticJoinNode(scan_p, scan_q, "p.ptype", "q.ptype",
+                                _MODEL, 0.9)
+        plan = FilterNode(join, _compare("brand", "=", "acme"))
+        with pytest.raises(SchemaError, match="ambiguous"):
+            _rows(plan, context)
+        for rule in ALL_RULES:
+            rewritten = _apply_everywhere(plan, rule)
+            assert isinstance(rewritten, FilterNode), rule.name
+            assert rewritten.predicate.columns() == {"brand"}, rule.name
+
+    def test_renamed_aggregate_group_key(self, catalog, context):
+        # group key spelled "brand" below, predicate spelled "p.brand"
+        # above: the old string-set membership check pushed the verbatim
+        # spelling into a child where it may not resolve (or, over a
+        # join child, resolves ambiguously)
+        scan_p, scan_q = self._scans(catalog)
+        join = JoinNode(scan_p, scan_q, JoinType.INNER,
+                        ["p.pid"], ["q.pid"])
+        aggregate = AggregateNode(join, ["p.brand"],
+                                  [AggExpr(AggFunc.COUNT, None, "n")])
+        plan = FilterNode(aggregate, _compare("brand", "=", "acme"))
+        baseline = _rows(plan, context)
+        for rule in ALL_RULES:
+            assert _rows(_apply_everywhere(plan, rule),
+                         context) == baseline, rule.name
+        rewritten = rewrite_phases(plan, DEFAULT_PHASES, RuleContext())
+        assert _rows(rewritten, context) == baseline
