@@ -1,0 +1,362 @@
+"""Incremental-ingest benchmark: delta maintenance vs invalidate-and-rerun.
+
+Defends the ingest subsystem's three load-bearing claims:
+
+1. **Parity.**  After every append, each query in a sweep covering all
+   four delta-merge forms (concat chains, limit, top-k under mixed
+   sort directions, mergeable aggregates) *and* the refused fallbacks
+   (AVG, float SUM, order above an aggregate) answers bit-identically
+   to a fresh engine over the grown table.  Maintained or refused,
+   stale rows are never served.  Always enforced.
+2. **Cache survival.**  Appends bump only the table's ``data_version``:
+   across the whole streaming run the plan cache takes zero additional
+   misses (hit rate 1.0) and the catalog version never moves.  Always
+   enforced.
+3. **Speedup.**  A streaming log workload (initial table + append
+   batches through :class:`StreamingLogSource`) keeps answering a
+   three-query dashboard (semantic filter, recent-events top-k,
+   per-level rollup).  The delta path (append with cache maintenance,
+   then serve all three) must beat the pre-subsystem baseline —
+   blanket invalidation via ``register(replace=True)`` followed by
+   full re-executions — by ``SPEEDUP_TARGET``x wall clock.  Staleness
+   (mutation start -> every cache patched or invalidated) and
+   post-append serve latency are recorded per batch.  Always enforced.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_ingest.py
+    PYTHONPATH=src python benchmarks/bench_incremental_ingest.py --quick
+
+``--quick`` (CI smoke) reduces sizes and writes no JSON unless
+``--output`` is given.  The full run writes
+``BENCH_incremental_ingest.json`` at the repository root, committed so
+later PRs have a trajectory to defend.  Exits nonzero on any gate
+failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import numpy as np
+
+from benchmarks.common import ResultTable, metrics_snapshot
+from repro.engine.session import Session
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+from repro.utils.parallel import default_parallelism
+from repro.workloads.logs import StreamingLogSource, build_log_model
+
+SPEEDUP_TARGET = 5.0
+
+FULL_ROWS, FULL_DELTA, FULL_APPENDS = 4_000, 200, 4
+FULL_INITIAL, FULL_BATCH, FULL_BATCHES = 8_000, 80, 8
+QUICK_ROWS, QUICK_DELTA, QUICK_APPENDS = 800, 80, 2
+QUICK_INITIAL, QUICK_BATCH, QUICK_BATCHES = 8_000, 80, 3
+
+EVENTS_SCHEMA = Schema([
+    Field("id", DataType.INT64),
+    Field("grp", DataType.STRING),
+    Field("val", DataType.INT64),
+    Field("score", DataType.FLOAT64),
+])
+
+#: The parity sweep: every merge form the classifier proves, plus the
+#: refused shapes whose fallback is targeted invalidation.  The
+#: ``maintained`` flag is itself a gate — a silently-refused "provable"
+#: plan would still pass parity, but through the slow path.
+PARITY_QUERIES = (
+    ("concat",      True,  "SELECT id, grp, val FROM events WHERE val > 1"),
+    ("limit",       True,  "SELECT id, val FROM events LIMIT 32"),
+    ("topk",        True,  "SELECT id, grp, val FROM events "
+                           "ORDER BY val DESC, id ASC LIMIT 24"),
+    ("sort",        True,  "SELECT id, grp, val FROM events "
+                           "ORDER BY grp ASC, val DESC, id ASC"),
+    ("aggregate",   True,  "SELECT grp, COUNT(*) AS c, SUM(val) AS s, "
+                           "MIN(val) AS lo, MAX(val) AS hi "
+                           "FROM events GROUP BY grp"),
+    ("avg",         False, "SELECT grp, AVG(val) AS a "
+                           "FROM events GROUP BY grp"),
+    ("float-sum",   False, "SELECT SUM(score) AS s FROM events"),
+    ("sorted-agg",  False, "SELECT grp, COUNT(*) AS c FROM events "
+                           "GROUP BY grp ORDER BY c DESC, grp ASC"),
+)
+
+#: The streaming dashboard: a semantic filter, a recent-events top-k,
+#: and a per-level rollup — all three delta-maintained across every
+#: append batch.
+DASHBOARD_QUERIES = (
+    "SELECT message, level FROM logs "
+    "WHERE message ~ 'disk failure' THRESHOLD 0.3",
+    "SELECT ts, level, message FROM logs "
+    "ORDER BY ts DESC, message ASC LIMIT 50",
+    "SELECT level, COUNT(*) AS c FROM logs GROUP BY level",
+)
+
+
+def make_events(n: int, start: int = 0) -> list[dict]:
+    return [{"id": start + i, "grp": "abcd"[(start + i) % 4],
+             "val": (start + i * 7) % 23,
+             "score": float((start + i) % 13) * 0.5}
+            for i in range(n)]
+
+
+def exact_equal(left: Table, right: Table) -> bool:
+    if left.schema.names != right.schema.names:
+        return False
+    for name in left.schema.names:
+        a, b = left.column(name), right.column(name)
+        if a.dtype != b.dtype or not np.array_equal(a, b):
+            return False
+    return True
+
+
+def warm(session: Session, query: str) -> None:
+    # first run settles lazy statistics (one catalog-version bump),
+    # second caches plan + result at the settled version
+    session.sql(query)
+    session.sql(query)
+
+
+def run_parity_sweep(n_rows: int, n_delta: int, n_appends: int) -> dict:
+    base = make_events(n_rows)
+    live = Session(load_default_model=False)
+    live.register_table("events", Table.from_rows(base, EVENTS_SCHEMA))
+    for _, _, query in PARITY_QUERIES:
+        warm(live, query)
+    plan_stats_before = live.state.plan_cache.stats()
+    catalog_version_before = live.catalog.version
+
+    rows = list(base)
+    maintained: dict[str, int] = {}
+    refused: dict[str, int] = {}
+    mismatched: list[str] = []
+    for step in range(n_appends):
+        delta = make_events(n_delta, start=(step + 1) * 1_000_000)
+        report = live.append("events", delta)
+        for reason, count in report.refusals.items():
+            refused[reason] = refused.get(reason, 0) + count
+        rows.extend(delta)
+        rebuilt = Session(load_default_model=False)
+        rebuilt.register_table("events",
+                               Table.from_rows(rows, EVENTS_SCHEMA))
+        for form, _, query in PARITY_QUERIES:
+            if not exact_equal(live.sql(query), rebuilt.sql(query)):
+                mismatched.append(f"{form}@append{step}")
+        # per-form maintained counts come from re-appending nothing:
+        # the report aggregates across entries, so attribute by form
+        # via a per-query probe below instead
+    # attribute maintenance per form: one fresh engine per query, one
+    # append, did the entry patch?
+    for form, expect_maintained, query in PARITY_QUERIES:
+        probe = Session(load_default_model=False)
+        probe.register_table(
+            "events", Table.from_rows(make_events(200), EVENTS_SCHEMA))
+        warm(probe, query)
+        report = probe.append("events", make_events(40, start=9_000_000))
+        maintained[form] = report.maintained
+        if bool(report.maintained) != expect_maintained:
+            mismatched.append(f"{form}:maintained={report.maintained}")
+
+    plan_stats_after = live.state.plan_cache.stats()
+    return {
+        "parity_queries": len(PARITY_QUERIES),
+        "parity_appends": n_appends,
+        "ingest_parity": not mismatched,
+        "ingest_mismatched": mismatched,
+        "maintained_by_form": maintained,
+        "refusals": refused,
+        "plan_cache_survived": (plan_stats_after.misses
+                                == plan_stats_before.misses),
+        "catalog_version_stable": (live.catalog.version
+                                   == catalog_version_before),
+    }
+
+
+def run_streaming_workload(initial_rows: int, batch_rows: int,
+                           n_batches: int) -> dict:
+    model = build_log_model()
+
+    def make_session() -> Session:
+        session = Session(load_default_model=False)
+        session.register_model(model, default=True)
+        return session
+
+    stream = StreamingLogSource(initial_rows=initial_rows,
+                                batch_rows=batch_rows, seed=67)
+    initial = stream.initial()
+    warm_batch = stream.next_batch()
+    batches = list(stream.batches(n_batches))
+
+    live = make_session()
+    live.register_table("logs", initial)
+    for query in DASHBOARD_QUERIES:
+        warm(live, query)
+    # the baseline: the pre-subsystem behavior — replace the table
+    # (catalog-version bump nukes every cache) and re-run from scratch
+    baseline = make_session()
+    baseline.register_table("logs", initial)
+    for query in DASHBOARD_QUERIES:
+        warm(baseline, query)
+    # one unmeasured cycle on both sides so the measured loop sees the
+    # steady state, not first-call lazy initialization
+    live.append("logs", warm_batch)
+    grown = Table.concat([initial, warm_batch])
+    baseline.register_table("logs", grown, replace=True)
+    for query in DASHBOARD_QUERIES:
+        live.sql(query)
+        baseline.sql(query)
+
+    plan_misses_before = live.state.plan_cache.stats().misses
+    delta_seconds = 0.0
+    rerun_seconds = 0.0
+    staleness: list[float] = []
+    serve_latencies: list[float] = []
+    mismatched = 0
+    for batch in batches:
+        started = time.perf_counter()
+        report = live.append("logs", batch)
+        serve_start = time.perf_counter()
+        answers = [live.sql(query) for query in DASHBOARD_QUERIES]
+        now = time.perf_counter()
+        delta_seconds += now - started
+        serve_latencies.append((now - serve_start)
+                               / len(DASHBOARD_QUERIES))
+        staleness.append(report.staleness_seconds)
+
+        grown = Table.concat([grown, batch])
+        started = time.perf_counter()
+        baseline.register_table("logs", grown, replace=True)
+        expected = [baseline.sql(query) for query in DASHBOARD_QUERIES]
+        rerun_seconds += time.perf_counter() - started
+        mismatched += sum(
+            1 for answer, control in zip(answers, expected)
+            if not exact_equal(answer, control))
+
+    serve_sorted = sorted(serve_latencies)
+    p95 = serve_sorted[min(len(serve_sorted) - 1,
+                           int(0.95 * len(serve_sorted)))]
+    speedup = rerun_seconds / delta_seconds if delta_seconds else 0.0
+    ingest_stats = live.state.ingest.stats()
+    return {
+        "stream_initial_rows": initial_rows,
+        "stream_batch_rows": batch_rows,
+        "stream_batches": n_batches,
+        "dashboard_queries": len(DASHBOARD_QUERIES),
+        "stream_final_rows": grown.num_rows,
+        "never_stale": mismatched == 0,
+        "stream_mismatched_serves": mismatched,
+        "delta_seconds": round(delta_seconds, 4),
+        "rerun_seconds": round(rerun_seconds, 4),
+        "delta_speedup": round(speedup, 2),
+        "speedup_target": SPEEDUP_TARGET,
+        "staleness_seconds_max": round(max(staleness), 4),
+        "staleness_seconds_mean": round(
+            sum(staleness) / len(staleness), 4),
+        "serve_p95_seconds": round(p95, 5),
+        "stream_plan_cache_survived": (
+            live.state.plan_cache.stats().misses == plan_misses_before),
+        "stream_delta_maintained": ingest_stats["delta_maintained_total"],
+        "stream_delta_refused": ingest_stats["delta_refused_total"],
+    }
+
+
+def run(n_rows: int, n_delta: int, n_appends: int, initial_rows: int,
+        batch_rows: int, n_batches: int) -> dict:
+    results = {
+        "cpu_count": default_parallelism(),
+        "n_rows": n_rows,
+        "n_delta": n_delta,
+    }
+    results.update(run_parity_sweep(n_rows, n_delta, n_appends))
+    results.update(run_streaming_workload(initial_rows, batch_rows,
+                                          n_batches))
+    results["metrics"] = metrics_snapshot(
+        Session(load_default_model=False))
+    results["platform"] = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+    return results
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: reduced sizes, no JSON "
+                             "unless --output is given")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="JSON output path (default: repo root "
+                             "BENCH_incremental_ingest.json for full "
+                             "runs)")
+    arguments = parser.parse_args(argv)
+
+    sizes = ((QUICK_ROWS, QUICK_DELTA, QUICK_APPENDS,
+              QUICK_INITIAL, QUICK_BATCH, QUICK_BATCHES)
+             if arguments.quick
+             else (FULL_ROWS, FULL_DELTA, FULL_APPENDS,
+                   FULL_INITIAL, FULL_BATCH, FULL_BATCHES))
+    started = time.perf_counter()
+    results = run(*sizes)
+    results["total_benchmark_seconds"] = round(
+        time.perf_counter() - started, 2)
+
+    table = ResultTable(
+        "Delta maintenance by merge form (one append each)",
+        ["form", "maintained"])
+    for form, _, _ in PARITY_QUERIES:
+        table.add(form, results["maintained_by_form"][form])
+    table.show()
+    print(f"\ningest parity: "
+          f"{'OK' if results['ingest_parity'] else 'MISMATCH'}   "
+          f"never stale: "
+          f"{'OK' if results['never_stale'] else 'STALE SERVE'}   "
+          f"plan cache survived: {results['plan_cache_survived']}   "
+          f"delta speedup: {results['delta_speedup']}x "
+          f"(target {SPEEDUP_TARGET}x)   "
+          f"staleness max: {results['staleness_seconds_max']}s")
+
+    failures: list[str] = []
+    if not results["ingest_parity"]:
+        failures.append(
+            f"append-vs-rebuild diverged on "
+            f"{results['ingest_mismatched']}")
+    if not results["never_stale"]:
+        failures.append(
+            f"{results['stream_mismatched_serves']} streaming serves "
+            f"returned stale rows")
+    if not results["plan_cache_survived"]:
+        failures.append("the parity sweep's appends caused plan-cache "
+                        "misses")
+    if not results["stream_plan_cache_survived"]:
+        failures.append("the streaming appends caused plan-cache misses")
+    if not results["catalog_version_stable"]:
+        failures.append("an append moved the catalog version")
+    if results["delta_speedup"] < SPEEDUP_TARGET:
+        failures.append(
+            f"delta speedup {results['delta_speedup']}x < "
+            f"{SPEEDUP_TARGET}x target")
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
+
+    output = arguments.output
+    if output is None and not arguments.quick:
+        output = (Path(__file__).resolve().parent.parent
+                  / "BENCH_incremental_ingest.json")
+    if output is not None:
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ def main() -> None:
         bench_concurrent_serving,
         bench_embedding_pipeline,
         bench_fused_pipelines,
+        bench_incremental_ingest,
         bench_result_cache,
         bench_rewrite_depth,
         bench_fig2_motivating_query,
@@ -70,6 +71,7 @@ def main() -> None:
         ("PR 5 — semantic subsumption reuse", bench_semantic_reuse),
         ("PR 6 — compiled fused pipelines", bench_fused_pipelines),
         ("PR 9 — rewrite depth + generic plans", bench_rewrite_depth),
+        ("PR 10 — incremental ingest", bench_incremental_ingest),
     ]
     # the PR benchmarks take argv directly (their own argparse): run
     # them quick at small scale — full runs rewrite the committed
@@ -80,7 +82,7 @@ def main() -> None:
     takes_argv = {bench_embedding_pipeline, bench_rowid_join,
                   bench_concurrent_serving, bench_result_cache,
                   bench_semantic_reuse, bench_fused_pipelines,
-                  bench_rewrite_depth}
+                  bench_rewrite_depth, bench_incremental_ingest}
     total_start = time.perf_counter()
     for title, module in sections:
         banner = f"  {title}  "
@@ -109,7 +111,8 @@ _GATE_KEYS = (
     "speedup", "idspace_gather_speedup", "chain_speedup",
     "kernel_cache_hit_rate", "tiny_stays_interpreted", "speedup_target",
     "rewrite_parity", "rewrite_converged", "generic_hit_rate",
-    "generic_parity", "demotion_ok",
+    "generic_parity", "demotion_ok", "ingest_parity", "never_stale",
+    "delta_speedup", "plan_cache_survived",
 )
 
 

@@ -32,6 +32,13 @@ VERSION_PROTOCOLS: tuple[VersionBump, ...] = (
     VersionBump(owner=f"{PKG}.storage.catalog.Catalog", attr="_version",
                 mutators=("register", "drop", "stats"),
                 delegates={"refresh_stats": "stats"}),
+    # Row mutations bump the per-table data_version instead of the
+    # catalog version — the ingest subsystem's precise invalidation
+    # dimension (result keys carry (table, data_version) pairs; plans
+    # key on schema identity and survive).
+    VersionBump(owner=f"{PKG}.storage.catalog.Catalog",
+                attr="_data_versions",
+                mutators=("append_rows", "replace_rows")),
     # Index entries retire by generation; clear() must advance it.
     VersionBump(owner=f"{PKG}.semantic.index_cache.IndexCache",
                 attr="generation", mutators=("clear",)),
@@ -45,7 +52,8 @@ VERSION_PROTOCOLS: tuple[VersionBump, ...] = (
 
 PROTECTED_STATE: tuple[ProtectedState, ...] = (
     ProtectedState(owner=f"{PKG}.storage.catalog.Catalog",
-                   attrs=("_tables", "_stats", "_version")),
+                   attrs=("_tables", "_stats", "_version",
+                          "_data_versions")),
     ProtectedState(owner=f"{PKG}.semantic.index_cache.IndexCache",
                    attrs=("_store", "generation")),
     ProtectedState(owner=f"{PKG}.semantic.cache.EmbeddingCache",

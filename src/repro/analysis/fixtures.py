@@ -84,10 +84,14 @@ def _metric_model() -> MetricNamesModel:
 
 def _cache_model() -> CacheModel:
     prefix = f"{FIXTURE_PACKAGE}.version_skip"
+    ingest_prefix = f"{FIXTURE_PACKAGE}.data_version_skip"
     return CacheModel(
         version_protocols=(
             VersionBump(owner=f"{prefix}.MiniCatalog", attr="_version",
                         mutators=("register", "drop")),
+            VersionBump(owner=f"{ingest_prefix}.MiniIngestCatalog",
+                        attr="_data_versions",
+                        mutators=("append_rows", "replace_rows")),
         ),
         protected_state=(),
         key_disciplines=(),

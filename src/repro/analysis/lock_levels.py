@@ -11,6 +11,11 @@ downward (level numbers strictly increase from holder to acquiree).
 
 Levels (acquire downward only):
 
+0. **Ingest mutex** (``IngestManager._lock``) — the outermost lock:
+   one append/upsert at a time per engine state.  Cache maintenance
+   holds it across the whole mutation pipeline (catalog bump, plan
+   drop, delta re-execution under model read stripes, result
+   re-store), so it legitimately acquires every level below.
 1. **Scheduler and plan-cache mutexes** — short critical sections
    around queue state and the canonical-plan map.  Never held across a
    call into any other locked component.
@@ -46,6 +51,10 @@ from repro.analysis.locks import LockDecl, LockModel
 PKG = "repro"
 
 DECLARATIONS: tuple[LockDecl, ...] = (
+    # -- level 0: ingest (outermost) -----------------------------------
+    LockDecl(name="IngestManager._lock",
+             owner=f"{PKG}.ingest.manager.IngestManager", attr="_lock",
+             level=0),
     # -- level 1: scheduler / plan-cache mutexes -----------------------
     LockDecl(name="Scheduler._mutex",
              owner=f"{PKG}.server.scheduler.Scheduler", attr="_mutex",
@@ -126,6 +135,7 @@ ALLOWED_SAME_LEVEL: frozenset[tuple[str, str]] = frozenset({
 #: attribute names unique per type; the checker trusts this table.
 ATTR_TYPES: dict[str, str] = {
     "state": f"{PKG}.engine.state.EngineState",
+    "ingest": f"{PKG}.ingest.manager.IngestManager",
     "catalog": f"{PKG}.storage.catalog.Catalog",
     "plan_cache": f"{PKG}.engine.plan_cache.PlanCache",
     "result_cache": f"{PKG}.engine.result_cache.ResultCache",

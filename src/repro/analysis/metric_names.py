@@ -131,6 +131,8 @@ DECLARED_METRICS: tuple[MetricDecl, ...] = (
                "vector-index cache misses"),
     MetricDecl("index_cache_builds", "gauge",
                "actual index constructions"),
+    MetricDecl("index_cache_incremental_extends", "gauge",
+               "index builds served by extending a predecessor"),
     MetricDecl("index_cache_single_flight_waits", "gauge",
                "misses coalesced onto another thread's build"),
     MetricDecl("index_cache_entries", "gauge",
@@ -139,6 +141,17 @@ DECLARED_METRICS: tuple[MetricDecl, ...] = (
                "monotonic clear() token"),
     MetricDecl("index_cache_hit_ratio", "gauge",
                "hits / (hits + misses)"),
+    # -- ingest --------------------------------------------------------
+    MetricDecl("ingest_rows_total", "counter",
+               "rows written through append/upsert"),
+    MetricDecl("ingest_delta_maintained_total", "counter",
+               "cached results patched in place from an append delta"),
+    MetricDecl("ingest_delta_refused_total", "counter",
+               "cached results invalidated after a refused "
+               "append-monotonicity proof"),
+    MetricDecl("ingest_table_staleness_seconds", "gauge",
+               "wall seconds from mutation start until every cache "
+               "over the table was patched or invalidated"),
 )
 
 

@@ -254,6 +254,44 @@ class PlanCache:
             self._plans.move_to_end(key)
             return entry
 
+    def peek(self, digest: str, parameters: tuple[Any, ...],
+             catalog_version: int, model_name: str) -> CachedPlan | None:
+        """The cached plan for an exact key, without counting a probe.
+
+        The ingest subsystem's read: a result-cache key carries exactly
+        these four identity fields, so the delta maintainer can recover
+        the optimized plan behind a cached snapshot.  Maintenance is not
+        a statement serve — it must not move hit/miss telemetry or the
+        LRU order.
+        """
+        key: _PlanKey = (digest, parameters, catalog_version, model_name)
+        with self._lock:
+            return self._plans.get(key)
+
+    def drop_if(self, predicate) -> int:
+        """Drop cached plans that ``predicate(CachedPlan)`` selects.
+
+        The targeted invalidation hook for row mutations: plans that
+        embed *data-derived* artifacts (data-induced predicates built
+        from a table's old contents) are unsound after an append even
+        though the schema — and therefore the catalog version they key
+        on — is unchanged.  The predicate runs outside the cache lock
+        (it walks plan trees); entries that match are then dropped under
+        the lock.  Returns the number dropped.
+        """
+        with self._lock:
+            entries = list(self._plans.items())
+        doomed = [key for key, entry in entries if predicate(entry)]
+        if not doomed:
+            return 0
+        dropped = 0
+        with self._lock:
+            for key in doomed:
+                if self._plans.pop(key, None) is not None:
+                    self._stale_evictions.inc()
+                    dropped += 1
+        return dropped
+
     def get_generic(self, canonical: CanonicalQuery, catalog_version: int,
                     model_name: str) -> tuple[object, float] | None:
         """Serve the family's generic plan for these literals, if any.

@@ -26,7 +26,12 @@ function of:
   signal a model *replacement* needs, which the catalog version cannot
   see;
 - **index-cache generation** — bumped by ``IndexCache.clear()``, same
-  discipline.
+  discipline;
+- **table data versions** — one ``(table, data_version)`` pair per
+  table the plan scans.  Appends/upserts bump only this dimension
+  (``docs/ingest.md``), so a row mutation invalidates — or lets the
+  ingest subsystem delta-patch — exactly the entries that read the
+  mutated table, while every other entry keeps serving.
 
 Invalidation is **versioned and lazy**, mirroring
 :mod:`repro.engine.plan_cache`: nothing is evicted at mutation time;
@@ -98,6 +103,13 @@ class ResultKey(NamedTuple):
     #: Sorted ``(model, EmbeddingCache.generation)`` per plan model;
     #: ``-1`` marks a model whose arena does not exist yet.
     arena_generations: tuple[tuple[str, int], ...]
+    #: Sorted ``(table, Catalog.data_version)`` per table the plan
+    #: scans.  Appends/upserts bump only this dimension — not the
+    #: catalog version — so the ingest subsystem can invalidate (or
+    #: delta-patch) exactly the entries that read the mutated table
+    #: while everything else keeps serving.  Defaults to ``()`` for
+    #: callers outside the ingest-aware key builder.
+    table_versions: tuple[tuple[str, int], ...] = ()
 
 
 def estimate_table_bytes(table: Table) -> int:
@@ -253,6 +265,8 @@ class ResultCache:
             help="exact hits / probes; 0.0 before any probe")
         self._newest_version = -1
         self._newest_index_generation = -1
+        #: per-table data_version watermark (ingest bumps)
+        self._newest_table_versions: dict[str, int] = {}
         # size of RETIRED_GENERATIONS at the last sweep: the set only
         # grows, so an unchanged size means no new retirements to scan
         self._retired_seen = 0
@@ -343,6 +357,38 @@ class ResultCache:
             return True
 
     # -- maintenance ----------------------------------------------------
+    def advance_table_version(self, name: str, data_version: int) -> int:
+        """Raise the per-table data_version watermark and sweep.
+
+        The ingest subsystem's targeted invalidation: every entry whose
+        key reads ``name`` at a version below ``data_version`` can never
+        match again (probe keys now carry the new version) and is
+        dropped immediately instead of squatting in the byte budget
+        until the next lazy sweep.  Entries that never read ``name`` are
+        untouched — the precision that blanket catalog-version bumps
+        cannot offer.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            if data_version <= self._newest_table_versions.get(name, -1):
+                return 0
+            self._newest_table_versions[name] = data_version
+            return self._drop_dead_locked()
+
+    def entries_for_table(self, name: str) -> list[
+            tuple[ResultKey, Table, tuple[str, ...]]]:
+        """Live entries whose key reads table ``name`` — the delta
+        maintainer's scan.
+
+        Returns the *internal* snapshots (immutable once stored, like
+        :meth:`get_full`); callers build fresh patched tables from them
+        and must never mutate them.
+        """
+        with self._lock:
+            return [(key, entry.table, entry.aux_names)
+                    for key, entry in self._store.items()
+                    if any(table == name
+                           for table, _ in key.table_versions)]
+
     def invalidate(self) -> int:
         """Drop every cached result; returns the number dropped."""
         with self._lock:
@@ -385,7 +431,9 @@ class ResultCache:
         return (key.catalog_version < self._newest_version
                 or key.index_generation < self._newest_index_generation
                 or any(generation == -1 or generation in RETIRED_GENERATIONS
-                       for _, generation in key.arena_generations))
+                       for _, generation in key.arena_generations)
+                or any(version < self._newest_table_versions.get(name, -1)
+                       for name, version in key.table_versions))
 
     def _sweep_stale_locked(self, key: ResultKey) -> None:
         """Drop entries that can never hit again.
@@ -402,14 +450,22 @@ class ResultCache:
         if key.index_generation > self._newest_index_generation:
             self._newest_index_generation = key.index_generation
             advanced = True
+        for name, version in key.table_versions:
+            if version > self._newest_table_versions.get(name, -1):
+                self._newest_table_versions[name] = version
+                advanced = True
         if len(RETIRED_GENERATIONS) != self._retired_seen:
             self._retired_seen = len(RETIRED_GENERATIONS)
             advanced = True
         if not advanced:
             return
+        self._drop_dead_locked()
+
+    def _drop_dead_locked(self) -> int:
         stale = [stored for stored in self._store
                  if self._dead_on_arrival_locked(stored)]
         for stored in stale:
             entry = self._store.pop(stored)
             self._bytes -= entry.nbytes
             self._stale_evictions.inc()
+        return len(stale)

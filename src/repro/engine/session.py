@@ -157,6 +157,28 @@ class Session:
         """
         self.catalog.register(name, table, replace=replace)
 
+    def append(self, name: str, rows):
+        """Append rows (dicts or a same-schema :class:`Table`) to
+        ``name``; returns the :class:`~repro.ingest.IngestReport`.
+
+        Unlike ``register_table(replace=True)`` — a schema-identity
+        change that invalidates every cache engine-wide — an append
+        bumps only the table's per-row ``data_version``: plans stay
+        cached, and results over the table are delta-patched when the
+        plan is provably append-monotone (:mod:`repro.ingest`).
+        """
+        return self.state.ingest.append(name, rows)
+
+    def upsert(self, name: str, rows, key: str):
+        """Insert-or-replace rows by the ``key`` column; returns the
+        :class:`~repro.ingest.IngestReport`.
+
+        Pure inserts take the delta-maintenance append path; any key
+        collision falls back to targeted invalidation of this table's
+        cached results (see :meth:`repro.ingest.IngestManager.upsert`).
+        """
+        return self.state.ingest.upsert(name, rows, key)
+
     def register_source(self, source: DataSource) -> list[str]:
         """Federate a polystore source; returns the registered table names."""
         self.federation.add_source(source)

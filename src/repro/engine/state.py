@@ -78,6 +78,30 @@ def plan_models(plan: LogicalPlan) -> set[str]:
     return models
 
 
+def plan_tables(plan: LogicalPlan) -> set[str]:
+    """Names of every catalog table a plan scans.
+
+    The result-cache key carries ``(table, data_version)`` for each —
+    the ingest subsystem's invalidation dimension — so the walk must see
+    through fusion: a :class:`~repro.relational.pipeline.PipelineNode`
+    embeds its scan as a stage, not a child.
+    """
+    tables: set[str] = set()
+
+    def visit(node: LogicalPlan) -> None:
+        name = getattr(node, "table_name", None)
+        if name:
+            tables.add(name)
+        scan = getattr(node, "scan", None)
+        if scan is not None and getattr(scan, "table_name", None):
+            tables.add(scan.table_name)
+        for child in node.children:
+            visit(child)
+
+    visit(plan)
+    return tables
+
+
 class EngineState:
     """Read-mostly engine state shareable across client sessions."""
 
@@ -172,6 +196,12 @@ class EngineState:
         #: way the plan cache is (single-flight compiles; see
         #: engine.kernel_cache for the invalidation story).
         self.kernel_cache = KernelCache(registry=self.metrics_registry)
+        #: Append/upsert front door: delta-maintains or precisely
+        #: invalidates the caches above on row mutations
+        #: (:mod:`repro.ingest`).
+        from repro.ingest.manager import IngestManager
+
+        self.ingest = IngestManager(self)
         if load_default_model:
             from repro.embeddings.pretrained import build_pretrained_model
 
@@ -230,7 +260,10 @@ class EngineState:
             catalog_version=planned.catalog_version,
             model_name=planned.model_name,
             index_generation=self.index_cache.generation,
-            arena_generations=arena_generations)
+            arena_generations=arena_generations,
+            table_versions=tuple(
+                (name, self.catalog.data_version(name))
+                for name in sorted(plan_tables(planned.plan))))
 
     def fetch_result(self, key: ResultKey | None):
         """A defensive snapshot of the cached result for ``key``, or
@@ -331,14 +364,16 @@ class EngineState:
                     or cached_key.model_name != key.model_name
                     or cached_key.index_generation != key.index_generation
                     or cached_key.arena_generations
-                    != key.arena_generations):
-                # catalog versions, index generations, and arena
-                # generation tokens are all monotonic: an entry below
-                # the probe's capture can never serve again and is
-                # dropped; an entry *above* it means this probe raced
-                # an invalidation — keep the entry for fresh probes.
-                # (model_name is a session default, not a version:
-                # another session may still match it, so only skip.)
+                    != key.arena_generations
+                    or cached_key.table_versions != key.table_versions):
+                # catalog versions, index generations, arena generation
+                # tokens, and per-table data versions are all
+                # monotonic: an entry below the probe's capture can
+                # never serve again and is dropped; an entry *above* it
+                # means this probe raced an invalidation — keep the
+                # entry for fresh probes.  (model_name is a session
+                # default, not a version: another session may still
+                # match it, so only skip.)
                 dead = (cached_key.catalog_version < key.catalog_version
                         or cached_key.index_generation
                         < key.index_generation
@@ -346,7 +381,11 @@ class EngineState:
                                (_, cached_gen), (_, probe_gen)
                                in zip(cached_key.arena_generations,
                                       key.arena_generations)
-                               if cached_gen != -1))
+                               if cached_gen != -1)
+                        or any(cached_ver < probe_ver for
+                               (_, cached_ver), (_, probe_ver)
+                               in zip(cached_key.table_versions,
+                                      key.table_versions)))
                 if dead:
                     registry.discard(cached_key, stale=True)
                 continue

@@ -1,0 +1,23 @@
+"""Incremental ingest: append/upsert with delta-maintained caches.
+
+See :mod:`repro.ingest.manager` for the maintenance pipeline and
+:mod:`repro.ingest.delta` for the append-monotonicity proofs; the full
+invalidation matrix lives in ``docs/ingest.md``.
+"""
+
+from repro.ingest.delta import (
+    DeltaRefused,
+    DeltaSpec,
+    apply_delta,
+    classify_plan,
+)
+from repro.ingest.manager import IngestManager, IngestReport
+
+__all__ = [
+    "DeltaRefused",
+    "DeltaSpec",
+    "IngestManager",
+    "IngestReport",
+    "apply_delta",
+    "classify_plan",
+]

@@ -87,6 +87,9 @@ class IndexCache:
     seed: int = 0
     hits: int = 0
     misses: int = 0
+    #: Misses served by extending the previous index over a superset
+    #: id set (the ingest fast path) instead of building from scratch.
+    incremental_extends: int = 0
     #: Monotonic id-space token for consumers that cache *derived*
     #: artifacts (the cross-statement result cache keys on it):
     #: ``clear()`` bumps it, so anything computed against the dropped
@@ -98,6 +101,13 @@ class IndexCache:
     #: Concurrent misses that coalesced onto another thread's build.
     single_flight_waits: int = 0
     _store: dict[tuple, VectorIndex] = field(default_factory=dict)
+    #: (model, kind, arena generation) -> (key, unique_ids) of the most
+    #: recently built index for that stream.  When a later miss's id set
+    #: extends that one as a *sorted prefix* — exactly what an arena
+    #: append produces, since new strings intern above the old max id —
+    #: the new index is grown from the old one instead of rebuilt.
+    _latest: dict[tuple, tuple[tuple, np.ndarray]] = field(
+        default_factory=dict, repr=False)
     #: key -> Event set when the in-flight build for that key finishes.
     _building: dict[tuple, threading.Event] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock,
@@ -116,6 +126,10 @@ class IndexCache:
                        help="vector-index cache misses")
         registry.gauge("index_cache_builds", fn=lambda: self.builds,
                        help="actual index constructions")
+        registry.gauge(
+            "index_cache_incremental_extends",
+            fn=lambda: self.incremental_extends,
+            help="index builds served by extending a predecessor")
         registry.gauge(
             "index_cache_single_flight_waits",
             fn=lambda: self.single_flight_waits,
@@ -168,6 +182,7 @@ class IndexCache:
             # builder finished (or failed): re-check the store; on
             # failure the first waiter through becomes the new builder
         try:
+            stream = (cache.model.name, kind, cache.generation)
             with self._lock:
                 # evict retired-generation entries: a cleared arena's
                 # ids can never hit again, so keeping them would leak
@@ -179,11 +194,34 @@ class IndexCache:
                          if stored[2] in RETIRED_GENERATIONS]
                 for stored in stale:
                     del self._store[stored]
-            index = _FACTORIES[kind](self.seed)
-            index.build(cache.rows_for(unique_ids))
+                for tracked in [tracked for tracked in self._latest
+                                if tracked[2] in RETIRED_GENERATIONS]:
+                    del self._latest[tracked]
+                predecessor = self._latest.get(stream)
+                previous = (self._store.get(predecessor[0])
+                            if predecessor is not None else None)
+            index: VectorIndex | None = None
+            if previous is not None and previous.supports_incremental:
+                prior_ids = predecessor[1] if predecessor is not None \
+                    else np.empty(0, dtype=np.int64)
+                old_n = int(prior_ids.shape[0])
+                if (0 < old_n < unique_ids.shape[0]
+                        and np.array_equal(prior_ids, unique_ids[:old_n])):
+                    # arena append: the new id set extends the old one
+                    # as a sorted prefix, so only the tail is embedded
+                    # and inserted — the old rows are never touched.
+                    index = previous.extended(
+                        cache.rows_for(unique_ids[old_n:]))
+            with self._lock:
+                if index is not None:
+                    self.incremental_extends += 1
+            if index is None:
+                index = _FACTORIES[kind](self.seed)
+                index.build(cache.rows_for(unique_ids))
             with self._lock:
                 self._store[key] = index
                 self.builds += 1
+                self._latest[stream] = (key, unique_ids)
             return index, unique_ids
         finally:
             with self._lock:
@@ -233,11 +271,13 @@ class IndexCache:
     def clear(self) -> None:
         with self._lock:
             self._store.clear()
+            self._latest.clear()
             self.generation += 1
             self.hits = 0
             self.misses = 0
             self.builds = 0
             self.single_flight_waits = 0
+            self.incremental_extends = 0
 
     def stats(self) -> dict:
         """Counters for metrics/profiling (one consistent snapshot)."""
@@ -248,6 +288,7 @@ class IndexCache:
                 "misses": self.misses,
                 "builds": self.builds,
                 "single_flight_waits": self.single_flight_waits,
+                "incremental_extends": self.incremental_extends,
             }
 
     def __len__(self) -> int:

@@ -65,11 +65,19 @@ class SchedulerConfig:
     interactive_cost_threshold: float = INTERACTIVE_COST_THRESHOLD
     #: Anti-starvation period for the heavy lane.
     heavy_pick_every: int = HEAVY_PICK_EVERY
-    #: Per-tenant fairness: queries one tenant may have queued+running
-    #: at once before admission refuses *that tenant* (others are
-    #: unaffected).  ``None`` disables the cap.  Cache/reuse no-ops
-    #: never occupy a worker and are exempt.
+    #: Per-tenant fairness: weighted in-flight work one tenant may have
+    #: queued+running at once before admission refuses *that tenant*
+    #: (others are unaffected).  A plain query charges weight 1.0
+    #: against the cap; heavier operations pass a larger ``weight`` to
+    #: :meth:`Scheduler.submit`.  ``None`` disables the cap.
+    #: Cache/reuse no-ops never occupy a worker and are exempt.
     max_inflight_per_tenant: int | None = None
+    #: Admission weight charged per ingest operation (append/upsert).
+    #: Ingest rewrites shared state and triggers delta maintenance, so
+    #: one ingest displaces several interactive queries under the
+    #: per-tenant cap — a heavy ingestor exhausts its own budget long
+    #: before it can monopolize the pool.
+    ingest_weight: float = 2.0
 
 
 @dataclass
@@ -85,6 +93,9 @@ class QueryTicket:
     finished_at: float | None = None
     #: Kernel-worker share leased from the budget while running.
     kernel_workers: int = 0
+    #: Admission weight charged against the tenant's in-flight cap;
+    #: released verbatim when the ticket finishes.
+    weight: float = 1.0
 
     @property
     def queue_wait_seconds(self) -> float:
@@ -175,8 +186,9 @@ class Scheduler:
                 "scheduler_queued", labels={"lane": lane_name},
                 fn=(lambda lane_=lane_name: len(self._lanes[lane_])),
                 help="queries waiting per lane")
-        #: queued+running queries per tenant (the fairness-cap gauge)
-        self._tenant_inflight: dict[str, int] = {}
+        #: queued+running admission weight per tenant (the fairness-cap
+        #: gauge; a plain query contributes 1.0, ingest more)
+        self._tenant_inflight: dict[str, float] = {}
         self._tenants: dict[str, _TenantMetrics] = {}
         self._queue_wait_total = 0.0
         self._queue_wait_max = 0.0
@@ -200,18 +212,22 @@ class Scheduler:
 
     def submit(self, run, estimated_cost: float,
                tenant: str = "default",
-               plan_cache_hit: bool | None = None) -> QueryTicket:
+               plan_cache_hit: bool | None = None,
+               weight: float = 1.0) -> QueryTicket:
         """Admit one query; returns its ticket (``.result()`` blocks).
 
         ``run`` is called on a worker thread as ``run(ticket, workers)``
         where ``workers`` is the kernel-worker share leased for this
-        query.  Raises :class:`AdmissionError` when the target lane is
-        already at ``max_queue_depth``.
+        query.  ``weight`` is the charge against the tenant's in-flight
+        cap (1.0 for a plain query; ingest passes
+        ``config.ingest_weight``).  Raises :class:`AdmissionError` when
+        the target lane is already at ``max_queue_depth``.
         """
         lane = self.classify(estimated_cost)
         ticket = QueryTicket(future=Future(), lane=lane, tenant=tenant,
                              estimated_cost=estimated_cost,
-                             queued_at=time.perf_counter())
+                             queued_at=time.perf_counter(),
+                             weight=weight)
         with self._mutex:
             if self._closed:
                 raise ServerError("scheduler is closed")
@@ -222,13 +238,14 @@ class Scheduler:
                     f"{lane} lane at max queue depth "
                     f"({self.config.max_queue_depth}); retry later")
             cap = self.config.max_inflight_per_tenant
-            inflight = self._tenant_inflight.get(tenant, 0)
-            if cap is not None and inflight >= cap:
+            inflight = self._tenant_inflight.get(tenant, 0.0)
+            if cap is not None and inflight + weight > cap:
                 self._rejected.inc()
                 raise AdmissionError(
-                    f"tenant {tenant!r} at max in-flight queries "
-                    f"({cap}); retry later")
-            self._tenant_inflight[tenant] = inflight + 1
+                    f"tenant {tenant!r} at max in-flight work "
+                    f"({inflight:g} of {cap}, requested weight "
+                    f"{weight:g}); retry later")
+            self._tenant_inflight[tenant] = inflight + weight
             self._admitted.inc()
             metrics = self._tenants.setdefault(tenant, _TenantMetrics())
             metrics.queries += 1
@@ -338,7 +355,7 @@ class Scheduler:
                 cancelled: bool = False) -> None:
         with self._mutex:
             self._running -= 1
-            self._release_tenant_locked(ticket.tenant)
+            self._release_tenant_locked(ticket.tenant, ticket.weight)
             if not cancelled:
                 metrics = self._tenants.setdefault(ticket.tenant,
                                                    _TenantMetrics())
@@ -354,9 +371,11 @@ class Scheduler:
                     and not any(self._lanes.values())):
                 self._idle.notify_all()
 
-    def _release_tenant_locked(self, tenant: str) -> None:
-        remaining = self._tenant_inflight.get(tenant, 0) - 1
-        if remaining > 0:
+    def _release_tenant_locked(self, tenant: str, weight: float) -> None:
+        # 1e-9 epsilon: repeated float charges can leave dust that would
+        # otherwise pin an idle tenant's entry (and its gauge) forever.
+        remaining = self._tenant_inflight.get(tenant, 0.0) - weight
+        if remaining > 1e-9:
             self._tenant_inflight[tenant] = remaining
         else:
             self._tenant_inflight.pop(tenant, None)
@@ -414,7 +433,8 @@ class Scheduler:
                     while queue:
                         ticket, _ = queue.popleft()
                         ticket.future.cancel()
-                        self._release_tenant_locked(ticket.tenant)
+                        self._release_tenant_locked(ticket.tenant,
+                                                    ticket.weight)
             self._closed = True
             self._work_ready.notify_all()
         for worker in self._workers:

@@ -112,6 +112,44 @@ class EngineServer:
         self.state.federation.add_source(source)
         return self.state.federation.registered_tables(source.name)
 
+    def append(self, name: str, rows, tenant: str = "admin",
+               wait: bool = True):
+        """Append rows through the scheduler; delta-maintains caches.
+
+        Ingest is admitted like a query but charged
+        ``SchedulerConfig.ingest_weight`` against the tenant's in-flight
+        cap (a mutation holds the engine-wide ingest lock and re-executes
+        delta plans, so it displaces more capacity than one read), and
+        classified heavy so a burst of appends cannot starve the
+        interactive lane.  Returns the
+        :class:`~repro.ingest.IngestReport` when ``wait`` is true, the
+        :class:`QueryTicket` otherwise.
+        """
+        self._check_open()
+        ticket = self.scheduler.submit(
+            lambda ticket, workers: self.state.ingest.append(name, rows),
+            # always heavy-lane: strictly above the interactive threshold
+            estimated_cost=self.scheduler.config
+            .interactive_cost_threshold + 1.0,
+            tenant=tenant, weight=self.scheduler.config.ingest_weight)
+        return ticket.result() if wait else ticket
+
+    def upsert(self, name: str, rows, key: str, tenant: str = "admin",
+               wait: bool = True):
+        """Insert-or-replace by ``key`` through the scheduler.
+
+        Same admission treatment as :meth:`append` (heavy lane,
+        ``ingest_weight`` charge).  Returns the report or the ticket.
+        """
+        self._check_open()
+        ticket = self.scheduler.submit(
+            lambda ticket, workers: self.state.ingest.upsert(name, rows,
+                                                             key),
+            estimated_cost=self.scheduler.config
+            .interactive_cost_threshold + 1.0,
+            tenant=tenant, weight=self.scheduler.config.ingest_weight)
+        return ticket.result() if wait else ticket
+
     def invalidate_model(self, model_name: str) -> None:
         """Clear a model's embedding arena (and, transitively, its
         vector-index entries via generation retirement).
@@ -336,6 +374,7 @@ class EngineServer:
                       if self.state.reuse_registry is not None
                       else None),
             "kernels": self.state.kernel_cache.stats(),
+            "ingest": self.state.ingest.stats(),
             "scheduler": self.scheduler.stats(),
             "embedding_arenas": self.state.arena_stats(),
             "vector_index_cache": self.state.index_cache.stats(),
@@ -408,3 +447,11 @@ class ClientSession(Session):
     def submit(self, text: str) -> QueryTicket:
         """Non-blocking execute; returns the scheduler ticket."""
         return self.server.submit(text, session=self)
+
+    def append(self, name: str, rows):
+        """Append through the server (admission-controlled, weighted)."""
+        return self.server.append(name, rows, tenant=self.tenant)
+
+    def upsert(self, name: str, rows, key: str):
+        """Upsert through the server (admission-controlled, weighted)."""
+        return self.server.upsert(name, rows, key, tenant=self.tenant)

@@ -135,3 +135,51 @@ def compute_table_stats(table: Table) -> TableStats:
         for field in table.schema
     }
     return TableStats(row_count=table.num_rows, columns=columns)
+
+
+def merge_table_stats(old: TableStats, delta: Table) -> TableStats:
+    """Fold an appended ``delta`` into existing stats in O(delta) time.
+
+    The ingest fast path: scanning the whole grown table on every
+    append would make mutation cost O(table), so only the new rows are
+    profiled and the summaries combine.  Counts, nulls, and min/max
+    merge exactly; the distinct count takes the larger side (a lower
+    bound — the overlap between old and new value sets is unknowable
+    from summaries) and delta values are folded into the *old*
+    histogram's bins, with out-of-range mass clamped to the boundary
+    bins.  Both drifts affect cardinality estimates only, never
+    results.
+    """
+    columns: dict[str, ColumnStats] = {}
+    for field_ in delta.schema:
+        prior = old.columns.get(field_.name)
+        values = delta.columns[field_.name]
+        if prior is None:
+            columns[field_.name] = compute_column_stats(
+                field_.name, field_.dtype, values)
+            continue
+        fresh = compute_column_stats(field_.name, field_.dtype, values)
+        merged = ColumnStats(
+            field_.name, field_.dtype, prior.count + fresh.count,
+            prior.null_count + fresh.null_count,
+            max(prior.distinct, fresh.distinct))
+        bounds = [v for v in (prior.min_value, fresh.min_value)
+                  if v is not None]
+        merged.min_value = min(bounds) if bounds else None
+        bounds = [v for v in (prior.max_value, fresh.max_value)
+                  if v is not None]
+        merged.max_value = max(bounds) if bounds else None
+        if prior.histogram is not None and prior.bin_edges is not None:
+            merged.histogram = prior.histogram
+            merged.bin_edges = prior.bin_edges
+            numeric = values
+            if field_.dtype == DataType.FLOAT64:
+                numeric = values[~np.isnan(values)]
+            if numeric.shape[0]:
+                clamped = np.clip(numeric.astype(np.float64),
+                                  prior.bin_edges[0], prior.bin_edges[-1])
+                hist, _ = np.histogram(clamped, bins=prior.bin_edges)
+                merged.histogram = prior.histogram + hist
+        columns[field_.name] = merged
+    return TableStats(row_count=old.row_count + delta.num_rows,
+                      columns=columns)

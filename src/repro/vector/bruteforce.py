@@ -18,6 +18,18 @@ class BruteForceIndex(VectorIndex):
     def _build(self, vectors: np.ndarray) -> None:
         pass  # nothing beyond the normalized matrix kept by the base class
 
+    @property
+    def supports_incremental(self) -> bool:
+        return True
+
+    def _extended(self, new_vectors: np.ndarray) -> "BruteForceIndex":
+        # No structure beyond the matrix, so extension is one vstack —
+        # and, unlike the approximate indexes, the result is *exactly*
+        # what a from-scratch build over the union would produce.
+        clone = BruteForceIndex()
+        clone._vectors = np.vstack([self.vectors, new_vectors])
+        return clone
+
     def search(self, query: np.ndarray, k: int) -> SearchResult:
         self._require_built()
         query = self._normalize_query(query, self.vectors.shape[1])

@@ -45,6 +45,43 @@ class HNSWIndex(VectorIndex):
         for node in range(n):
             self._insert(node, int(levels[node]), vectors)
 
+    @property
+    def supports_incremental(self) -> bool:
+        return True
+
+    def _extended(self, new_vectors: np.ndarray) -> "HNSWIndex":
+        """Insert new rows into a structural copy of the graph.
+
+        The standard HNSW property: insertion is the same operation at
+        build time and afterwards, so growth costs O(new · log n)
+        instead of a full rebuild.  New node levels come from a stream
+        derived from ``(seed, "hnsw-extend", old_size)`` — disjoint from
+        the build-time stream and from any other extension point, so
+        repeated extensions stay deterministic without replaying levels
+        already assigned.
+        """
+        clone = HNSWIndex(m=self.m, ef_construction=self.ef_construction,
+                          ef_search=self.ef_search, seed=self.seed)
+        assert self._node_level is not None
+        old_n = self.size
+        vectors = np.vstack([self.vectors, new_vectors])
+        rng = make_rng(derive_seed(self.seed, "hnsw-extend", old_n))
+        level_mult = 1.0 / np.log(max(self.m, 2))
+        new_levels = np.floor(
+            -np.log(rng.uniform(size=new_vectors.shape[0]) + 1e-12)
+            * level_mult).astype(np.int64)
+        levels = np.concatenate([self._node_level, new_levels])
+        clone._vectors = vectors
+        clone._node_level = levels
+        clone._layers = [{node: list(links) for node, links in layer.items()}
+                         for layer in self._layers]
+        while len(clone._layers) < int(levels.max(initial=0)) + 1:
+            clone._layers.append({})
+        clone._entry_point = self._entry_point
+        for offset in range(new_vectors.shape[0]):
+            clone._insert(old_n + offset, int(new_levels[offset]), vectors)
+        return clone
+
     # ------------------------------------------------------------------
     def _insert(self, node: int, level: int, vectors: np.ndarray) -> None:
         for layer in range(level + 1):

@@ -61,6 +61,47 @@ class VectorIndex(ABC):
     def _build(self, vectors: np.ndarray) -> None:
         """Implementation hook: vectors are already normalized."""
 
+    @property
+    def supports_incremental(self) -> bool:
+        """Whether :meth:`extended` avoids a full rebuild.
+
+        ``False`` by default: indexes whose internal structure is a
+        global function of the whole vector set (IVF centroids, LSH
+        bucket statistics) rebuild from scratch on growth.
+        """
+        return False
+
+    def extended(self, new_vectors: np.ndarray) -> "VectorIndex":
+        """A **new** index over the old rows followed by ``new_vectors``.
+
+        The ingest path: appended arena rows extend an existing index
+        without re-inserting the old rows.  The returned index is a
+        fresh object sharing no mutable state with ``self`` (the old
+        index stays queryable under its old cache key).  Row ids of the
+        old index are preserved; new rows get ids ``size .. size+n-1``.
+
+        For approximate indexes the extended graph is *not* byte-equal
+        to a from-scratch build over the union — both are valid
+        approximate indexes, and delta result maintenance only trusts
+        exact methods anyway (``docs/ingest.md``).  Raises
+        :class:`IndexError_` unless :attr:`supports_incremental`.
+        """
+        self._require_built()
+        new_vectors = np.asarray(new_vectors, dtype=np.float32)
+        if new_vectors.ndim != 2 or new_vectors.shape[0] == 0:
+            raise IndexError_("extended expects a non-empty (n, d) matrix")
+        if new_vectors.shape[1] != self.vectors.shape[1]:
+            raise IndexError_(
+                f"extension dim {new_vectors.shape[1]} != index dim "
+                f"{self.vectors.shape[1]}")
+        return self._extended(normalize_rows(new_vectors))
+
+    def _extended(self, new_vectors: np.ndarray) -> "VectorIndex":
+        """Implementation hook: ``new_vectors`` already normalized."""
+        raise IndexError_(
+            f"{type(self).__name__} does not support incremental "
+            f"extension; rebuild instead")
+
     @abstractmethod
     def search(self, query: np.ndarray, k: int) -> SearchResult:
         """Top-``k`` most similar indexed vectors for one query vector."""

@@ -83,6 +83,24 @@ _SCHEMA = Schema([
 ])
 
 
+def _log_rows(rng, n: int, start_ts: int) -> tuple[list[dict], int]:
+    """``n`` deterministic log rows from ``rng``; returns (rows, last ts)."""
+    categories = sorted(EVENT_TEMPLATES)
+    rows = []
+    timestamp = start_ts
+    for _ in range(n):
+        timestamp += int(rng.integers(1, 30))
+        category = categories[int(rng.integers(len(categories)))]
+        variants = EVENT_TEMPLATES[category]
+        rows.append({
+            "ts": timestamp,
+            "level": _LEVELS[int(rng.integers(len(_LEVELS)))],
+            "message": variants[int(rng.integers(len(variants)))],
+            "true_category": category,
+        })
+    return rows, timestamp
+
+
 @dataclass
 class LogWorkload:
     """Generates a log table with known event categories."""
@@ -92,17 +110,54 @@ class LogWorkload:
 
     def generate(self) -> Table:
         rng = make_rng(derive_seed(self.seed, "logs"))
-        categories = sorted(EVENT_TEMPLATES)
-        rows = []
-        timestamp = 1_600_000_000
-        for _ in range(self.n):
-            timestamp += int(rng.integers(1, 30))
-            category = categories[int(rng.integers(len(categories)))]
-            variants = EVENT_TEMPLATES[category]
-            rows.append({
-                "ts": timestamp,
-                "level": _LEVELS[int(rng.integers(len(_LEVELS)))],
-                "message": variants[int(rng.integers(len(variants)))],
-                "true_category": category,
-            })
+        rows, _ = _log_rows(rng, self.n, 1_600_000_000)
         return Table.from_rows(rows, _SCHEMA)
+
+
+@dataclass
+class StreamingLogSource:
+    """A log stream for the incremental-ingest workload: one initial
+    table plus deterministic append batches continuing the same clock.
+
+    Drives the paper's "continuous semantic analytics" setting: the
+    engine keeps answering semantic group-by / top-k queries over
+    ``logs`` while batches arrive through
+    :meth:`~repro.engine.session.Session.append`.  Determinism contract:
+    ``initial()`` and every batch draw from one seeded stream in order,
+    so ``Table.concat([initial, batch_0 .. batch_k])`` is byte-equal to
+    a fresh ``LogWorkload``-style generation of the same prefix —
+    which is exactly what the append-vs-rebuild parity gates compare
+    against.
+    """
+
+    initial_rows: int = 400
+    batch_rows: int = 50
+    seed: int = 67
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(derive_seed(self.seed, "log-stream"))
+        self._timestamp = 1_600_000_000
+        self._emitted = False
+
+    def initial(self) -> Table:
+        """The table to register before streaming starts (call once)."""
+        if self._emitted:
+            raise RuntimeError("initial() must be the stream's first draw")
+        self._emitted = True
+        rows, self._timestamp = _log_rows(self._rng, self.initial_rows,
+                                          self._timestamp)
+        return Table.from_rows(rows, _SCHEMA)
+
+    def next_batch(self, rows: int | None = None) -> Table:
+        """The next append batch (timestamps continue monotonically)."""
+        if not self._emitted:
+            raise RuntimeError("draw initial() before streaming batches")
+        batch, self._timestamp = _log_rows(self._rng,
+                                           rows or self.batch_rows,
+                                           self._timestamp)
+        return Table.from_rows(batch, _SCHEMA)
+
+    def batches(self, count: int):
+        """Yield ``count`` consecutive append batches."""
+        for _ in range(count):
+            yield self.next_batch()

@@ -1,0 +1,27 @@
+"""Fixture: an ingest mutator that forgets its data_version bump.
+
+``MiniIngestCatalog`` is declared
+(``repro.analysis.fixtures._cache_model``) with ``append_rows`` and
+``replace_rows`` as ``_data_versions`` mutators — the ingest
+subsystem's per-table invalidation dimension.  ``replace_rows``
+mutates the table map without bumping, so result-cache entries keyed
+on the old ``(table, data_version)`` pair would keep serving the
+replaced rows — rule CK001.
+"""
+
+
+class MiniIngestCatalog:
+    def __init__(self):
+        self._tables = {}
+        self._data_versions = {}
+
+    def append_rows(self, name, delta):
+        self._tables[name] = self._tables[name] + delta
+        versions = dict(self._data_versions)
+        versions[name] = versions.get(name, 0) + 1
+        self._data_versions = versions
+
+    def replace_rows(self, name, table):
+        # seeded violation: no self._data_versions bump after the
+        # row mutation
+        self._tables[name] = table

@@ -301,6 +301,69 @@ class TestTenantInflightCap:
             release.set()
             scheduler.close()
 
+    def test_ingest_weight_charges_more_than_a_query(self):
+        """A weighted submit displaces ``weight`` units of the tenant's
+        cap: with cap 3 and ingest weight 2, one ingest plus one query
+        fill it, and either a second ingest or a second-plus-one query
+        is refused."""
+        scheduler = make_scheduler(max_queue_depth=16,
+                                   max_inflight_per_tenant=3)
+        release, _ = blocked_worker(scheduler)
+        try:
+            scheduler.submit(lambda t, w: "ingest", estimated_cost=1.0,
+                             tenant="alice", weight=2.0)
+            scheduler.submit(lambda t, w: "query", estimated_cost=1.0,
+                             tenant="alice")
+            assert scheduler.stats()["tenant_inflight"]["alice"] == 3.0
+            with pytest.raises(AdmissionError,
+                               match="requested weight 2"):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0,
+                                 tenant="alice", weight=2.0)
+            with pytest.raises(AdmissionError,
+                               match="requested weight 1"):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0,
+                                 tenant="alice")
+            # another tenant's budget is untouched by alice's ingest
+            scheduler.submit(lambda t, w: None, estimated_cost=1.0,
+                             tenant="bob", weight=2.0)
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_weighted_release_returns_the_full_charge(self):
+        """Completion releases exactly the admitted weight — the tenant
+        map empties (no float dust pinning idle tenants)."""
+        scheduler = make_scheduler(max_queue_depth=16,
+                                   max_inflight_per_tenant=2)
+        ticket = scheduler.submit(lambda t, w: "done", estimated_cost=1.0,
+                                  tenant="alice", weight=2.0)
+        assert ticket.result(timeout=10) == "done"
+        assert scheduler.drain(timeout=10)
+        assert "alice" not in scheduler.stats()["tenant_inflight"]
+        # the full cap is available again for a fresh weighted submit
+        again = scheduler.submit(lambda t, w: "again", estimated_cost=1.0,
+                                 tenant="alice", weight=2.0)
+        assert again.result(timeout=10) == "again"
+        scheduler.close()
+
+    def test_fractional_weights_admit_to_the_exact_boundary(self):
+        """Weights are floats: three 0.5-weight submits fit a cap of
+        1.5, the fourth is refused at the same boundary an integer cap
+        enforces for weight-1 queries."""
+        scheduler = make_scheduler(max_queue_depth=16,
+                                   max_inflight_per_tenant=1.5)
+        release, _ = blocked_worker(scheduler)
+        try:
+            for _ in range(3):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0,
+                                 tenant="alice", weight=0.5)
+            with pytest.raises(AdmissionError):
+                scheduler.submit(lambda t, w: None, estimated_cost=1.0,
+                                 tenant="alice", weight=0.5)
+        finally:
+            release.set()
+            scheduler.close()
+
     def test_failed_query_releases_the_slot(self):
         scheduler = make_scheduler(max_queue_depth=16,
                                    max_inflight_per_tenant=1)

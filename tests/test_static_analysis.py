@@ -163,11 +163,27 @@ def test_fixture_missing_arm_reported():
 def test_fixture_version_skip_reported():
     findings = run_analysis(
         fixture_config("cache", FIXTURES), rules=("cache",))
-    ck = [f for f in findings if f.rule == "CK001"]
+    ck = [f for f in findings if f.rule == "CK001"
+          and f.path == "analysis_fixtures/version_skip.py"]
     assert len(ck) == 1
-    assert ck[0].path == "analysis_fixtures/version_skip.py"
     assert ck[0].line == line_of(FIXTURES / "version_skip.py", "def drop")
     assert "_version" in ck[0].message
+
+
+def test_fixture_data_version_skip_reported():
+    """The ingest dimension: a row mutator that forgets its per-table
+    data_version bump is caught by the same CK001 rule."""
+    findings = run_analysis(
+        fixture_config("cache", FIXTURES), rules=("cache",))
+    ck = [f for f in findings if f.rule == "CK001"
+          and f.path == "analysis_fixtures/data_version_skip.py"]
+    assert len(ck) == 1
+    assert ck[0].line == line_of(FIXTURES / "data_version_skip.py",
+                                 "def replace_rows")
+    assert "_data_versions" in ck[0].message
+    # append_rows bumps correctly (copy-on-write), so exactly one
+    # finding comes from this fixture
+    assert "append_rows" not in ck[0].message
 
 
 def test_fixture_metric_drift_reported():
